@@ -1,0 +1,103 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every benchmark regenerates the data series behind one of the paper's
+figures (or an ablation) on a reduced-size workload, prints the series in
+the format of the paper's legends (fitted alpha / beta per compressor and
+error bound) and asserts the qualitative findings.  Timings are collected
+with pytest-benchmark; expensive sweeps are executed exactly once via
+``benchmark.pedantic``.
+
+Workload sizes are chosen so the full harness completes in minutes on a
+laptop: Gaussian fields of 128x128 (paper: 1028x1028) and a Miranda-like
+volume of 24x128x128 (paper: 256x384x384).  Absolute compression ratios
+therefore differ from the paper, but the relationships under study
+(who wins, the sign and rough magnitude of the log-regression slopes,
+where sensitivity is lost) are preserved; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.figures import FigureSeries
+from repro.datasets.registry import default_registry
+
+#: Field sizes for the benchmark workloads.
+GAUSSIAN_SHAPE = (128, 128)
+MIRANDA_SHAPE = (24, 128, 128)
+#: Error bounds used throughout (the paper's set).
+PAPER_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2)
+#: Seed used for every benchmark workload (reproducibility).
+BENCH_SEED = 2021
+
+
+@pytest.fixture(scope="session")
+def bench_registry():
+    """Dataset registry sized for the benchmark harness."""
+
+    return default_registry(gaussian_shape=GAUSSIAN_SHAPE, miranda_shape=MIRANDA_SHAPE)
+
+
+def global_range_config(**overrides) -> ExperimentConfig:
+    """Config computing only the global variogram range statistic."""
+
+    defaults = dict(
+        error_bounds=PAPER_BOUNDS,
+        compute_local_variogram=False,
+        compute_local_svd=False,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def local_stats_config(**overrides) -> ExperimentConfig:
+    """Config computing the windowed (local) statistics."""
+
+    defaults = dict(
+        error_bounds=PAPER_BOUNDS,
+        compute_global_range=False,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def print_series_table(title: str, series_list: Iterable[FigureSeries]) -> None:
+    """Print one figure panel in the paper's legend format."""
+
+    print(f"\n=== {title} ===")
+    header = (
+        f"{'compressor':>10} {'bound':>8} {'alpha':>10} {'beta':>10} "
+        f"{'R^2':>8} {'resid std':>10} {'points':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for series in sorted(series_list, key=lambda s: (s.compressor, s.error_bound)):
+        if series.fit is None:
+            print(f"{series.compressor:>10} {series.error_bound:>8.0e}  (no fit)")
+            continue
+        fit = series.fit
+        print(
+            f"{series.compressor:>10} {series.error_bound:>8.0e} {fit.alpha:>10.3f} "
+            f"{fit.beta:>10.3f} {fit.r_squared:>8.3f} {fit.residual_std:>10.3f} "
+            f"{fit.n_points:>7d}"
+        )
+
+
+def series_by_key(series_list: Iterable[FigureSeries]) -> Dict[tuple, FigureSeries]:
+    """Index series by (compressor, error_bound) for assertions."""
+
+    return {(s.compressor, s.error_bound): s for s in series_list}
+
+
+def mean_beta(series_list: Iterable[FigureSeries], compressor: str) -> float:
+    """Average fitted slope over all bounds for one compressor."""
+
+    betas: List[float] = [
+        s.fit.beta for s in series_list if s.compressor == compressor and s.fit is not None
+    ]
+    if not betas:
+        return float("nan")
+    return float(sum(betas) / len(betas))

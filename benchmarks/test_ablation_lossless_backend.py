@@ -1,0 +1,80 @@
+"""Ablation: lossless backend of the SZ-like compressor.
+
+SZ hands its quantization codes to Huffman + Zstd; the reproduction's
+default backend is the vectorised RLE + Huffman coder, with an LZ77+Huffman
+"zstd"-like backend and a no-entropy-coding "raw" mode available.  This
+ablation compares the three on a smooth and a rough field, quantifying how
+much of the compression ratio is produced by the entropy-coding stage
+versus the prediction stage — and therefore how much of the
+CR-vs-correlation relationship flows through each.
+
+The fields are kept small (64x64) because the zstd-like backend's LZ77
+stage is pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.compressors.sz import SZCompressor
+from repro.datasets.gaussian import generate_gaussian_field
+
+ERROR_BOUND = 1e-3
+BACKENDS = ("raw", "huffman", "zstd")
+
+
+def _run():
+    smooth = generate_gaussian_field((64, 64), 16.0, seed=BENCH_SEED)
+    rough = generate_gaussian_field((64, 64), 2.0, seed=BENCH_SEED + 1)
+    results = {}
+    for backend in BACKENDS:
+        compressor = SZCompressor(ERROR_BOUND, backend=backend)
+        results[backend] = {
+            "smooth": compressor.compress(smooth),
+            "rough": compressor.compress(rough),
+        }
+    return results
+
+
+def test_ablation_lossless_backend(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print(f"\n=== ablation: SZ lossless backend (bound {ERROR_BOUND:g}, 64x64 fields) ===")
+    print(f"{'backend':>9} {'CR smooth':>10} {'CR rough':>9} {'bytes smooth':>13} {'bytes rough':>12}")
+    for backend in BACKENDS:
+        smooth = results[backend]["smooth"]
+        rough = results[backend]["rough"]
+        print(
+            f"{backend:>9} {smooth.compression_ratio:>10.2f} {rough.compression_ratio:>9.2f} "
+            f"{smooth.compressed_nbytes:>13d} {rough.compressed_nbytes:>12d}"
+        )
+
+    # Entropy coding must beat the raw symbol storage on both workloads.
+    for workload in ("smooth", "rough"):
+        assert (
+            results["huffman"][workload].compression_ratio
+            > results["raw"][workload].compression_ratio
+        )
+    # The correlation effect (smooth compresses better than rough) holds for
+    # both entropy-coding backends — i.e. it does not depend on which
+    # entropy coder is used.  The "raw" backend stores fixed-width symbols,
+    # so by construction its size cannot react to the code distribution at
+    # all; that is exactly what this ablation demonstrates.
+    for backend in ("huffman", "zstd"):
+        assert (
+            results[backend]["smooth"].compression_ratio
+            > results[backend]["rough"].compression_ratio
+        )
+    assert (
+        results["raw"]["smooth"].compressed_nbytes
+        == results["raw"]["rough"].compressed_nbytes
+    )
+    # The zstd-like backend stays in the same size regime as plain Huffman
+    # (its extra LZ77 token streams cost some overhead on already
+    # entropy-coded data, so it is not required to win — only to be
+    # reasonably close).
+    assert (
+        results["zstd"]["smooth"].compressed_nbytes
+        <= results["huffman"]["smooth"].compressed_nbytes * 1.5
+    )

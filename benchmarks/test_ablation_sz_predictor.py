@@ -1,0 +1,67 @@
+"""Ablation: SZ predictor choice (Lorenzo-only vs regression-only vs hybrid).
+
+SZ selects, per 16x16 block, between the Lorenzo predictor and the
+hyperplane regression predictor.  This ablation measures the compression
+ratio of each predictor configuration across the single-range Gaussian
+workload, quantifying how much the per-block selection is worth and how
+the answer depends on the correlation range — the compressor-internal
+mechanism behind the CR-vs-range curves of Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, GAUSSIAN_SHAPE
+from repro.compressors.sz import SZCompressor
+from repro.datasets.registry import default_registry
+
+ERROR_BOUND = 1e-3
+CONFIGS = {
+    "lorenzo": ("lorenzo",),
+    "regression": ("regression",),
+    "hybrid": ("lorenzo", "regression"),
+}
+
+
+def _run():
+    registry = default_registry(gaussian_shape=GAUSSIAN_SHAPE)
+    fields = registry.create("gaussian-single", seed=BENCH_SEED)
+    results = {}
+    for name, predictors in CONFIGS.items():
+        compressor = SZCompressor(ERROR_BOUND, predictors=predictors)
+        results[name] = [
+            (label, compressor.compress(field)) for label, field in fields
+        ]
+    return results
+
+
+def test_ablation_sz_predictor(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print(f"\n=== ablation: SZ predictor choice (bound {ERROR_BOUND:g}) ===")
+    labels = [label for label, _ in results["hybrid"]]
+    print(f"{'field':>24} {'lorenzo':>9} {'regression':>11} {'hybrid':>9} {'reg blocks %':>13}")
+    for i, label in enumerate(labels):
+        lorenzo_cr = results["lorenzo"][i][1].compression_ratio
+        regression_cr = results["regression"][i][1].compression_ratio
+        hybrid = results["hybrid"][i][1]
+        print(
+            f"{label:>24} {lorenzo_cr:>9.2f} {regression_cr:>11.2f} "
+            f"{hybrid.compression_ratio:>9.2f} "
+            f"{100 * hybrid.extras['regression_block_fraction']:>13.1f}"
+        )
+
+    mean_cr = {
+        name: float(np.mean([c.compression_ratio for _, c in entries]))
+        for name, entries in results.items()
+    }
+    print(f"\nmean CR: {mean_cr}")
+
+    # The hybrid must not lose to the better single predictor by more than a
+    # small margin (its per-block selection should pay for its mode bits).
+    assert mean_cr["hybrid"] >= max(mean_cr["lorenzo"], mean_cr["regression"]) * 0.93
+    # Every configuration must respect the error bound (spot check extras).
+    for entries in results.values():
+        for _, compressed in entries:
+            assert compressed.error_bound == ERROR_BOUND

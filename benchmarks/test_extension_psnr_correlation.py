@@ -1,0 +1,80 @@
+"""Extension: reconstruction quality (PSNR) vs correlation structure.
+
+The paper's future-work section asks how correlation structure affects
+quality metrics of the reconstructed data such as PSNR.  This benchmark
+runs that analysis on the single-range Gaussian workload: PSNR and bit
+rate per (compressor, bound) against the global variogram range, plus the
+rate-distortion summary per compressor.
+
+Expectations checked:
+
+* at a fixed absolute error bound the PSNR is roughly independent of the
+  correlation range for SZ (the bound pins the worst-case error while the
+  value range stays ~constant), whereas the *bit rate* drops with the
+  range — i.e. correlation buys rate, not distortion;
+* the rate-distortion curves are monotone (more bits, better PSNR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, global_range_config, print_series_table
+from repro.core.pipeline import run_experiment
+from repro.core.quality import quality_series_from_result, rate_distortion_table
+
+
+def _run(bench_registry):
+    result = run_experiment(
+        "gaussian-single",
+        config=global_range_config(),
+        registry=bench_registry,
+        seed=BENCH_SEED,
+    )
+    psnr_series = quality_series_from_result(result, "global_variogram_range", metric="psnr")
+    rate_series = quality_series_from_result(
+        result, "global_variogram_range", metric="bit_rate"
+    )
+    return result, psnr_series, rate_series
+
+
+def test_extension_psnr_correlation(benchmark, bench_registry):
+    result, psnr_series, rate_series = benchmark.pedantic(
+        _run, args=(bench_registry,), rounds=1, iterations=1
+    )
+
+    print_series_table("Extension: PSNR vs global variogram range", psnr_series)
+    print_series_table("Extension: bit rate vs global variogram range", rate_series)
+
+    table = rate_distortion_table(result)
+    print("\n=== rate-distortion summary (mean over the sweep) ===")
+    print(f"{'compressor':>10} {'bound':>8} {'bits/value':>11} {'PSNR (dB)':>10} {'CR':>8}")
+    for compressor, points in table.items():
+        for point in points:
+            print(
+                f"{compressor:>10} {point.error_bound:>8.0e} {point.mean_bit_rate:>11.3f} "
+                f"{point.mean_psnr:>10.2f} {point.mean_compression_ratio:>8.2f}"
+            )
+
+    # Bit rate falls with correlation range for the prediction-based
+    # compressors at every bound.
+    for series in rate_series:
+        if series.compressor in ("sz", "zfp") and series.fit is not None:
+            assert series.fit.beta < 0, (series.compressor, series.error_bound)
+
+    # PSNR at a fixed bound varies far less (relatively) than the bit rate.
+    for compressor in ("sz", "zfp"):
+        psnr = next(
+            s for s in psnr_series if s.compressor == compressor and s.error_bound == 1e-3
+        )
+        rate = next(
+            s for s in rate_series if s.compressor == compressor and s.error_bound == 1e-3
+        )
+        psnr_rel_spread = float(np.ptp(psnr.compression_ratios) / np.mean(psnr.compression_ratios))
+        rate_rel_spread = float(np.ptp(rate.compression_ratios) / np.mean(rate.compression_ratios))
+        assert psnr_rel_spread < rate_rel_spread
+
+    # Monotone rate-distortion curves.
+    for points in table.values():
+        psnrs = [p.mean_psnr for p in points]
+        assert psnrs == sorted(psnrs)

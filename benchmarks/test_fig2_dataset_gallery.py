@@ -1,0 +1,51 @@
+"""Figure 2: the datasets (Gaussian fields and Miranda slices).
+
+The paper's Figure 2 shows example images of the 2D Gaussian fields and
+Miranda velocityx slices.  Without plotting, the benchmark generates every
+workload in the registry and prints per-field summary statistics, checking
+that the datasets span distinct correlation regimes (the precondition for
+every later figure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core.figures import figure2_dataset_gallery
+from repro.stats.variogram_models import estimate_variogram_range
+
+
+def test_fig2_dataset_gallery(benchmark, bench_registry):
+    gallery = benchmark.pedantic(
+        figure2_dataset_gallery,
+        kwargs=dict(registry=bench_registry, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Figure 2: dataset gallery ===")
+    for dataset, entries in gallery.items():
+        print(f"\n{dataset} ({len(entries)} fields)")
+        print(f"{'label':>28} {'shape':>12} {'min':>9} {'max':>9} {'mean':>9} {'std':>8}")
+        for entry in entries:
+            print(
+                f"{entry['label']:>28} {entry['rows']:>5d}x{entry['cols']:<6d} "
+                f"{entry['min']:>9.3f} {entry['max']:>9.3f} {entry['mean']:>9.3f} "
+                f"{entry['std']:>8.3f}"
+            )
+
+    assert {"gaussian-single", "gaussian-multi", "miranda"} <= set(gallery)
+    for entries in gallery.values():
+        assert len(entries) >= 4
+        for entry in entries:
+            assert np.isfinite(entry["std"]) and entry["std"] > 0
+
+    # The single-range family must span clearly different correlation ranges
+    # (that spread is the x-axis of Figure 3).
+    fields = bench_registry.create("gaussian-single", seed=BENCH_SEED)
+    ranges = [estimate_variogram_range(field) for _, field in fields]
+    print("\nestimated global variogram ranges (gaussian-single):")
+    for (label, _), value in zip(fields, ranges):
+        print(f"  {label:>28}: {value:7.2f}")
+    assert max(ranges) > 4.0 * min(ranges)

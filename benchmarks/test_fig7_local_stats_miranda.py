@@ -1,0 +1,77 @@
+"""Figure 7: Miranda CR vs the two local statistics.
+
+Reproduces the paper's Figure 7 on the Miranda-like surrogate: compression
+ratios of every slice against (left) the std of local variogram ranges and
+(right) the std of local SVD truncation levels, both on 32x32 windows,
+plus the SZ panels restricted to bounds < 1e-2.
+
+Paper-shape assertions:
+
+* both local statistics vary across slices (the heterogeneity the
+  statistics were introduced to capture);
+* the local-variogram statistic explains SZ/ZFP compression ratios on this
+  heterogeneous data at loose bounds (R^2 floor);
+* the restricted SZ panels contain exactly the bounds below 1e-2;
+* CR remains ordered by error bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SEED,
+    local_stats_config,
+    print_series_table,
+    series_by_key,
+)
+from repro.core.figures import figure7_local_stats_miranda
+
+
+def _run(bench_registry):
+    return figure7_local_stats_miranda(
+        config=local_stats_config(), registry=bench_registry, seed=BENCH_SEED
+    )
+
+
+def test_fig7_local_stats_miranda(benchmark, bench_registry):
+    output = benchmark.pedantic(_run, args=(bench_registry,), rounds=1, iterations=1)
+
+    print_series_table(
+        "Figure 7 (left): CR vs std of local variogram range", output["local_variogram"]
+    )
+    print_series_table(
+        "Figure 7 (right): CR vs std of local SVD truncation", output["local_svd"]
+    )
+    print_series_table(
+        "Figure 7: SZ restricted (< 1e-2), local variogram",
+        output["sz_restricted_local_variogram"],
+    )
+
+    variogram_series = series_by_key(output["local_variogram"])
+    svd_series = series_by_key(output["local_svd"])
+
+    # Statistics vary across slices.
+    for series_map in (variogram_series, svd_series):
+        x = series_map[("sz", 1e-2)].x
+        finite = x[np.isfinite(x)]
+        assert finite.size >= 4
+        assert finite.max() > 1.05 * finite.min()
+
+    # Local variogram statistic keeps explanatory power on heterogeneous data.
+    for compressor in ("sz", "zfp"):
+        fit = variogram_series[(compressor, 1e-2)].fit
+        assert fit is not None and fit.r_squared > 0.2, compressor
+
+    # Restricted panels: SZ only, bounds strictly below 1e-2.
+    for key in ("sz_restricted_local_variogram", "sz_restricted_local_svd"):
+        assert {s.compressor for s in output[key]} == {"sz"}
+        assert all(s.error_bound < 1e-2 for s in output[key])
+
+    # CR ordered by bound for every compressor on the variogram panel.
+    for compressor in ("sz", "zfp", "mgard"):
+        mean_crs = [
+            float(np.mean(variogram_series[(compressor, bound)].compression_ratios))
+            for bound in (1e-5, 1e-4, 1e-3, 1e-2)
+        ]
+        assert mean_crs == sorted(mean_crs)

@@ -1,0 +1,45 @@
+"""Throughput micro-benchmarks of the compressor substrate.
+
+These benchmarks time a single compress (and decompress) call per
+compressor on a fixed 128x128 Gaussian field, using pytest-benchmark's
+repeated timing (they are cheap enough to run multiple rounds).  They are
+not a figure of the paper; they document the cost of the reproduction's
+pure-NumPy compressors so users can size their own sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.compressors.registry import make_compressor
+from repro.datasets.gaussian import generate_gaussian_field
+
+ERROR_BOUND = 1e-3
+
+
+@pytest.fixture(scope="module")
+def bench_field():
+    return generate_gaussian_field((128, 128), 12.0, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("name", ["sz", "zfp", "mgard"])
+def test_compress_throughput(benchmark, bench_field, name):
+    compressor = make_compressor(name, ERROR_BOUND)
+    compressed = benchmark(compressor.compress, bench_field)
+    mb = bench_field.nbytes / 1e6
+    print(
+        f"\n{name}: CR={compressed.compression_ratio:.2f} on {mb:.2f} MB field "
+        f"(mean {benchmark.stats['mean'] * 1e3:.1f} ms -> "
+        f"{mb / benchmark.stats['mean']:.1f} MB/s)"
+    )
+    assert compressed.compression_ratio > 1.0
+
+
+@pytest.mark.parametrize("name", ["sz", "zfp", "mgard"])
+def test_decompress_throughput(benchmark, bench_field, name):
+    compressor = make_compressor(name, ERROR_BOUND)
+    compressed = compressor.compress(bench_field)
+    decompressed = benchmark(compressor.decompress, compressed)
+    assert np.abs(decompressed - bench_field).max() <= ERROR_BOUND * (1 + 1e-9)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Compressor selection and CR prediction: the related-work baselines in action.
+
+This example contrasts three ways of anticipating compression performance:
+
+1. the **correlation-based model** the paper works toward (CR predicted
+   from variogram statistics and the error bound),
+2. the **block-sampling estimator** of Lu et al. (compress a sample of
+   blocks, extrapolate), and
+3. the **entropy bound** of the quantized representation (the
+   correlation-blind information-theoretic reference).
+
+It then runs the Tao et al.-style **online SZ/ZFP selection** over a mixed
+workload and reports how often the estimated winner matches the true one.
+
+Run with:  python examples/compressor_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import entropy_cr_bound, estimate_cr_by_sampling, select_compressor
+from repro.core import CompressionRatioPredictor, ExperimentConfig
+from repro.core.pipeline import run_experiment_on_fields
+from repro.datasets import generate_gaussian_field, generate_multi_range_field
+from repro.pressio import compress_and_measure
+from repro.utils.rng import derive_seeds
+
+
+def build_workload(size: int = 96):
+    """A mixed bag of fields spanning smooth to rough, single to multi range."""
+
+    seeds = derive_seeds(123, 8)
+    return [
+        ("single-a2", generate_gaussian_field((size, size), 2.0, seed=seeds[0])),
+        ("single-a6", generate_gaussian_field((size, size), 6.0, seed=seeds[1])),
+        ("single-a12", generate_gaussian_field((size, size), 12.0, seed=seeds[2])),
+        ("single-a24", generate_gaussian_field((size, size), 24.0, seed=seeds[3])),
+        ("multi-2-16", generate_multi_range_field((size, size), (2.0, 16.0), seed=seeds[4])),
+        ("multi-4-32", generate_multi_range_field((size, size), (4.0, 32.0), seed=seeds[5])),
+        ("multi-2-8", generate_multi_range_field((size, size), (2.0, 8.0), seed=seeds[6])),
+        ("multi-8-24", generate_multi_range_field((size, size), (8.0, 24.0), seed=seeds[7])),
+    ]
+
+
+def main() -> None:
+    workload = build_workload()
+    bound = 1e-3
+
+    # ------------------------------------------------------------------
+    # 1. correlation-based CR prediction (train on half, test on half)
+    # ------------------------------------------------------------------
+    config = ExperimentConfig(compressors=("sz", "zfp"), error_bounds=(1e-4, 1e-3, 1e-2))
+    train = run_experiment_on_fields(workload[::2], dataset="train", config=config)
+    test = run_experiment_on_fields(workload[1::2], dataset="test", config=config)
+
+    predictor = CompressionRatioPredictor()
+    reports = predictor.fit(train.records)
+    print("=== correlation-based CR model (trained on half the workload) ===")
+    for report in reports:
+        print(
+            f"{report.compressor:>5}: R^2={report.r_squared:.3f} "
+            f"MAE={report.mean_absolute_error:.2f} on {report.n_samples} samples"
+        )
+    predictions = predictor.predict(list(test.records))
+    actual = np.array([r.compression_ratio for r in test.records])
+    rel_err = np.abs(predictions - actual) / actual
+    print(f"held-out median relative error: {np.median(rel_err) * 100:.1f}%")
+
+    # ------------------------------------------------------------------
+    # 2. block-sampling estimator vs truth vs entropy bound
+    # ------------------------------------------------------------------
+    print("\n=== per-field estimates at error bound 1e-3 (SZ) ===")
+    print(f"{'field':>12} {'true CR':>9} {'sampled est.':>13} {'entropy bound':>14}")
+    for label, field in workload:
+        _, metrics = compress_and_measure(field, "sz", bound)
+        sampled = estimate_cr_by_sampling(field, "sz", bound, n_blocks=12, seed=1)
+        bound_cr = entropy_cr_bound(field, bound)
+        print(
+            f"{label:>12} {metrics.compression_ratio:>9.2f} "
+            f"{sampled.estimated_cr:>13.2f} {bound_cr:>14.2f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. online SZ/ZFP selection (Tao et al. style)
+    # ------------------------------------------------------------------
+    print("\n=== adaptive SZ/ZFP selection ===")
+    correct = 0
+    total_regret = 0.0
+    for label, field in workload:
+        decision = select_compressor(field, bound, seed=5, verify=True)
+        correct += int(bool(decision.correct))
+        total_regret += float(decision.regret or 0.0)
+        print(
+            f"{label:>12}: picked {decision.selected:>4} "
+            f"(estimates sz={decision.estimated_crs['sz']:.2f}, "
+            f"zfp={decision.estimated_crs['zfp']:.2f}) "
+            f"correct={decision.correct}"
+        )
+    print(
+        f"\nselection accuracy: {correct}/{len(workload)}; "
+        f"total CR regret: {total_regret:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Error-bound sensitivity: how the CR-vs-correlation relationship changes with the bound.
+
+The paper observes that lower error bounds show lower dispersion of the
+points around the fitted logarithmic curves and fewer outliers.  This
+example quantifies that: for a sweep of correlation ranges it fits the
+logarithmic regression at each error bound and prints the residual
+standard deviation and R^2 per bound, plus the quality metrics (PSNR) of
+the reconstructions — the quantity the paper's future-work section targets
+next.
+
+Run with:  python examples/error_bound_sensitivity.py [--size 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import ExperimentConfig
+from repro.core.pipeline import run_experiment_on_fields
+from repro.core.regression import fit_log_regression
+from repro.datasets import generate_gaussian_field
+from repro.utils.rng import derive_seeds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=96)
+    args = parser.parse_args()
+
+    ranges = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+    seeds = derive_seeds(99, len(ranges))
+    fields = [
+        (f"a{r:g}", generate_gaussian_field((args.size, args.size), r, seed=s))
+        for r, s in zip(ranges, seeds)
+    ]
+    bounds = (1e-5, 1e-4, 1e-3, 1e-2)
+    config = ExperimentConfig(
+        error_bounds=bounds, compute_local_variogram=False, compute_local_svd=False
+    )
+    result = run_experiment_on_fields(fields, dataset="sensitivity", config=config)
+
+    print("=== dispersion of CR around the fitted log curve, per error bound ===")
+    print(f"{'compressor':>10} {'bound':>8} {'beta':>9} {'R^2':>7} {'resid std':>10} "
+          f"{'resid std / mean CR':>20}")
+    for compressor in result.compressors:
+        for bound in bounds:
+            records = result.filter(compressor=compressor, error_bound=bound)
+            x = [r.statistics.global_variogram_range for r in records]
+            cr = [r.compression_ratio for r in records]
+            fit = fit_log_regression(x, cr)
+            mean_cr = float(np.mean(cr))
+            print(
+                f"{compressor:>10} {bound:>8.0e} {fit.beta:>9.3f} {fit.r_squared:>7.3f} "
+                f"{fit.residual_std:>10.3f} {fit.residual_std / mean_cr:>20.3f}"
+            )
+
+    print("\n=== reconstruction quality (PSNR) by bound, averaged over the sweep ===")
+    print(f"{'compressor':>10} {'bound':>8} {'mean PSNR':>10} {'mean bitrate':>13}")
+    for compressor in result.compressors:
+        for bound in bounds:
+            records = result.filter(compressor=compressor, error_bound=bound)
+            psnr = float(np.mean([r.metrics.psnr for r in records]))
+            bitrate = float(np.mean([r.metrics.bit_rate for r in records]))
+            print(f"{compressor:>10} {bound:>8.0e} {psnr:>10.2f} {bitrate:>13.3f}")
+
+
+if __name__ == "__main__":
+    main()

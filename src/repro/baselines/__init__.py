@@ -1,0 +1,31 @@
+"""Related-work baselines the paper positions itself against.
+
+* :mod:`repro.baselines.sampling_estimator` -- block-sampling estimation of
+  the compression ratio (Lu et al., IPDPS 2018): compress a random sample
+  of blocks and extrapolate, instead of analysing correlation structure.
+* :mod:`repro.baselines.adaptive_selection` -- entropy-driven online
+  selection between SZ and ZFP (Tao et al., TPDS 2019): estimate each
+  compressor's CR from sampled blocks / quantized entropy and pick the
+  winner per field.
+* :mod:`repro.baselines.entropy_estimator` -- the classical
+  entropy-based compressibility bound applied to error-bounded quantized
+  data; the compressor-independent reference point the paper's
+  introduction starts from.
+
+These baselines matter for the reproduction because the paper's claim is
+*methodological*: correlation statistics are compressor-independent
+predictors, unlike the compressor-specific sampling approaches.  The
+benchmark ``benchmarks/test_baseline_estimators.py`` compares them.
+"""
+
+from repro.baselines.sampling_estimator import BlockSamplingEstimate, estimate_cr_by_sampling
+from repro.baselines.adaptive_selection import AdaptiveSelectionResult, select_compressor
+from repro.baselines.entropy_estimator import entropy_cr_bound
+
+__all__ = [
+    "BlockSamplingEstimate",
+    "estimate_cr_by_sampling",
+    "AdaptiveSelectionResult",
+    "select_compressor",
+    "entropy_cr_bound",
+]

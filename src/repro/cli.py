@@ -1,0 +1,260 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the most common workflows without
+writing any Python:
+
+* ``compress``   — compress a field file (``.npy`` or SDRBench raw) with a
+  named compressor and error bound; report CR / PSNR / max error.
+* ``stats``      — report the correlation statistics of a field file
+  (global variogram range, local statistics, entropy).
+* ``experiment`` — run a named dataset sweep (``gaussian-single``,
+  ``gaussian-multi``, ``miranda``) and write the records to CSV.
+* ``figure``     — regenerate one of the paper's figures (3-7) and print
+  the fitted-series table (optionally as Markdown).
+
+The CLI intentionally exposes only the high-level entry points; everything
+it does is a thin wrapper over the public API, so scripts can always drop
+down to :mod:`repro.core` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.figures import (
+    figure3_global_range_gaussian,
+    figure4_global_range_miranda,
+    figure5_local_range_gaussian,
+    figure6_local_svd_gaussian,
+    figure7_local_stats_miranda,
+)
+from repro.core.pipeline import run_experiment
+from repro.core.reporting import format_table, series_to_markdown, write_records_csv
+from repro.datasets.io import load_field, load_raw
+from repro.datasets.registry import default_registry
+from repro.pressio.api import compress_and_measure
+from repro.stats.entropy import quantized_entropy
+from repro.stats.local import std_local_variogram_range
+from repro.stats.svd import std_local_svd_truncation
+from repro.stats.variogram_models import estimate_variogram_range
+from repro.utils.parallel import ParallelConfig
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "3": figure3_global_range_gaussian,
+    "4": figure4_global_range_miranda,
+    "5": figure5_local_range_gaussian,
+    "6": figure6_local_svd_gaussian,
+    "7": figure7_local_stats_miranda,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Exploring Lossy Compressibility through "
+        "Statistical Correlations of Scientific Datasets' (SC 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ---- compress ------------------------------------------------------
+    compress = subparsers.add_parser("compress", help="compress a field file and report metrics")
+    _add_field_arguments(compress)
+    compress.add_argument("--compressor", default="sz", choices=("sz", "zfp", "mgard"))
+    compress.add_argument("--error-bound", type=float, default=1e-3)
+    compress.add_argument(
+        "--mode", default="abs", choices=("abs", "rel"), help="error bound interpretation"
+    )
+
+    # ---- stats ---------------------------------------------------------
+    stats = subparsers.add_parser("stats", help="correlation statistics of a field file")
+    _add_field_arguments(stats)
+    stats.add_argument("--window", type=int, default=32)
+    stats.add_argument("--error-bound", type=float, default=1e-3, help="bound for the entropy statistic")
+
+    # ---- experiment ----------------------------------------------------
+    experiment = subparsers.add_parser("experiment", help="run a dataset sweep, write CSV")
+    experiment.add_argument(
+        "dataset",
+        choices=("gaussian-single", "gaussian-multi", "gaussian-nonstationary", "miranda"),
+    )
+    experiment.add_argument("--output", required=True, help="CSV output path")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--size", type=int, default=128, help="Gaussian field edge length")
+    experiment.add_argument(
+        "--bounds", type=float, nargs="+", default=[1e-5, 1e-4, 1e-3, 1e-2]
+    )
+    experiment.add_argument(
+        "--compressors", nargs="+", default=["sz", "zfp", "mgard"],
+        choices=("sz", "zfp", "mgard"),
+    )
+    experiment.add_argument("--workers", type=int, default=1)
+    experiment.add_argument(
+        "--skip-local-stats", action="store_true", help="compute only the global variogram range"
+    )
+
+    # ---- figure --------------------------------------------------------
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures (3-7)")
+    figure.add_argument("number", choices=sorted(_FIGURES))
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--size", type=int, default=128, help="Gaussian field edge length")
+    figure.add_argument("--markdown", action="store_true", help="emit Markdown tables")
+    figure.add_argument("--workers", type=int, default=1)
+    return parser
+
+
+def _add_field_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("field", help="path to a .npy file or an SDRBench raw binary")
+    parser.add_argument(
+        "--raw-shape",
+        type=int,
+        nargs="+",
+        default=None,
+        help="shape of the raw binary (omit for .npy files)",
+    )
+    parser.add_argument("--raw-dtype", default="float32", choices=("float32", "float64"))
+    parser.add_argument(
+        "--slice-axis",
+        type=int,
+        default=0,
+        help="for 3D inputs: axis along which the middle slice is taken",
+    )
+
+
+def _load_2d_field(args: argparse.Namespace) -> np.ndarray:
+    if args.raw_shape is not None:
+        field = load_raw(args.field, args.raw_shape, dtype=args.raw_dtype)
+    else:
+        field = load_field(args.field)
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim == 3:
+        index = field.shape[args.slice_axis] // 2
+        field = np.take(field, index, axis=args.slice_axis)
+    if field.ndim != 2:
+        raise SystemExit(f"expected a 2D or 3D field, got shape {field.shape}")
+    return field
+
+
+def _command_compress(args: argparse.Namespace) -> int:
+    field = _load_2d_field(args)
+    compressed, metrics = compress_and_measure(
+        field, args.compressor, args.error_bound, mode=args.mode
+    )
+    rows = [
+        ("compressor", args.compressor),
+        ("error bound", f"{compressed.error_bound:g} (abs)"),
+        ("field shape", "x".join(str(s) for s in field.shape)),
+        ("compression ratio", f"{metrics.compression_ratio:.3f}"),
+        ("bit rate (bits/value)", f"{metrics.bit_rate:.3f}"),
+        ("max abs error", f"{metrics.max_abs_error:.3e}"),
+        ("RMSE", f"{metrics.rmse:.3e}"),
+        ("PSNR (dB)", f"{metrics.psnr:.2f}"),
+        ("bound satisfied", str(metrics.bound_satisfied)),
+    ]
+    print(format_table(("quantity", "value"), rows))
+    return 0 if metrics.bound_satisfied else 1
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    field = _load_2d_field(args)
+    rows = [
+        ("field shape", "x".join(str(s) for s in field.shape)),
+        ("mean", f"{field.mean():.4f}"),
+        ("std", f"{field.std():.4f}"),
+        ("global variogram range", f"{estimate_variogram_range(field):.3f}"),
+    ]
+    if min(field.shape) >= args.window:
+        rows.append(
+            (
+                f"std local variogram range (H={args.window})",
+                f"{std_local_variogram_range(field, args.window):.3f}",
+            )
+        )
+        rows.append(
+            (
+                f"std local SVD truncation (H={args.window})",
+                f"{std_local_svd_truncation(field, args.window):.3f}",
+            )
+        )
+    rows.append(
+        (
+            f"quantized entropy @ {args.error_bound:g} (bits/value)",
+            f"{quantized_entropy(field, args.error_bound):.3f}",
+        )
+    )
+    print(format_table(("statistic", "value"), rows))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    registry = default_registry(gaussian_shape=(args.size, args.size))
+    config = ExperimentConfig(
+        compressors=tuple(args.compressors),
+        error_bounds=tuple(args.bounds),
+        compute_local_variogram=not args.skip_local_stats,
+        compute_local_svd=not args.skip_local_stats,
+    )
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
+    result = run_experiment(
+        args.dataset, config=config, registry=registry, seed=args.seed, parallel=parallel
+    )
+    write_records_csv(args.output, result.records)
+    print(f"wrote {len(result.records)} records to {args.output}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    registry = default_registry(gaussian_shape=(args.size, args.size))
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
+    driver = _FIGURES[args.number]
+    output = driver(registry=registry, seed=args.seed, parallel=parallel)
+    for panel, series_list in output.items():
+        title = f"Figure {args.number} — {panel}"
+        if args.markdown:
+            print(series_to_markdown(series_list, title=title))
+            print()
+            continue
+        print(f"\n=== {title} ===")
+        rows = []
+        for series in sorted(series_list, key=lambda s: (s.compressor, s.error_bound)):
+            if series.fit is None:
+                rows.append((series.compressor, f"{series.error_bound:g}", "-", "-", "-", series.n_points))
+            else:
+                rows.append(
+                    (
+                        series.compressor,
+                        f"{series.error_bound:g}",
+                        series.fit.alpha,
+                        series.fit.beta,
+                        series.fit.r_squared,
+                        series.fit.n_points,
+                    )
+                )
+        print(format_table(("compressor", "bound", "alpha", "beta", "R^2", "points"), rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "compress": _command_compress,
+        "stats": _command_stats,
+        "experiment": _command_experiment,
+        "figure": _command_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""MGARD-like multilevel error-bounded compressor.
+
+Mirrors the structure the paper attributes to MGARD: the field is
+decomposed into **multilevel coefficients** on a dyadic grid hierarchy
+(:mod:`repro.compressors.multigrid`), the coefficients are quantized level
+by level, and the quantized stream is handed to a lossless backend.
+Because coarse levels summarise the entire field, the compressor "sees"
+global structure in a way the block-local SZ and ZFP cannot — which is
+exactly why the paper finds MGARD's compression ratio to be less sensitive
+to the (local) correlation-range statistics.
+
+Error-budget argument
+---------------------
+Reconstruction proceeds coarse-to-fine; at every level the prolongation is
+a convex (linear-interpolation) combination of the coarser level, so it
+does not amplify errors, and adding the dequantized details contributes at
+most that level's quantization error.  Splitting the absolute tolerance
+``eb`` into per-level budgets that sum to ``eb`` therefore bounds the total
+point-wise error by ``eb``.  The split favours finer levels (which carry
+most coefficients) geometrically; the compressor verifies the bound on its
+own reconstruction before returning.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.compressors.base import CompressedField, Compressor, CompressorError, LosslessBackend
+from repro.compressors.multigrid import (
+    MultigridDecomposition,
+    decompose,
+    detail_mask,
+    max_levels,
+    prolong,
+)
+from repro.encoding.varint import decode_varint, encode_varint
+from repro.utils.validation import ensure_2d, ensure_float_array
+
+__all__ = ["MGARDCompressor"]
+
+_MAGIC = b"MGR1"
+_CODE_RADIUS = 1 << 40
+
+
+class MGARDCompressor(Compressor):
+    """MGARD-like multilevel error-bounded compressor.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute error bound.
+    levels:
+        Number of coarsening steps; ``None`` uses as many as the field
+        admits (down to a 4x4 coarsest grid).
+    backend:
+        Lossless backend for the quantized coefficient stream.
+    budget_ratio:
+        Geometric ratio of the per-level error budgets: level ``l`` (finest
+        = 0) receives a budget proportional to ``budget_ratio**l``.  The
+        default weights the finest level most heavily, since its detail
+        coefficients dominate the stream.
+    """
+
+    name = "mgard"
+
+    def __init__(
+        self,
+        error_bound: float = 1e-3,
+        *,
+        levels: int | None = None,
+        backend: str = "huffman",
+        budget_ratio: float = 0.5,
+    ) -> None:
+        super().__init__(error_bound)
+        if levels is not None and levels < 1:
+            raise ValueError("levels must be >= 1 (or None for automatic)")
+        if not 0 < budget_ratio <= 1:
+            raise ValueError("budget_ratio must be in (0, 1]")
+        self.levels = levels
+        self.backend = LosslessBackend(backend)
+        self.budget_ratio = float(budget_ratio)
+
+    # ------------------------------------------------------------------
+    def _level_budgets(self, n_levels: int) -> np.ndarray:
+        """Per-level absolute error budgets (finest first, last entry = coarse grid)."""
+
+        weights = self.budget_ratio ** np.arange(n_levels + 1, dtype=np.float64)
+        weights /= weights.sum()
+        return self.error_bound * weights
+
+    # ------------------------------------------------------------------
+    def compress(self, field: np.ndarray) -> CompressedField:
+        original = ensure_2d(field, "field")
+        original_dtype = np.asarray(field).dtype
+        values = ensure_float_array(original, "field")
+        if not np.all(np.isfinite(values)):
+            raise CompressorError("mgard: field contains non-finite values")
+
+        available = max_levels(values.shape)
+        n_levels = available if self.levels is None else min(self.levels, available)
+        if n_levels == 0:
+            # Field too small for a hierarchy: store verbatim.
+            return self._compress_raw(values, original_dtype)
+
+        decomposition = decompose(values, n_levels)
+        budgets = self._level_budgets(decomposition.n_levels)
+
+        detail_codes: List[np.ndarray] = []
+        for level, detail in enumerate(decomposition.details):
+            step = 2.0 * budgets[level]
+            codes = np.rint(detail / step)
+            if not np.all(np.isfinite(codes)) or np.abs(codes).max(initial=0) > _CODE_RADIUS:
+                return self._compress_raw(values, original_dtype)
+            detail_codes.append(codes.astype(np.int64))
+        coarse_step = 2.0 * budgets[-1]
+        coarse_codes = np.rint(decomposition.coarse / coarse_step)
+        if not np.all(np.isfinite(coarse_codes)) or np.abs(coarse_codes).max(initial=0) > _CODE_RADIUS:
+            return self._compress_raw(values, original_dtype)
+        coarse_codes = coarse_codes.astype(np.int64)
+
+        reconstruction = self._reconstruct(
+            coarse_codes, detail_codes, decomposition.shapes, budgets
+        )
+        max_error = float(np.abs(reconstruction - values).max())
+        if max_error > self.error_bound:
+            # The additive budget argument makes this unreachable, but a raw
+            # fallback keeps the bound a hard guarantee even in pathological
+            # floating-point corner cases.
+            return self._compress_raw(values, original_dtype)
+
+        # ------------------------------------------------------------------
+        payload = bytearray()
+        payload.extend(_MAGIC)
+        payload.extend(encode_varint(0))
+        payload.extend(encode_varint(values.shape[0]))
+        payload.extend(encode_varint(values.shape[1]))
+        payload.extend(struct.pack("<d", self.error_bound))
+        payload.extend(struct.pack("<d", self.budget_ratio))
+        payload.extend(encode_varint(decomposition.n_levels))
+
+        # Level-major symbol stream: coarse grid first, then details from
+        # coarsest to finest — the coarse part is tiny and the fine details
+        # (mostly near zero for smooth data) dominate, giving the RLE +
+        # Huffman backend long runs to exploit.
+        stream_parts = [coarse_codes.ravel()]
+        for detail in reversed(detail_codes):
+            stream_parts.append(detail.ravel())
+        stream = np.concatenate(stream_parts)
+        offset = int(stream.min()) if stream.size else 0
+        payload.extend(encode_varint(offset + 2**40))
+        symbol_blob = self.backend.encode_symbols(stream - offset)
+        payload.extend(encode_varint(len(symbol_blob)))
+        payload.extend(symbol_blob)
+
+        compressed = CompressedField(
+            data=bytes(payload),
+            original_shape=values.shape,
+            original_dtype=original_dtype,
+            compressor=self.name,
+            error_bound=self.error_bound,
+            reconstruction=reconstruction,
+            extras={
+                "n_levels": float(decomposition.n_levels),
+                "max_error": max_error,
+            },
+        )
+        self.check_error_bound(values, reconstruction)
+        return compressed
+
+    # ------------------------------------------------------------------
+    def _reconstruct(
+        self,
+        coarse_codes: np.ndarray,
+        detail_codes: List[np.ndarray],
+        shapes: List[Tuple[int, int]],
+        budgets: np.ndarray,
+    ) -> np.ndarray:
+        current = coarse_codes.astype(np.float64) * (2.0 * budgets[-1])
+        for level in range(len(detail_codes) - 1, -1, -1):
+            fine_shape = shapes[level]
+            predicted = prolong(current, fine_shape)
+            mask = detail_mask(fine_shape)
+            fine = predicted.copy()
+            fine[mask] += detail_codes[level].astype(np.float64) * (2.0 * budgets[level])
+            fine[::2, ::2] = current
+            current = fine
+        return current
+
+    def _compress_raw(self, values: np.ndarray, original_dtype: np.dtype) -> CompressedField:
+        payload = bytearray()
+        payload.extend(_MAGIC)
+        payload.extend(encode_varint(1))
+        payload.extend(encode_varint(values.shape[0]))
+        payload.extend(encode_varint(values.shape[1]))
+        payload.extend(struct.pack("<d", self.error_bound))
+        payload.extend(values.astype("<f8").tobytes())
+        return CompressedField(
+            data=bytes(payload),
+            original_shape=values.shape,
+            original_dtype=original_dtype,
+            compressor=self.name,
+            error_bound=self.error_bound,
+            reconstruction=values.copy(),
+            extras={"raw_fallback": 1.0},
+        )
+
+    # ------------------------------------------------------------------
+    def decompress(self, compressed: CompressedField) -> np.ndarray:
+        blob = compressed.data
+        if blob[:4] != _MAGIC:
+            raise CompressorError("not an MGARD-like container")
+        pos = 4
+        raw_flag, pos = decode_varint(blob, pos)
+        rows, pos = decode_varint(blob, pos)
+        cols, pos = decode_varint(blob, pos)
+        if raw_flag == 1:
+            pos += 8
+            values = np.frombuffer(blob, dtype="<f8", count=rows * cols, offset=pos)
+            return values.reshape(rows, cols).astype(np.float64)
+
+        (error_bound,) = struct.unpack_from("<d", blob, pos)
+        pos += 8
+        (budget_ratio,) = struct.unpack_from("<d", blob, pos)
+        pos += 8
+        n_levels, pos = decode_varint(blob, pos)
+
+        offset_shifted, pos = decode_varint(blob, pos)
+        offset = offset_shifted - 2**40
+        symbol_len, pos = decode_varint(blob, pos)
+        stream = self.backend.decode_symbols(blob[pos : pos + symbol_len]) + offset
+
+        # Rebuild the level shapes from the stored field shape.
+        shapes: List[Tuple[int, int]] = [(rows, cols)]
+        for _ in range(n_levels):
+            prev = shapes[-1]
+            shapes.append(((prev[0] + 1) // 2, (prev[1] + 1) // 2))
+
+        weights = budget_ratio ** np.arange(n_levels + 1, dtype=np.float64)
+        weights /= weights.sum()
+        budgets = error_bound * weights
+
+        coarse_shape = shapes[-1]
+        coarse_count = coarse_shape[0] * coarse_shape[1]
+        coarse_codes = stream[:coarse_count].reshape(coarse_shape)
+        cursor = coarse_count
+        detail_codes: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * n_levels
+        for level in range(n_levels - 1, -1, -1):
+            count = int(detail_mask(shapes[level]).sum())
+            detail_codes[level] = stream[cursor : cursor + count]
+            cursor += count
+        if cursor != stream.size:
+            raise CompressorError("mgard coefficient stream length mismatch")
+        return self._reconstruct(coarse_codes, detail_codes, shapes, budgets)

@@ -1,0 +1,187 @@
+"""Dyadic multigrid decomposition used by the MGARD-like compressor.
+
+MGARD decomposes a field into multilevel coefficients defined on a
+hierarchy of nested grids.  This module implements a 2D version of that
+machinery:
+
+* the hierarchy is built by **injection** (taking every other grid point in
+  both dimensions), level 0 being the original grid;
+* the **prolongation** operator maps a coarse-level array back to the next
+  finer level by separable linear interpolation;
+* the **detail coefficients** of a level are the differences between the
+  fine-level values and the prolongation of the coarse level.  Because the
+  coarse grid is a subset of the fine grid (injection), details vanish at
+  coarse grid points and only the complementary positions are stored.
+
+Linear interpolation satisfies a maximum principle (the interpolated value
+is a convex combination of coarse values), so a perturbation of the coarse
+level by at most ``e`` perturbs the prolongation by at most ``e``; the
+MGARD-like compressor exploits this to split the error budget across
+levels additively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d, ensure_positive
+
+__all__ = [
+    "max_levels",
+    "coarsen_shape",
+    "restrict",
+    "prolong",
+    "detail_mask",
+    "MultigridDecomposition",
+    "decompose",
+    "reconstruct",
+]
+
+
+def max_levels(shape: Tuple[int, int], min_size: int = 4) -> int:
+    """Number of coarsening steps possible before a dimension drops below ``min_size``."""
+
+    ensure_positive(min_size, "min_size")
+    levels = 0
+    rows, cols = shape
+    while (rows + 1) // 2 >= min_size and (cols + 1) // 2 >= min_size:
+        rows = (rows + 1) // 2
+        cols = (cols + 1) // 2
+        levels += 1
+    return levels
+
+
+def coarsen_shape(shape: Tuple[int, int]) -> Tuple[int, int]:
+    """Shape of the grid obtained by keeping every other point (indices 0, 2, ...)."""
+
+    return ((shape[0] + 1) // 2, (shape[1] + 1) // 2)
+
+
+def restrict(field: np.ndarray) -> np.ndarray:
+    """Injection restriction: keep grid points with even indices."""
+
+    field = ensure_2d(field, "field")
+    return np.ascontiguousarray(field[::2, ::2])
+
+
+def prolong(coarse: np.ndarray, fine_shape: Tuple[int, int]) -> np.ndarray:
+    """Separable linear interpolation of a coarse grid onto ``fine_shape``.
+
+    The coarse grid is assumed to sit at even indices of the fine grid
+    (the injection convention of :func:`restrict`).
+    """
+
+    coarse = ensure_2d(coarse, "coarse")
+    rows, cols = fine_shape
+    # Vectorised separable interpolation: rows first, then columns.
+    coarse_rows = coarse.shape[0]
+    row_positions = np.arange(rows, dtype=np.float64)
+    coarse_row_positions = np.arange(coarse_rows, dtype=np.float64) * 2.0
+    # np.interp is 1D; build weights once and apply with matrix products.
+    row_weights = _interp_matrix(row_positions, coarse_row_positions)
+    col_positions = np.arange(cols, dtype=np.float64)
+    coarse_col_positions = np.arange(coarse.shape[1], dtype=np.float64) * 2.0
+    col_weights = _interp_matrix(col_positions, coarse_col_positions)
+    return row_weights @ coarse @ col_weights.T
+
+
+def _interp_matrix(fine_positions: np.ndarray, coarse_positions: np.ndarray) -> np.ndarray:
+    """Sparse-in-spirit linear interpolation matrix (dense ndarray).
+
+    Row ``i`` holds the convex weights that combine coarse samples into the
+    fine sample at ``fine_positions[i]``; each row has at most two non-zero
+    entries and sums to 1, which is what gives prolongation its
+    non-amplifying (max-principle) property.
+    """
+
+    n_fine = fine_positions.size
+    n_coarse = coarse_positions.size
+    weights = np.zeros((n_fine, n_coarse), dtype=np.float64)
+    if n_coarse == 1:
+        weights[:, 0] = 1.0
+        return weights
+    clipped = np.clip(fine_positions, coarse_positions[0], coarse_positions[-1])
+    right = np.searchsorted(coarse_positions, clipped, side="left")
+    right = np.clip(right, 1, n_coarse - 1)
+    left = right - 1
+    span = coarse_positions[right] - coarse_positions[left]
+    frac = (clipped - coarse_positions[left]) / span
+    rows = np.arange(n_fine)
+    weights[rows, left] = 1.0 - frac
+    weights[rows, right] = frac
+    return weights
+
+
+def detail_mask(shape: Tuple[int, int]) -> np.ndarray:
+    """Boolean mask of fine-grid positions *not* on the coarse grid."""
+
+    rows, cols = shape
+    mask = np.ones((rows, cols), dtype=bool)
+    mask[::2, ::2] = False
+    return mask
+
+
+@dataclass
+class MultigridDecomposition:
+    """Result of :func:`decompose`.
+
+    Attributes
+    ----------
+    coarse:
+        The coarsest-level array.
+    details:
+        List of detail-coefficient vectors, finest level first; entry ``l``
+        holds the values at fine positions missing from level ``l+1``'s
+        grid (flattened in row-major order of the masked positions).
+    shapes:
+        Grid shape per level, finest first (``shapes[0]`` is the original).
+    """
+
+    coarse: np.ndarray
+    details: List[np.ndarray]
+    shapes: List[Tuple[int, int]]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.details)
+
+
+def decompose(field: np.ndarray, levels: int) -> MultigridDecomposition:
+    """Multilevel decomposition of ``field`` with ``levels`` coarsening steps."""
+
+    field = ensure_2d(field, "field").astype(np.float64)
+    if levels < 0:
+        raise ValueError("levels must be >= 0")
+    available = max_levels(field.shape)
+    levels = min(levels, available)
+    shapes: List[Tuple[int, int]] = [field.shape]
+    details: List[np.ndarray] = []
+    current = field
+    for _ in range(levels):
+        coarse = restrict(current)
+        predicted = prolong(coarse, current.shape)
+        residual = current - predicted
+        mask = detail_mask(current.shape)
+        details.append(residual[mask])
+        shapes.append(coarse.shape)
+        current = coarse
+    return MultigridDecomposition(coarse=current, details=details, shapes=shapes)
+
+
+def reconstruct(decomposition: MultigridDecomposition) -> np.ndarray:
+    """Invert :func:`decompose` exactly (up to floating point round-off)."""
+
+    current = np.asarray(decomposition.coarse, dtype=np.float64)
+    for level in range(len(decomposition.details) - 1, -1, -1):
+        fine_shape = decomposition.shapes[level]
+        predicted = prolong(current, fine_shape)
+        mask = detail_mask(fine_shape)
+        fine = predicted.copy()
+        fine[mask] += decomposition.details[level]
+        # Injection points are exact copies of the coarse values.
+        fine[::2, ::2] = current
+        current = fine
+    return current

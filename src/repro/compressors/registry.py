@@ -1,0 +1,58 @@
+"""String-keyed compressor registry.
+
+The experiment pipeline, the pressio-like API and the benchmarks refer to
+compressors by the names the paper uses ("sz", "zfp", "mgard").  The
+registry maps those names to factories so user code can plug in additional
+compressors without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compressors.base import Compressor
+from repro.compressors.mgard import MGARDCompressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+
+__all__ = ["register_compressor", "make_compressor", "available_compressors"]
+
+CompressorFactory = Callable[..., Compressor]
+
+_REGISTRY: Dict[str, CompressorFactory] = {
+    "sz": SZCompressor,
+    "zfp": ZFPCompressor,
+    "mgard": MGARDCompressor,
+}
+
+
+def register_compressor(name: str, factory: CompressorFactory, *, overwrite: bool = False) -> None:
+    """Register a compressor factory under ``name``.
+
+    The factory must accept ``error_bound`` as its first keyword argument
+    and return a :class:`repro.compressors.base.Compressor`.
+    """
+
+    if not name:
+        raise ValueError("compressor name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise KeyError(f"compressor {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_compressors() -> List[str]:
+    """Sorted list of registered compressor names."""
+
+    return sorted(_REGISTRY)
+
+
+def make_compressor(name: str, error_bound: float, **options) -> Compressor:
+    """Instantiate a registered compressor with the given error bound."""
+
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {available_compressors()}"
+        ) from exc
+    return factory(error_bound=error_bound, **options)

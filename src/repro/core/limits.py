@@ -1,0 +1,122 @@
+"""Compressibility-plateau (limit) estimation.
+
+The paper observes that the CR-vs-variogram-range relationship "exhibits a
+plateau for highly correlated data (large variogram ranges) suggesting a
+limit in compressibility of the data for a given error bound and
+compressor".  This module quantifies that observation: given a series of
+(range, CR) points it estimates where the curve flattens and what CR level
+it saturates at, by comparing the local slope of the (log-x) curve against
+a fraction of its initial slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PlateauEstimate", "estimate_compressibility_plateau"]
+
+
+@dataclass(frozen=True)
+class PlateauEstimate:
+    """Estimated saturation of a CR-vs-statistic curve.
+
+    Attributes
+    ----------
+    plateau_cr:
+        Estimated compression-ratio ceiling (mean CR over the plateau
+        region); NaN when no plateau is detected within the data range.
+    onset_x:
+        Statistic value at which the plateau starts; NaN when not detected.
+    detected:
+        Whether a plateau was found inside the observed range.
+    initial_slope / final_slope:
+        Slopes of CR against log(x) over the first and last thirds of the
+        curve — the diagnostic used for detection.
+    """
+
+    plateau_cr: float
+    onset_x: float
+    detected: bool
+    initial_slope: float
+    final_slope: float
+
+
+def estimate_compressibility_plateau(
+    x: Sequence[float],
+    compression_ratios: Sequence[float],
+    *,
+    flatness_fraction: float = 0.25,
+    min_points: int = 6,
+) -> PlateauEstimate:
+    """Detect a plateau in a CR-vs-statistic curve.
+
+    Parameters
+    ----------
+    x:
+        Correlation statistic values (must be positive; the curve is
+        analysed against log(x)).
+    compression_ratios:
+        Corresponding CR values.
+    flatness_fraction:
+        The plateau is declared where the local slope drops below this
+        fraction of the initial slope.
+    min_points:
+        Minimum number of points required for a meaningful estimate.
+    """
+
+    x_arr = np.asarray(x, dtype=np.float64).ravel()
+    cr_arr = np.asarray(compression_ratios, dtype=np.float64).ravel()
+    if x_arr.shape != cr_arr.shape:
+        raise ValueError("x and compression_ratios must have the same length")
+    if not 0 < flatness_fraction < 1:
+        raise ValueError("flatness_fraction must be in (0, 1)")
+    mask = np.isfinite(x_arr) & np.isfinite(cr_arr) & (x_arr > 0)
+    x_arr, cr_arr = x_arr[mask], cr_arr[mask]
+    if x_arr.size < max(min_points, 4):
+        return PlateauEstimate(
+            plateau_cr=float("nan"),
+            onset_x=float("nan"),
+            detected=False,
+            initial_slope=float("nan"),
+            final_slope=float("nan"),
+        )
+
+    order = np.argsort(x_arr)
+    x_sorted = x_arr[order]
+    cr_sorted = cr_arr[order]
+    log_x = np.log(x_sorted)
+
+    third = max(2, x_sorted.size // 3)
+    initial_slope = float(np.polyfit(log_x[:third], cr_sorted[:third], 1)[0])
+    final_slope = float(np.polyfit(log_x[-third:], cr_sorted[-third:], 1)[0])
+
+    detected = False
+    onset_x = float("nan")
+    plateau_cr = float("nan")
+    if initial_slope > 0 and final_slope < flatness_fraction * initial_slope:
+        detected = True
+        # Onset: first index (scanning from the right) where the running
+        # local slope falls below the threshold.
+        threshold = flatness_fraction * initial_slope
+        onset_index = x_sorted.size - third
+        for start in range(x_sorted.size - third, 0, -1):
+            window_slope = float(
+                np.polyfit(log_x[start : start + third], cr_sorted[start : start + third], 1)[0]
+            )
+            if window_slope >= threshold:
+                onset_index = min(start + third, x_sorted.size - 1)
+                break
+            onset_index = start
+        onset_x = float(x_sorted[onset_index])
+        plateau_cr = float(cr_sorted[onset_index:].mean())
+
+    return PlateauEstimate(
+        plateau_cr=plateau_cr,
+        onset_x=onset_x,
+        detected=detected,
+        initial_slope=initial_slope,
+        final_slope=final_slope,
+    )

@@ -1,0 +1,113 @@
+"""Export of experiment results to CSV and Markdown.
+
+The analysis layer keeps results as plain records
+(:class:`repro.core.experiment.CompressionRecord`) and figure series
+(:class:`repro.core.figures.FigureSeries`); this module renders them into
+the two formats people actually paste into papers and tickets:
+
+* :func:`records_to_csv` / :func:`write_records_csv` — one row per
+  (field, compressor, bound) observation, columns for every metric and
+  correlation statistic.
+* :func:`series_to_markdown` — a per-figure table in the style of the
+  paper's legends (compressor, bound, alpha, beta, R^2).
+* :func:`format_table` — minimal dependency-free column alignment used by
+  both the examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.experiment import CompressionRecord
+from repro.core.figures import FigureSeries
+from repro.core.pipeline import records_to_table
+
+__all__ = [
+    "records_to_csv",
+    "write_records_csv",
+    "series_to_markdown",
+    "format_table",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (no external dependencies).
+
+    Numeric cells are formatted with ``repr``-free ``g`` formatting; all
+    columns are right-aligned, which keeps numbers readable.
+    """
+
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.4g}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [render_line([str(h) for h in headers])]
+    lines.append(render_line(["-" * width for width in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def records_to_csv(records: Iterable[CompressionRecord]) -> str:
+    """Serialise records into a CSV string (header + one row per record)."""
+
+    table = records_to_table(records)
+    buffer = io.StringIO()
+    if not table:
+        return ""
+    writer = csv.writer(buffer, lineterminator="\n")
+    columns = list(table)
+    writer.writerow(columns)
+    n_rows = len(next(iter(table.values())))
+    for i in range(n_rows):
+        writer.writerow([table[column][i] for column in columns])
+    return buffer.getvalue()
+
+
+def write_records_csv(path: PathLike, records: Iterable[CompressionRecord]) -> None:
+    """Write :func:`records_to_csv` output to ``path``."""
+
+    content = records_to_csv(records)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(content)
+
+
+def series_to_markdown(series_list: Iterable[FigureSeries], title: str = "") -> str:
+    """Render figure series as a Markdown table (paper-legend style)."""
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| compressor | error bound | alpha | beta | R^2 | residual std | points |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for series in sorted(series_list, key=lambda s: (s.compressor, s.error_bound)):
+        if series.fit is None:
+            lines.append(
+                f"| {series.compressor} | {series.error_bound:g} | — | — | — | — | {series.n_points} |"
+            )
+            continue
+        fit = series.fit
+        lines.append(
+            f"| {series.compressor} | {series.error_bound:g} | {fit.alpha:.3g} | "
+            f"{fit.beta:.3g} | {fit.r_squared:.3f} | {fit.residual_std:.3g} | {fit.n_points} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Dataset I/O helpers.
+
+SDRBench distributes fields as headerless little-endian ``float32``/
+``float64`` binaries with the shape documented externally; these helpers
+read and write that layout (so a user who *does* have the original Miranda
+file can drop it in) as well as ``.npy`` files for internal use.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["save_raw", "load_raw", "save_field", "load_field"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_raw(path: PathLike, field: np.ndarray, dtype: str = "float32") -> None:
+    """Write ``field`` as a headerless little-endian binary (SDRBench layout)."""
+
+    arr = np.asarray(field)
+    np_dtype = np.dtype(dtype).newbyteorder("<")
+    arr.astype(np_dtype).tofile(str(path))
+
+
+def load_raw(
+    path: PathLike, shape: Sequence[int], dtype: str = "float32"
+) -> np.ndarray:
+    """Read a headerless little-endian binary of the given ``shape``.
+
+    Raises ``ValueError`` when the file size does not match the expected
+    element count — the most common mistake when pointing the loader at an
+    SDRBench file with the wrong shape or precision.
+    """
+
+    np_dtype = np.dtype(dtype).newbyteorder("<")
+    expected = int(np.prod(shape))
+    data = np.fromfile(str(path), dtype=np_dtype)
+    if data.size != expected:
+        raise ValueError(
+            f"file {path} holds {data.size} elements of {dtype}, expected "
+            f"{expected} for shape {tuple(shape)}"
+        )
+    return data.reshape(tuple(shape)).astype(np.float64)
+
+
+def save_field(path: PathLike, field: np.ndarray) -> None:
+    """Save a field as ``.npy`` (shape and dtype preserved)."""
+
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(".npy")
+    np.save(path, np.asarray(field))
+
+
+def load_field(path: PathLike) -> np.ndarray:
+    """Load a ``.npy`` field saved by :func:`save_field`."""
+
+    return np.load(str(path))

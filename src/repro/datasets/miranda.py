@@ -1,0 +1,184 @@
+"""Synthetic surrogate for the Miranda hydrodynamics dataset.
+
+The paper's application dataset is a single temporal snapshot of the
+``velocityx`` variable from the Miranda large-turbulence code (SDRBench,
+256x384x384), sliced along the first dimension into 2D planes.  The raw
+file is not redistributable inside this repository, so this module builds a
+**synthetic volume with the statistical properties the paper's analysis
+depends on**:
+
+* multiple correlation ranges coexisting in one field (large-scale shear +
+  mid-scale turbulent eddies + small-scale fluctuations),
+* spatial heterogeneity / non-stationarity (a mixing-layer region whose
+  turbulence intensity differs from the quiescent far field), and
+* smooth variation across the slicing axis so different slices have
+  different global/local variogram statistics, producing the spread of
+  x-values seen in Figs. 4 and 7.
+
+Construction (per DESIGN.md substitution table):
+
+1. a Kolmogorov-like isotropic turbulent velocity component is synthesised
+   spectrally in 3D with an energy spectrum ``E(k) ~ k^-5/3`` band-limited
+   between configurable wavenumbers;
+2. a Rayleigh-Taylor-style mixing layer modulates the turbulence amplitude
+   through a smooth (tanh) envelope centred mid-volume, with a sinusoidally
+   perturbed interface so the envelope varies along the slicing axis;
+3. a large-scale laminar shear profile is added as the mean flow.
+
+The result is deterministic given a seed and reproduces the qualitative
+behaviour required by the paper's evaluation: slices near the mixing layer
+have short effective correlation ranges and high local heterogeneity, while
+far-field slices are smooth and highly compressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import ensure_positive
+
+__all__ = ["MirandaConfig", "MirandaSurrogate", "generate_miranda_like_volume"]
+
+
+@dataclass(frozen=True)
+class MirandaConfig:
+    """Configuration of the Miranda-like synthetic volume.
+
+    Attributes
+    ----------
+    shape:
+        Volume shape ``(nz, ny, nx)``; the paper's file is (256, 384, 384).
+        The default is smaller so that a full sweep stays laptop-friendly.
+    spectral_slope:
+        Exponent of the isotropic energy spectrum (Kolmogorov: -5/3 in the
+        inertial range of E(k); the synthesis uses the corresponding 3D
+        amplitude scaling).
+    k_min, k_max:
+        Band limits (in cycles per box) of the turbulent component.
+    mixing_layer_width:
+        Width (fraction of nz) of the tanh envelope of turbulence intensity.
+    interface_amplitude:
+        Amplitude (fraction of nz) of the sinusoidal perturbation of the
+        mixing-layer centre, which makes slices differ from each other.
+    shear_amplitude:
+        Amplitude of the large-scale mean shear profile.
+    turbulence_amplitude:
+        RMS amplitude of the turbulent component inside the mixing layer.
+    background_turbulence:
+        Residual turbulence fraction outside the mixing layer.
+    """
+
+    shape: Tuple[int, int, int] = (64, 192, 192)
+    spectral_slope: float = -5.0 / 3.0
+    k_min: float = 2.0
+    k_max: float = 48.0
+    mixing_layer_width: float = 0.25
+    interface_amplitude: float = 0.15
+    shear_amplitude: float = 1.0
+    turbulence_amplitude: float = 0.35
+    background_turbulence: float = 0.05
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3:
+            raise ValueError(f"shape must be 3D, got {self.shape}")
+        for i, s in enumerate(self.shape):
+            ensure_positive(s, f"shape[{i}]")
+        ensure_positive(self.k_min, "k_min")
+        ensure_positive(self.k_max, "k_max")
+        if self.k_max <= self.k_min:
+            raise ValueError("k_max must exceed k_min")
+        ensure_positive(self.mixing_layer_width, "mixing_layer_width")
+        ensure_positive(self.turbulence_amplitude, "turbulence_amplitude")
+        if not 0 <= self.background_turbulence <= 1:
+            raise ValueError("background_turbulence must be in [0, 1]")
+
+
+class MirandaSurrogate:
+    """Generator of Miranda-like synthetic velocity volumes."""
+
+    def __init__(self, config: MirandaConfig | None = None) -> None:
+        self.config = config or MirandaConfig()
+
+    # ------------------------------------------------------------------
+    def _spectral_turbulence(self, rng: np.random.Generator) -> np.ndarray:
+        """Band-limited random field with a power-law energy spectrum."""
+
+        nz, ny, nx = self.config.shape
+        kz = np.fft.fftfreq(nz) * nz
+        ky = np.fft.fftfreq(ny) * ny
+        kx = np.fft.rfftfreq(nx) * nx
+        kk = np.sqrt(
+            kz[:, None, None] ** 2 + ky[None, :, None] ** 2 + kx[None, None, :] ** 2
+        )
+        amplitude = np.zeros_like(kk)
+        band = (kk >= self.config.k_min) & (kk <= self.config.k_max)
+        # E(k) ~ k^slope distributed over shells of area ~ k^2 implies a
+        # modal amplitude ~ sqrt(E(k) / k^2) = k^{(slope-2)/2}.
+        modal_exponent = (self.config.spectral_slope - 2.0) / 2.0
+        amplitude[band] = kk[band] ** modal_exponent
+        phases = rng.normal(size=kk.shape) + 1j * rng.normal(size=kk.shape)
+        spectrum = amplitude * phases
+        field = np.fft.irfftn(spectrum, s=self.config.shape, axes=(0, 1, 2))
+        std = field.std()
+        if std > 0:
+            field = field / std
+        return field
+
+    def _mixing_layer_envelope(self) -> np.ndarray:
+        """Smooth tanh envelope of turbulence intensity with a wavy interface."""
+
+        nz, ny, nx = self.config.shape
+        z = np.linspace(-1.0, 1.0, nz)[:, None, None]
+        y = np.linspace(0.0, 2.0 * np.pi, ny)[None, :, None]
+        x = np.linspace(0.0, 2.0 * np.pi, nx)[None, None, :]
+        interface = self.config.interface_amplitude * (
+            np.sin(2.0 * y) * np.cos(3.0 * x) + 0.5 * np.sin(5.0 * x + 1.0)
+        )
+        width = self.config.mixing_layer_width
+        envelope = 1.0 - np.tanh(np.abs(z - interface) / width) ** 2
+        floor = self.config.background_turbulence
+        return floor + (1.0 - floor) * envelope
+
+    def _mean_shear(self) -> np.ndarray:
+        """Large-scale laminar shear profile (the smooth mean flow)."""
+
+        nz, ny, nx = self.config.shape
+        z = np.linspace(-1.0, 1.0, nz)[:, None, None]
+        y = np.linspace(0.0, np.pi, ny)[None, :, None]
+        x = np.linspace(0.0, np.pi, nx)[None, None, :]
+        profile = np.tanh(2.5 * z) + 0.15 * np.sin(y) * np.sin(x)
+        return self.config.shear_amplitude * profile
+
+    # ------------------------------------------------------------------
+    def generate(self, seed: SeedLike = None) -> np.ndarray:
+        """Generate one ``(nz, ny, nx)`` velocityx-like volume."""
+
+        rng = make_rng(seed)
+        turbulence = self._spectral_turbulence(rng)
+        envelope = self._mixing_layer_envelope()
+        shear = self._mean_shear()
+        return shear + self.config.turbulence_amplitude * envelope * turbulence
+
+    def generate_slices(self, seed: SeedLike = None, axis: int = 0, count: int | None = None):
+        """Generate the volume and return equally spaced 2D slices along ``axis``.
+
+        This mirrors the paper's procedure of splitting the 3D data into
+        separate 2D slices along the first dimension.
+        """
+
+        from repro.datasets.slicing import slice_volume
+
+        volume = self.generate(seed)
+        return slice_volume(volume, axis=axis, count=count)
+
+
+def generate_miranda_like_volume(
+    shape: Tuple[int, int, int] = (64, 192, 192), seed: SeedLike = None
+) -> np.ndarray:
+    """Convenience wrapper around :class:`MirandaSurrogate` with defaults."""
+
+    return MirandaSurrogate(MirandaConfig(shape=shape)).generate(seed)

@@ -1,0 +1,58 @@
+"""3D-to-2D slicing utilities.
+
+The paper analyses 2D slices taken at equally spaced positions along the
+first dimension of the 3D Miranda volume.  These helpers implement that
+slicing policy for any axis and also return the slice indices so results
+can be labelled by slice position.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["slice_indices", "slice_volume"]
+
+
+def slice_indices(axis_length: int, count: int | None = None) -> List[int]:
+    """Equally spaced slice positions along an axis of length ``axis_length``.
+
+    ``count=None`` returns every index.  Otherwise ``count`` indices are
+    chosen evenly (including both ends when possible), matching the paper's
+    "equally spaced slices along the first dimension".
+    """
+
+    if axis_length <= 0:
+        raise ValueError("axis_length must be positive")
+    if count is None or count >= axis_length:
+        return list(range(axis_length))
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if count == 1:
+        return [axis_length // 2]
+    positions = np.linspace(0, axis_length - 1, count)
+    return sorted(set(int(round(p)) for p in positions))
+
+
+def slice_volume(
+    volume: np.ndarray, axis: int = 0, count: int | None = None
+) -> List[Tuple[int, np.ndarray]]:
+    """Return ``(index, 2D slice)`` pairs from a 3D volume.
+
+    Slices are copies (C-contiguous) so downstream compressors can treat
+    them as independent datasets.
+    """
+
+    vol = np.asarray(volume)
+    if vol.ndim != 3:
+        raise ValueError(f"volume must be 3D, got shape {vol.shape}")
+    if not -3 <= axis < 3:
+        raise ValueError(f"axis must be in [-3, 3), got {axis}")
+    axis = axis % 3
+    indices = slice_indices(vol.shape[axis], count)
+    slices: List[Tuple[int, np.ndarray]] = []
+    for idx in indices:
+        plane = np.take(vol, idx, axis=axis)
+        slices.append((idx, np.ascontiguousarray(plane)))
+    return slices

@@ -1,0 +1,151 @@
+"""Bit-level I/O used by the entropy coders.
+
+The writer accumulates bits most-significant-first into a Python
+``bytearray``; the reader consumes them in the same order.  Both support
+bulk operations on NumPy arrays of per-symbol codes so that the Huffman
+encoder and the ZFP-like embedded coder can avoid Python-level loops on the
+hot path where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits (MSB first) into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accum = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+
+        self.write_bits(int(bit) & 1, 1)
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value`` (most significant bit first)."""
+
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return
+        if value < 0:
+            raise ValueError("value must be non-negative; encode sign separately")
+        if value >> count:
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        self._accum = (self._accum << count) | value
+        self._nbits += count
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._buffer.append((self._accum >> self._nbits) & 0xFF)
+        # Keep only the residual bits to avoid unbounded growth of _accum.
+        self._accum &= (1 << self._nbits) - 1
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero bit."""
+
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def write_elias_gamma(self, value: int) -> None:
+        """Elias-gamma code for a positive integer (used for run lengths)."""
+
+        if value < 1:
+            raise ValueError("Elias gamma encodes integers >= 1")
+        nbits = value.bit_length()
+        self.write_bits(0, nbits - 1)
+        self.write_bits(value, nbits)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+
+        return len(self._buffer) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return the written bits as bytes, zero-padding the final byte."""
+
+        out = bytearray(self._buffer)
+        if self._nbits:
+            out.append((self._accum << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits (MSB first) from a byte buffer produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises ``EOFError`` past the end of the buffer."""
+
+        if self._pos >= len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits as an unsigned integer (MSB first)."""
+
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        value = 0
+        remaining = count
+        while remaining:
+            if self._pos >= len(self._data) * 8:
+                raise EOFError("bit stream exhausted")
+            byte_index = self._pos >> 3
+            bit_offset = self._pos & 7
+            available = 8 - bit_offset
+            take = min(available, remaining)
+            byte = self._data[byte_index]
+            chunk = (byte >> (available - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            self._pos += take
+            remaining -= take
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of one-bits before the zero)."""
+
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    def read_elias_gamma(self) -> int:
+        """Read an Elias-gamma coded positive integer."""
+
+        zeros = 0
+        while True:
+            bit = self.read_bit()
+            if bit:
+                break
+            zeros += 1
+        value = 1
+        if zeros:
+            value = (1 << zeros) | self.read_bits(zeros)
+        return value
+
+    def align_to_byte(self) -> None:
+        """Skip to the next byte boundary (no-op when already aligned)."""
+
+        self._pos = (self._pos + 7) & ~7

@@ -1,0 +1,224 @@
+"""Canonical Huffman coding of integer symbol streams.
+
+The SZ-like compressor produces a stream of quantization codes whose
+distribution is strongly peaked around the "perfect prediction" code; the
+MGARD-like compressor produces quantized multilevel coefficients peaked
+around zero.  Huffman coding of those streams is where the compression
+ratio is actually realised, so this module is a genuine (if compact)
+canonical Huffman implementation:
+
+* code lengths are derived from a standard heap-based Huffman tree,
+* codes are made *canonical* so the decoder only needs the code lengths,
+* encoding is vectorised with NumPy (per-symbol code/length lookup followed
+  by a single Python loop over the packed words).
+
+The encoded container stores the symbol table (symbols + code lengths) with
+varints, then the bit stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.encoding.varint import decode_varint, encode_varint
+
+__all__ = ["HuffmanCode", "huffman_code_lengths", "huffman_encode", "huffman_decode"]
+
+_MAX_CODE_LENGTH = 57  # keeps (code << length) within a 64-bit word during packing
+
+
+def huffman_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    """Return the Huffman code length for every symbol with non-zero frequency.
+
+    A single-symbol alphabet gets length 1 (a degenerate but decodable code).
+    """
+
+    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+
+    # Heap items: (frequency, tie_breaker, [list of (symbol, depth)])
+    heap: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+    for tie, sym in enumerate(sorted(symbols)):
+        heapq.heappush(heap, (frequencies[sym], tie, [(sym, 0)]))
+    tie = len(symbols)
+    while len(heap) > 1:
+        f1, _, group1 = heapq.heappop(heap)
+        f2, _, group2 = heapq.heappop(heap)
+        merged = [(s, d + 1) for s, d in group1] + [(s, d + 1) for s, d in group2]
+        heapq.heappush(heap, (f1 + f2, tie, merged))
+        tie += 1
+    _, _, groups = heap[0]
+    lengths = {sym: depth for sym, depth in groups}
+    max_len = max(lengths.values())
+    if max_len > _MAX_CODE_LENGTH:
+        # Extremely skewed distributions on huge alphabets could exceed the
+        # packing limit; fall back to a flat code.  In practice quantization
+        # code distributions never get here.
+        flat = max(1, int(np.ceil(np.log2(len(symbols)))))
+        lengths = {sym: flat for sym in symbols}
+    return lengths
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical Huffman code: symbols, lengths, and the codewords."""
+
+    symbols: Tuple[int, ...]
+    lengths: Tuple[int, ...]
+    codes: Tuple[int, ...]
+
+    @classmethod
+    def from_lengths(cls, lengths: Dict[int, int]) -> "HuffmanCode":
+        """Build canonical codewords from per-symbol code lengths."""
+
+        # Canonical ordering: by (length, symbol).
+        items = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+        symbols = tuple(sym for sym, _ in items)
+        lens = tuple(length for _, length in items)
+        codes: List[int] = []
+        code = 0
+        prev_len = 0
+        for length in lens:
+            code <<= length - prev_len
+            codes.append(code)
+            code += 1
+            prev_len = length
+        return cls(symbols=symbols, lengths=lens, codes=tuple(codes))
+
+    def as_lookup(self) -> Dict[int, Tuple[int, int]]:
+        """Return ``symbol -> (code, length)``."""
+
+        return {s: (c, l) for s, c, l in zip(self.symbols, self.codes, self.lengths)}
+
+    def decoding_table(self) -> Dict[Tuple[int, int], int]:
+        """Return ``(length, code) -> symbol`` for the decoder."""
+
+        return {(l, c): s for s, c, l in zip(self.symbols, self.codes, self.lengths)}
+
+
+def _write_header(writer_bytes: bytearray, code: HuffmanCode, n_symbols: int) -> None:
+    writer_bytes.extend(encode_varint(n_symbols))
+    writer_bytes.extend(encode_varint(len(code.symbols)))
+    for sym, length in zip(code.symbols, code.lengths):
+        writer_bytes.extend(encode_varint(sym))
+        writer_bytes.extend(encode_varint(length))
+
+
+def _read_header(data: bytes) -> Tuple[int, HuffmanCode, int]:
+    n_symbols, pos = decode_varint(data, 0)
+    table_size, pos = decode_varint(data, pos)
+    lengths: Dict[int, int] = {}
+    for _ in range(table_size):
+        sym, pos = decode_varint(data, pos)
+        length, pos = decode_varint(data, pos)
+        lengths[sym] = length
+    return n_symbols, HuffmanCode.from_lengths(lengths), pos
+
+
+def huffman_encode(symbols: Sequence[int]) -> bytes:
+    """Encode a sequence of non-negative integers into a self-describing blob."""
+
+    arr = np.asarray(symbols, dtype=np.int64)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    if arr.size and arr.min() < 0:
+        raise ValueError("huffman_encode requires non-negative symbols")
+    out = bytearray()
+    if arr.size == 0:
+        out.extend(encode_varint(0))
+        out.extend(encode_varint(0))
+        return bytes(out)
+
+    values, counts = np.unique(arr, return_counts=True)
+    freqs = {int(v): int(c) for v, c in zip(values, counts)}
+    code = HuffmanCode.from_lengths(huffman_code_lengths(freqs))
+    _write_header(out, code, arr.size)
+
+    # Vectorised lookup of (code, length) per input symbol, using searchsorted
+    # over the sorted symbol alphabet (canonical order is by (length, symbol),
+    # so build an explicit sorted view for the lookup).
+    alphabet = np.asarray(code.symbols, dtype=np.int64)
+    order = np.argsort(alphabet)
+    sorted_alphabet = alphabet[order]
+    positions = np.searchsorted(sorted_alphabet, arr)
+    index = order[positions]
+    codes_arr = np.asarray(code.codes, dtype=np.uint64)[index]
+    lens_arr = np.asarray(code.lengths, dtype=np.int64)[index]
+
+    # Vectorised MSB-first bit packing: expand every code into a max_len-wide
+    # bit matrix, mask out the leading unused bits per row, and packbits the
+    # row-major flattening (which preserves symbol order).
+    max_len = int(lens_arr.max())
+    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
+    bit_matrix = ((codes_arr[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    valid = np.arange(max_len)[None, :] >= (max_len - lens_arr)[:, None]
+    bits = bit_matrix[valid]
+    payload = np.packbits(bits).tobytes()
+    out.extend(encode_varint(len(payload)))
+    out.extend(payload)
+    return bytes(out)
+
+
+def huffman_decode(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`huffman_encode`; returns an ``int64`` array."""
+
+    n_symbols, code, pos = _read_header(blob)
+    if n_symbols == 0:
+        return np.empty(0, dtype=np.int64)
+    payload_len, pos = decode_varint(blob, pos)
+    payload = blob[pos : pos + payload_len]
+    if len(payload) < payload_len:
+        raise EOFError("truncated Huffman payload")
+
+    out = np.empty(n_symbols, dtype=np.int64)
+    if len(code.symbols) == 1:
+        # Degenerate single-symbol stream: each symbol used one bit.
+        out[:] = code.symbols[0]
+        return out
+
+    # Canonical decoding: for each code length, the first canonical code and
+    # the index of its symbol in canonical order.  Walking lengths in
+    # increasing order, a prefix is a valid codeword of length L iff
+    # first_code[L] <= prefix <= last_code[L].
+    lengths_present = sorted(set(code.lengths))
+    first_code: Dict[int, int] = {}
+    first_index: Dict[int, int] = {}
+    count_by_len: Dict[int, int] = {}
+    for i, (length, cw) in enumerate(zip(code.lengths, code.codes)):
+        if length not in first_code:
+            first_code[length] = cw
+            first_index[length] = i
+        count_by_len[length] = count_by_len.get(length, 0) + 1
+    symbols_arr = code.symbols
+
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    pos = 0
+    total_bits = bits.size
+    for i in range(n_symbols):
+        current = 0
+        current_len = 0
+        decoded = False
+        for length in lengths_present:
+            take = length - current_len
+            if pos + take > total_bits:
+                raise EOFError("bit stream exhausted")
+            for _ in range(take):
+                current = (current << 1) | int(bits[pos])
+                pos += 1
+            current_len = length
+            base = first_code[length]
+            offset = current - base
+            if 0 <= offset < count_by_len[length]:
+                out[i] = symbols_arr[first_index[length] + offset]
+                decoded = True
+                break
+        if not decoded:
+            raise ValueError("invalid Huffman bit stream")
+    return out

@@ -1,0 +1,115 @@
+"""Greedy LZ77 match finding with a hash chain.
+
+This is the dictionary-coding half of the Zstd-like lossless backend
+(:mod:`repro.encoding.zstd_like`).  The format is a token stream:
+
+* a literal token carries one byte,
+* a match token carries ``(distance, length)`` referring back into the
+  already-decoded output.
+
+Match finding uses a classic hash-chain over 3-byte prefixes with a bounded
+chain walk so worst-case behaviour stays linear-ish.  The goal here is not
+to rival Zstd's speed but to provide a faithful dictionary+entropy coding
+stage whose output size responds to redundancy in the byte stream the same
+way Zstd's does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["LZ77Token", "lz77_compress", "lz77_decompress"]
+
+_MIN_MATCH = 4
+_MAX_MATCH = 258
+_WINDOW = 1 << 15
+_MAX_CHAIN = 32
+
+
+@dataclass(frozen=True)
+class LZ77Token:
+    """A single LZ77 token: either a literal byte or a back-reference."""
+
+    literal: Optional[int] = None
+    distance: int = 0
+    length: int = 0
+
+    @property
+    def is_literal(self) -> bool:
+        return self.literal is not None
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return ((data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]) & 0xFFFF
+
+
+def lz77_compress(data: bytes) -> List[LZ77Token]:
+    """Tokenise ``data`` into a list of literals and matches."""
+
+    data = bytes(data)
+    n = len(data)
+    tokens: List[LZ77Token] = []
+    if n == 0:
+        return tokens
+
+    head: List[int] = [-1] * 0x10000
+    prev: List[int] = [-1] * n
+    pos = 0
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos + _MIN_MATCH <= n:
+            h = _hash3(data, pos)
+            candidate = head[h]
+            chain = 0
+            while candidate >= 0 and pos - candidate <= _WINDOW and chain < _MAX_CHAIN:
+                # Extend the match.
+                length = 0
+                max_len = min(_MAX_MATCH, n - pos)
+                while length < max_len and data[candidate + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - candidate
+                    if length >= _MAX_MATCH:
+                        break
+                candidate = prev[candidate]
+                chain += 1
+
+        if best_len >= _MIN_MATCH:
+            tokens.append(LZ77Token(distance=best_dist, length=best_len))
+            end = min(pos + best_len, n - 2)
+            step = pos
+            while step < end:
+                h = _hash3(data, step)
+                prev[step] = head[h]
+                head[h] = step
+                step += 1
+            pos += best_len
+        else:
+            tokens.append(LZ77Token(literal=data[pos]))
+            if pos + _MIN_MATCH <= n:
+                h = _hash3(data, pos)
+                prev[pos] = head[h]
+                head[h] = pos
+            pos += 1
+    return tokens
+
+
+def lz77_decompress(tokens: List[LZ77Token]) -> bytes:
+    """Reconstruct the byte stream from a token list."""
+
+    out = bytearray()
+    for token in tokens:
+        if token.is_literal:
+            out.append(token.literal)  # type: ignore[arg-type]
+        else:
+            if token.distance <= 0 or token.distance > len(out):
+                raise ValueError(
+                    f"invalid back-reference distance {token.distance} at output size {len(out)}"
+                )
+            start = len(out) - token.distance
+            for i in range(token.length):
+                out.append(out[start + i])
+    return bytes(out)

@@ -1,0 +1,47 @@
+"""Run-length encoding of integer symbol streams.
+
+Quantization-code streams produced from very smooth fields contain long
+runs of the "perfect prediction" code; run-length coding those runs before
+Huffman coding is a cheap win and mirrors the repetition-handling that Zstd
+performs inside the real SZ pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["rle_encode", "rle_decode"]
+
+
+def rle_encode(symbols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode ``symbols`` into ``(values, run_lengths)`` arrays.
+
+    Both outputs are ``int64``; ``values[i]`` repeats ``run_lengths[i]``
+    times.  An empty input yields two empty arrays.
+    """
+
+    arr = np.asarray(symbols).ravel()
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    change = np.flatnonzero(np.diff(arr) != 0)
+    starts = np.concatenate(([0], change + 1))
+    ends = np.concatenate((change + 1, [arr.size]))
+    values = arr[starts].astype(np.int64)
+    lengths = (ends - starts).astype(np.int64)
+    return values, lengths
+
+
+def rle_decode(values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+
+    values = np.asarray(values, dtype=np.int64).ravel()
+    run_lengths = np.asarray(run_lengths, dtype=np.int64).ravel()
+    if values.shape != run_lengths.shape:
+        raise ValueError("values and run_lengths must have the same shape")
+    if values.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(run_lengths <= 0):
+        raise ValueError("run lengths must be positive")
+    return np.repeat(values, run_lengths)

@@ -1,0 +1,71 @@
+"""LEB128-style variable-length integer coding.
+
+Used for container headers (shapes, block counts, stream lengths) in the
+compressor bitstreams so that small metadata does not cost a fixed 8 bytes
+per field.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_signed_varint",
+    "decode_signed_varint",
+]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128 bytes."""
+
+    if value < 0:
+        raise ValueError("encode_varint requires a non-negative integer")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a LEB128 integer from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise EOFError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def encode_signed_varint(value: int) -> bytes:
+    """ZigZag-encode a signed integer then LEB128 it."""
+
+    zigzag = (value << 1) if value >= 0 else ((-value) << 1) - 1
+    return encode_varint(zigzag)
+
+
+def decode_signed_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Inverse of :func:`encode_signed_varint`."""
+
+    zigzag, pos = decode_varint(data, offset)
+    if zigzag & 1:
+        return -((zigzag + 1) >> 1), pos
+    return zigzag >> 1, pos

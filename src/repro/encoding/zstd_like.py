@@ -1,0 +1,109 @@
+"""Zstd-like lossless backend: LZ77 dictionary coding + Huffman entropy coding.
+
+The real SZ and MGARD hand their quantized streams to Zstd (or Zlib).  This
+module provides a from-scratch stand-in with the same two stages:
+
+1. :func:`repro.encoding.lz77.lz77_compress` finds back-references,
+2. the resulting literals, match lengths and distances are entropy coded
+   with the canonical Huffman coder.
+
+The container layout is::
+
+    varint  n_tokens
+    blob    Huffman(flags)        # 0 = literal, 1 = match
+    blob    Huffman(literals)
+    blob    Huffman(lengths)      # only match tokens
+    blob    Huffman(dist_high)    # distance >> 8
+    blob    Huffman(dist_low)     # distance & 0xFF
+
+Because the LZ77 stage is pure Python it is noticeably slower than the
+NumPy-vectorised RLE+Huffman backend; the compressors therefore default to
+the latter and expose this one as the ``"zstd"`` backend option (exercised
+by the ablation benchmark and the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.encoding.huffman import huffman_decode, huffman_encode
+from repro.encoding.lz77 import LZ77Token, lz77_compress, lz77_decompress
+from repro.encoding.varint import decode_varint, encode_varint
+
+__all__ = ["zstd_like_compress", "zstd_like_decompress"]
+
+
+def _append_blob(out: bytearray, blob: bytes) -> None:
+    out.extend(encode_varint(len(blob)))
+    out.extend(blob)
+
+
+def _read_blob(data: bytes, pos: int) -> tuple:
+    size, pos = decode_varint(data, pos)
+    blob = data[pos : pos + size]
+    if len(blob) < size:
+        raise EOFError("truncated blob")
+    return blob, pos + size
+
+
+def zstd_like_compress(data: bytes) -> bytes:
+    """Compress a byte string with the LZ77+Huffman pipeline."""
+
+    tokens = lz77_compress(bytes(data))
+    flags: List[int] = []
+    literals: List[int] = []
+    lengths: List[int] = []
+    dist_high: List[int] = []
+    dist_low: List[int] = []
+    for token in tokens:
+        if token.is_literal:
+            flags.append(0)
+            literals.append(int(token.literal))  # type: ignore[arg-type]
+        else:
+            flags.append(1)
+            lengths.append(token.length)
+            dist_high.append(token.distance >> 8)
+            dist_low.append(token.distance & 0xFF)
+
+    out = bytearray()
+    out.extend(encode_varint(len(tokens)))
+    _append_blob(out, huffman_encode(flags))
+    _append_blob(out, huffman_encode(literals))
+    _append_blob(out, huffman_encode(lengths))
+    _append_blob(out, huffman_encode(dist_high))
+    _append_blob(out, huffman_encode(dist_low))
+    return bytes(out)
+
+
+def zstd_like_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`zstd_like_compress`."""
+
+    n_tokens, pos = decode_varint(blob, 0)
+    flags_blob, pos = _read_blob(blob, pos)
+    literals_blob, pos = _read_blob(blob, pos)
+    lengths_blob, pos = _read_blob(blob, pos)
+    dist_high_blob, pos = _read_blob(blob, pos)
+    dist_low_blob, pos = _read_blob(blob, pos)
+
+    flags = huffman_decode(flags_blob)
+    literals = huffman_decode(literals_blob)
+    lengths = huffman_decode(lengths_blob)
+    dist_high = huffman_decode(dist_high_blob)
+    dist_low = huffman_decode(dist_low_blob)
+
+    if flags.size != n_tokens:
+        raise ValueError("token count mismatch in zstd-like container")
+
+    tokens: List[LZ77Token] = []
+    lit_i = match_i = 0
+    for flag in flags:
+        if flag == 0:
+            tokens.append(LZ77Token(literal=int(literals[lit_i])))
+            lit_i += 1
+        else:
+            distance = (int(dist_high[match_i]) << 8) | int(dist_low[match_i])
+            tokens.append(LZ77Token(distance=distance, length=int(lengths[match_i])))
+            match_i += 1
+    return lz77_decompress(tokens)

@@ -1,0 +1,26 @@
+"""libpressio-like unified compression interface.
+
+The original study drives SZ, ZFP and MGARD through libpressio, which
+gives every compressor the same configure / compress / decompress /
+measure workflow.  This subpackage plays the same role for the from-scratch
+compressors in :mod:`repro.compressors`:
+
+* :mod:`repro.pressio.options` -- typed option bags with validation,
+  mirroring libpressio's name/value option trees.
+* :mod:`repro.pressio.metrics` -- reconstruction-quality and size metrics
+  (compression ratio, PSNR, RMSE, maximum absolute error, ...).
+* :mod:`repro.pressio.api` -- the :class:`PressioCompressor` facade that
+  ties a named compressor, its options and the metrics together.
+"""
+
+from repro.pressio.api import PressioCompressor, compress_and_measure
+from repro.pressio.metrics import CompressionMetrics, evaluate_metrics
+from repro.pressio.options import CompressorOptions
+
+__all__ = [
+    "PressioCompressor",
+    "compress_and_measure",
+    "CompressionMetrics",
+    "evaluate_metrics",
+    "CompressorOptions",
+]

@@ -1,0 +1,92 @@
+"""The pressio-like compressor facade.
+
+:class:`PressioCompressor` wraps a named compressor from the registry plus
+a :class:`repro.pressio.options.CompressorOptions` bag, and exposes the
+compress / decompress / measure workflow the original study drives through
+libpressio.  The convenience function :func:`compress_and_measure` is the
+one-call path the experiment pipeline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.compressors.base import CompressedField, Compressor
+from repro.compressors.registry import available_compressors, make_compressor
+from repro.pressio.metrics import CompressionMetrics, evaluate_metrics
+from repro.pressio.options import CompressorOptions
+from repro.utils.validation import ensure_2d
+
+__all__ = ["PressioCompressor", "compress_and_measure"]
+
+
+class PressioCompressor:
+    """Facade tying together a named compressor, options and metrics.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.pressio import PressioCompressor, CompressorOptions
+    >>> field = np.random.default_rng(0).normal(size=(64, 64))
+    >>> codec = PressioCompressor("sz", CompressorOptions(error_bound=1e-3))
+    >>> compressed, metrics = codec.compress(field)
+    >>> metrics.bound_satisfied
+    True
+    """
+
+    def __init__(self, compressor_id: str, options: Optional[CompressorOptions] = None) -> None:
+        if compressor_id not in available_compressors():
+            raise KeyError(
+                f"unknown compressor {compressor_id!r}; available: {available_compressors()}"
+            )
+        self.compressor_id = compressor_id
+        self.options = options or CompressorOptions()
+
+    # ------------------------------------------------------------------
+    def _instantiate(self, field: np.ndarray) -> Compressor:
+        bound = self.options.absolute_bound(float(np.min(field)), float(np.max(field)))
+        return make_compressor(self.compressor_id, bound, **self.options.extra)
+
+    def compress(self, field: np.ndarray) -> Tuple[CompressedField, CompressionMetrics]:
+        """Compress ``field`` and evaluate the standard metric set."""
+
+        field = ensure_2d(field, "field")
+        compressor = self._instantiate(field)
+        compressed = compressor.compress(field)
+        metrics = evaluate_metrics(field, compressed)
+        return compressed, metrics
+
+    def decompress(self, compressed: CompressedField) -> np.ndarray:
+        """Decompress a container produced by :meth:`compress`."""
+
+        compressor = make_compressor(
+            self.compressor_id, compressed.error_bound, **self.options.extra
+        )
+        return compressor.decompress(compressed)
+
+    def get_configuration(self) -> Dict[str, Any]:
+        """Introspection helper mirroring libpressio's get_configuration."""
+
+        return {
+            "compressor_id": self.compressor_id,
+            "error_bound": self.options.error_bound,
+            "mode": self.options.mode,
+            "extra": dict(self.options.extra),
+        }
+
+
+def compress_and_measure(
+    field: np.ndarray,
+    compressor_id: str,
+    error_bound: float,
+    *,
+    mode: str = "abs",
+    **extra: Any,
+) -> Tuple[CompressedField, CompressionMetrics]:
+    """One-call compress + measure used by the experiment pipeline."""
+
+    options = CompressorOptions(error_bound=error_bound, mode=mode, extra=dict(extra))
+    return PressioCompressor(compressor_id, options).compress(field)

@@ -1,0 +1,61 @@
+"""Option bags for the pressio-like facade.
+
+libpressio configures compressors through a tree of named options (error
+bound mode, bound value, compressor-specific knobs).  The
+:class:`CompressorOptions` dataclass is the flattened equivalent for this
+library: the error-bound mode and value plus a free-form dictionary of
+compressor-specific keyword arguments that are forwarded to the underlying
+compressor constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.utils.validation import ensure_in, ensure_positive
+
+__all__ = ["CompressorOptions"]
+
+#: Error-bound modes supported by the facade.  The paper uses ``"abs"``;
+#: ``"rel"`` (value-range relative) is provided because the paper notes the
+#: formal equivalence between the two and SZ exposes both.
+ERROR_BOUND_MODES = ("abs", "rel")
+
+
+@dataclass
+class CompressorOptions:
+    """Options of a pressio-style compressor instance.
+
+    Attributes
+    ----------
+    error_bound:
+        The bound value.  Interpreted according to ``mode``.
+    mode:
+        ``"abs"`` — absolute error bound (the paper's setting); ``"rel"`` —
+        value-range relative bound, converted to an absolute bound as
+        ``bound * (max - min)`` of the field being compressed.
+    extra:
+        Additional keyword arguments forwarded to the compressor factory
+        (e.g. ``block_size``, ``backend``, ``predictors``).
+    """
+
+    error_bound: float = 1e-3
+    mode: str = "abs"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.error_bound, "error_bound")
+        ensure_in(self.mode, ERROR_BOUND_MODES, "mode")
+
+    def absolute_bound(self, field_min: float, field_max: float) -> float:
+        """Resolve the option to an absolute bound for a concrete field."""
+
+        if self.mode == "abs":
+            return float(self.error_bound)
+        value_range = float(field_max) - float(field_min)
+        if value_range <= 0:
+            # Constant field: any positive bound is achievable; fall back to
+            # the raw option value to keep behaviour well defined.
+            return float(self.error_bound)
+        return float(self.error_bound) * value_range

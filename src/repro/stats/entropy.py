@@ -1,0 +1,51 @@
+"""Shannon entropy estimators.
+
+Entropy is the classical bound on *lossless* compressibility (the paper's
+introduction frames the whole study as the search for an entropy-like
+quantity for lossy compression).  Two estimators are provided:
+
+* :func:`shannon_entropy` -- entropy (bits/symbol) of an integer symbol
+  stream, used on quantization codes.
+* :func:`quantized_entropy` -- entropy of a floating-point field after
+  uniform quantization with a given absolute error bound, i.e. the
+  first-order entropy of the error-bounded representation.  This is the
+  statistic the Tao et al. online-selection baseline
+  (:mod:`repro.baselines.adaptive_selection`) samples to predict SZ's
+  behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_float_array, ensure_positive
+
+__all__ = ["shannon_entropy", "quantized_entropy"]
+
+
+def shannon_entropy(symbols: np.ndarray) -> float:
+    """First-order Shannon entropy (bits per symbol) of an integer stream."""
+
+    arr = np.asarray(symbols).ravel()
+    if arr.size == 0:
+        return 0.0
+    _, counts = np.unique(arr, return_counts=True)
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def quantized_entropy(field: np.ndarray, error_bound: float) -> float:
+    """Entropy (bits/value) of a field uniformly quantized to ``2*error_bound`` bins.
+
+    Uniform scalar quantization with step ``2 * error_bound`` is the finest
+    quantization that still guarantees the absolute error bound when values
+    are reconstructed at bin centres; its first-order entropy is therefore a
+    natural (compressor-independent) proxy for how many bits an
+    error-bounded representation needs per value.
+    """
+
+    arr = ensure_float_array(field, "field").ravel()
+    ensure_positive(error_bound, "error_bound")
+    step = 2.0 * error_bound
+    codes = np.floor(arr / step + 0.5).astype(np.int64)
+    return shannon_entropy(codes)

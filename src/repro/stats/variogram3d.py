@@ -1,0 +1,162 @@
+"""Directional and 3D variogram estimation.
+
+The paper analyses 2D slices with an isotropic variogram and flags "a
+design of the statistics to a 3D context" as future work.  This module
+implements that extension:
+
+* :func:`directional_variogram` — semi-variograms restricted to the grid
+  axes (row / column direction) of a 2D field, exposing anisotropy that
+  the isotropic estimate averages away;
+* :func:`empirical_variogram_3d` — the isotropic Matheron estimator on a
+  full 3D volume, using the same FFT pair-enumeration trick as the 2D
+  estimator (three correlation volumes, offsets binned by Euclidean
+  length);
+* :func:`estimate_variogram_range_3d` — fitted squared-exponential range
+  of a 3D volume, the volumetric analogue of the statistic on the x-axis
+  of Figures 3 and 4;
+* :func:`anisotropy_ratio` — ratio of the per-axis fitted ranges of a 2D
+  field (1 for isotropic data), a cheap diagnostic for when the isotropic
+  range is a questionable summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.signal import fftconvolve
+
+from repro.stats.variogram import EmpiricalVariogram, VariogramConfig
+from repro.stats.variogram_models import fit_variogram
+from repro.utils.validation import ensure_2d, ensure_float_array, ensure_positive
+
+__all__ = [
+    "directional_variogram",
+    "anisotropy_ratio",
+    "empirical_variogram_3d",
+    "estimate_variogram_range_3d",
+]
+
+
+def directional_variogram(
+    field: np.ndarray, axis: int, max_lag: Optional[int] = None
+) -> EmpiricalVariogram:
+    """Semi-variogram of a 2D field along one grid axis.
+
+    Only pairs separated strictly along ``axis`` contribute; lags are the
+    integers ``1..max_lag``.
+    """
+
+    field = ensure_float_array(ensure_2d(field, "field"))
+    if axis not in (0, 1):
+        raise ValueError("axis must be 0 or 1")
+    length = field.shape[axis]
+    if max_lag is None:
+        max_lag = length // 2
+    max_lag = int(min(max_lag, length - 1))
+    if max_lag < 1:
+        raise ValueError("field too small along the requested axis")
+
+    data = field if axis == 0 else field.T
+    lags = np.arange(1, max_lag + 1, dtype=np.float64)
+    values = np.empty(max_lag)
+    counts = np.empty(max_lag, dtype=np.int64)
+    for lag in range(1, max_lag + 1):
+        diff = data[lag:, :] - data[:-lag, :]
+        counts[lag - 1] = diff.size
+        values[lag - 1] = 0.5 * float(np.mean(diff**2)) if diff.size else 0.0
+    return EmpiricalVariogram(
+        lags=lags,
+        values=values,
+        pair_counts=counts,
+        field_variance=float(field.var()),
+    )
+
+
+def anisotropy_ratio(field: np.ndarray, max_lag: Optional[int] = None) -> float:
+    """Ratio of the fitted row-direction range to the column-direction range.
+
+    Values near 1 indicate isotropy (the paper's synthetic fields); values
+    far from 1 flag fields whose isotropic variogram range is an average of
+    genuinely different directional scales.
+    """
+
+    row_variogram = directional_variogram(field, axis=0, max_lag=max_lag)
+    col_variogram = directional_variogram(field, axis=1, max_lag=max_lag)
+    row_range = fit_variogram(row_variogram).range
+    col_range = fit_variogram(col_variogram).range
+    if col_range <= 0:
+        return float("inf")
+    return float(row_range / col_range)
+
+
+def empirical_variogram_3d(
+    volume: np.ndarray, config: VariogramConfig | None = None
+) -> EmpiricalVariogram:
+    """Isotropic semi-variogram of a 3D volume (exact FFT pair enumeration)."""
+
+    volume = np.asarray(volume, dtype=np.float64)
+    if volume.ndim != 3:
+        raise ValueError(f"volume must be 3D, got shape {volume.shape}")
+    if min(volume.shape) < 2:
+        raise ValueError("volume must be at least 2 points along every axis")
+    config = config or VariogramConfig()
+    max_lag = config.max_lag if config.max_lag is not None else min(volume.shape) / 2.0
+    ensure_positive(max_lag, "max_lag")
+
+    field_variance = float(volume.var())
+    centered = volume - volume.mean()
+    ones = np.ones_like(centered)
+    sq = centered * centered
+    flip = centered[::-1, ::-1, ::-1]
+    flip_sq = sq[::-1, ::-1, ::-1]
+    flip_ones = ones[::-1, ::-1, ::-1]
+
+    corr_zz = fftconvolve(centered, flip, mode="full")
+    corr_sq_one = fftconvolve(sq, flip_ones, mode="full")
+    corr_one_sq = fftconvolve(ones, flip_sq, mode="full")
+    pair_count = np.rint(fftconvolve(ones, flip_ones, mode="full"))
+    sq_diff = np.clip(corr_sq_one + corr_one_sq - 2.0 * corr_zz, 0.0, None)
+
+    nz, ny, nx = volume.shape
+    di = np.arange(-(nz - 1), nz)[:, None, None].astype(np.float64)
+    dj = np.arange(-(ny - 1), ny)[None, :, None].astype(np.float64)
+    dk = np.arange(-(nx - 1), nx)[None, None, :].astype(np.float64)
+    dist = np.sqrt(di**2 + dj**2 + dk**2)
+    half_space = (di > 0) | ((di == 0) & (dj > 0)) | ((di == 0) & (dj == 0) & (dk > 0))
+    mask = half_space & (dist > 0) & (dist <= max_lag) & (pair_count > 0)
+
+    distances = dist[mask]
+    sums = sq_diff[mask]
+    counts = pair_count[mask]
+
+    n_bins = int(np.ceil(max_lag / config.bin_width))
+    bin_index = np.minimum((distances / config.bin_width).astype(np.int64), n_bins - 1)
+    bin_sums = np.bincount(bin_index, weights=sums, minlength=n_bins)
+    bin_counts = np.bincount(bin_index, weights=counts, minlength=n_bins)
+    bin_dist = np.bincount(bin_index, weights=distances * counts, minlength=n_bins)
+
+    valid = bin_counts >= config.min_pairs_per_bin
+    gamma = np.zeros(n_bins)
+    gamma[valid] = bin_sums[valid] / (2.0 * bin_counts[valid])
+    lag_centres = np.zeros(n_bins)
+    lag_centres[valid] = bin_dist[valid] / bin_counts[valid]
+    return EmpiricalVariogram(
+        lags=lag_centres[valid],
+        values=gamma[valid],
+        pair_counts=bin_counts[valid].astype(np.int64),
+        field_variance=field_variance,
+    )
+
+
+def estimate_variogram_range_3d(
+    volume: np.ndarray,
+    *,
+    model: str = "gaussian",
+    config: Optional[VariogramConfig] = None,
+) -> float:
+    """Fitted variogram range of a 3D volume (volumetric analogue of Fig. 3's x-axis)."""
+
+    variogram = empirical_variogram_3d(volume, config=config)
+    return fit_variogram(variogram, model=model).range

@@ -1,0 +1,216 @@
+"""Parametric variogram models and least-squares range estimation.
+
+The paper fits the squared-exponential (often called "Gaussian") variogram
+
+.. math::
+
+    \\gamma(h) = c_0 \\left(1 - \\exp(-h^2 / a^2)\\right)
+
+to the empirical variogram by least squares and reports the fitted *range*
+``a`` (the distance beyond which spatial correlation essentially vanishes).
+This module implements that fit plus the exponential and spherical
+families and an optional nugget term, mirroring what the ``gstat`` R
+package provides.
+
+The headline public entry point is :func:`estimate_variogram_range`, which
+goes straight from a 2D field to the fitted range — this is the statistic
+on the x-axis of the paper's Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.stats.variogram import EmpiricalVariogram, VariogramConfig, empirical_variogram
+from repro.utils.validation import ensure_in
+
+__all__ = [
+    "VariogramModel",
+    "FittedVariogram",
+    "gaussian_variogram",
+    "exponential_variogram",
+    "spherical_variogram",
+    "fit_variogram",
+    "estimate_variogram_range",
+    "MODEL_FUNCTIONS",
+]
+
+
+def gaussian_variogram(h: np.ndarray, sill: float, range_: float, nugget: float = 0.0) -> np.ndarray:
+    """Squared-exponential ("Gaussian") variogram — the paper's model."""
+
+    h = np.asarray(h, dtype=np.float64)
+    return nugget + sill * (1.0 - np.exp(-(h**2) / (range_**2)))
+
+
+def exponential_variogram(h: np.ndarray, sill: float, range_: float, nugget: float = 0.0) -> np.ndarray:
+    """Exponential variogram ``nugget + sill * (1 - exp(-h / range))``."""
+
+    h = np.asarray(h, dtype=np.float64)
+    return nugget + sill * (1.0 - np.exp(-h / range_))
+
+
+def spherical_variogram(h: np.ndarray, sill: float, range_: float, nugget: float = 0.0) -> np.ndarray:
+    """Spherical variogram: reaches the sill exactly at ``range``."""
+
+    h = np.asarray(h, dtype=np.float64)
+    ratio = np.clip(h / range_, 0.0, 1.0)
+    return nugget + sill * (1.5 * ratio - 0.5 * ratio**3)
+
+
+MODEL_FUNCTIONS: Dict[str, Callable[..., np.ndarray]] = {
+    "gaussian": gaussian_variogram,
+    "exponential": exponential_variogram,
+    "spherical": spherical_variogram,
+}
+
+#: Alias accepted for the paper's model name.
+VariogramModel = str
+
+
+@dataclass(frozen=True)
+class FittedVariogram:
+    """Result of a parametric variogram fit.
+
+    Attributes
+    ----------
+    model:
+        Name of the fitted family (``"gaussian"``, ``"exponential"``,
+        ``"spherical"``).
+    sill:
+        Fitted partial sill :math:`c_0`.
+    range:
+        Fitted range ``a`` — the statistic the paper regresses CR against.
+    nugget:
+        Fitted nugget (0 when fitted without a nugget term).
+    rmse:
+        Root-mean-square misfit between the empirical and fitted variogram.
+    converged:
+        Whether the optimiser reported success.
+    """
+
+    model: str
+    sill: float
+    range: float
+    nugget: float
+    rmse: float
+    converged: bool
+
+    def __call__(self, h: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted variogram at distances ``h``."""
+
+        return MODEL_FUNCTIONS[self.model](np.asarray(h), self.sill, self.range, self.nugget)
+
+    @property
+    def effective_range(self) -> float:
+        """Distance at which the model reaches 95% of the sill."""
+
+        if self.model == "spherical":
+            return self.range
+        if self.model == "exponential":
+            return float(self.range * np.log(20.0))
+        return float(self.range * np.sqrt(np.log(20.0)))
+
+
+def fit_variogram(
+    variogram: EmpiricalVariogram,
+    model: str = "gaussian",
+    *,
+    fit_nugget: bool = False,
+    weights: str = "pairs",
+) -> FittedVariogram:
+    """Least-squares fit of a parametric model to an empirical variogram.
+
+    Parameters
+    ----------
+    variogram:
+        Output of :func:`repro.stats.variogram.empirical_variogram`.
+    model:
+        Parametric family; the paper uses ``"gaussian"`` (squared
+        exponential).
+    fit_nugget:
+        Include a nugget parameter.  The paper's synthetic fields have no
+        measurement noise so the default is nugget-free.
+    weights:
+        ``"pairs"`` weights residuals by the square root of the pair count
+        per bin (more pairs = more reliable bin), ``"uniform"`` uses no
+        weighting — matching an ordinary least squares fit.
+    """
+
+    ensure_in(model, tuple(MODEL_FUNCTIONS), "model")
+    ensure_in(weights, ("pairs", "uniform"), "weights")
+    lags = np.asarray(variogram.lags, dtype=np.float64)
+    values = np.asarray(variogram.values, dtype=np.float64)
+    counts = np.asarray(variogram.pair_counts, dtype=np.float64)
+    if lags.size < 3:
+        raise ValueError("need at least 3 variogram bins to fit a model")
+
+    func = MODEL_FUNCTIONS[model]
+    w = np.sqrt(counts) if weights == "pairs" else np.ones_like(lags)
+    w = w / w.max()
+
+    sill0 = max(float(variogram.field_variance), float(values.max()), 1e-12)
+    # Initial range: first lag where the empirical variogram exceeds ~63% of
+    # the sill estimate (a robust moment-style initialisation).
+    above = np.nonzero(values >= 0.632 * sill0)[0]
+    range0 = float(lags[above[0]]) if above.size else float(lags[-1] / 2.0)
+    range0 = max(range0, float(lags[0]), 1e-6)
+    nugget0 = 0.0
+    max_range = float(lags[-1]) * 10.0
+
+    if fit_nugget:
+        x0 = np.array([sill0, range0, nugget0])
+        lower = np.array([1e-12, 1e-6, 0.0])
+        upper = np.array([np.inf, max_range, sill0])
+
+        def residuals(params: np.ndarray) -> np.ndarray:
+            sill, rng_, nug = params
+            return w * (func(lags, sill, rng_, nug) - values)
+
+    else:
+        x0 = np.array([sill0, range0])
+        lower = np.array([1e-12, 1e-6])
+        upper = np.array([np.inf, max_range])
+
+        def residuals(params: np.ndarray) -> np.ndarray:
+            sill, rng_ = params
+            return w * (func(lags, sill, rng_, 0.0) - values)
+
+    result = least_squares(residuals, x0=x0, bounds=(lower, upper), method="trf", max_nfev=2000)
+    if fit_nugget:
+        sill, rng_, nugget = result.x
+    else:
+        (sill, rng_), nugget = result.x, 0.0
+    fitted_values = func(lags, sill, rng_, nugget)
+    rmse = float(np.sqrt(np.mean((fitted_values - values) ** 2)))
+    return FittedVariogram(
+        model=model,
+        sill=float(sill),
+        range=float(rng_),
+        nugget=float(nugget),
+        rmse=rmse,
+        converged=bool(result.success),
+    )
+
+
+def estimate_variogram_range(
+    field: np.ndarray,
+    *,
+    model: str = "gaussian",
+    config: Optional[VariogramConfig] = None,
+    fit_nugget: bool = False,
+) -> float:
+    """Estimate the (global) variogram range of a 2D field.
+
+    This is the "Estimated global variogram range" of the paper's
+    Figures 3 and 4: empirical variogram via Eq. (1), then a least-squares
+    fit of the squared-exponential model, returning the fitted range ``a``.
+    """
+
+    variogram = empirical_variogram(field, config=config)
+    fitted = fit_variogram(variogram, model=model, fit_nugget=fit_nugget)
+    return fitted.range

@@ -1,0 +1,164 @@
+"""Block and window utilities for 2D arrays.
+
+The compressors in :mod:`repro.compressors` operate on fixed-size blocks
+(16x16 for the SZ-like compressor, 4x4 for the ZFP-like compressor) and the
+local correlation statistics in :mod:`repro.stats.local` operate on tiled
+windows (32x32 by default).  This module centralises the padding, viewing
+and reassembly logic so that every consumer treats edges identically.
+
+All functions are vectorised: :func:`block_view` returns a strided view of
+shape ``(n_blocks_i, n_blocks_j, bs, bs)`` without copying when the array
+dimensions are exact multiples of the block size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d, ensure_positive
+
+__all__ = [
+    "pad_to_multiple",
+    "block_view",
+    "iter_blocks",
+    "reassemble_blocks",
+    "window_starts",
+    "block_count",
+]
+
+
+def pad_to_multiple(
+    field: np.ndarray, block_size: int, mode: str = "edge"
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Pad a 2D array so both dimensions are multiples of ``block_size``.
+
+    Parameters
+    ----------
+    field:
+        2D input array.
+    block_size:
+        Target multiple for both dimensions.
+    mode:
+        Padding mode forwarded to :func:`numpy.pad`.  ``"edge"`` replicates
+        the border values, which keeps padded blocks statistically similar
+        to their neighbourhood and avoids introducing artificial
+        discontinuities that would hurt the block predictors.
+
+    Returns
+    -------
+    padded, original_shape:
+        The padded array and the original ``(rows, cols)`` shape, needed by
+        :func:`reassemble_blocks` to crop the reconstruction.
+    """
+
+    field = ensure_2d(field, "field")
+    ensure_positive(block_size, "block_size")
+    rows, cols = field.shape
+    pad_r = (-rows) % block_size
+    pad_c = (-cols) % block_size
+    if pad_r == 0 and pad_c == 0:
+        return field, (rows, cols)
+    padded = np.pad(field, ((0, pad_r), (0, pad_c)), mode=mode)
+    return padded, (rows, cols)
+
+
+def block_view(field: np.ndarray, block_size: int) -> np.ndarray:
+    """Return a ``(nbi, nbj, bs, bs)`` view of a 2D array tiled into blocks.
+
+    The array dimensions must be exact multiples of ``block_size``; call
+    :func:`pad_to_multiple` first otherwise.  The result is a view (no copy)
+    so writing to it mutates ``field``.
+    """
+
+    field = ensure_2d(field, "field")
+    ensure_positive(block_size, "block_size")
+    rows, cols = field.shape
+    if rows % block_size or cols % block_size:
+        raise ValueError(
+            f"field shape {field.shape} is not a multiple of block_size={block_size}; "
+            "use pad_to_multiple() first"
+        )
+    nbi = rows // block_size
+    nbj = cols // block_size
+    shape = (nbi, nbj, block_size, block_size)
+    strides = (
+        field.strides[0] * block_size,
+        field.strides[1] * block_size,
+        field.strides[0],
+        field.strides[1],
+    )
+    return np.lib.stride_tricks.as_strided(field, shape=shape, strides=strides)
+
+
+def block_count(shape: Tuple[int, int], block_size: int) -> Tuple[int, int]:
+    """Number of blocks along each dimension after padding to a multiple."""
+
+    rows, cols = shape
+    return (-(-rows // block_size), -(-cols // block_size))
+
+
+def iter_blocks(
+    field: np.ndarray, block_size: int
+) -> Iterator[Tuple[Tuple[int, int], np.ndarray]]:
+    """Yield ``((i, j), block)`` for every ``block_size`` block of ``field``.
+
+    Blocks at the right/bottom edges may be smaller than ``block_size``.
+    This iterator does not pad; it is used by the windowed statistics where
+    partial windows are simply skipped or handled by the caller.
+    """
+
+    field = ensure_2d(field, "field")
+    ensure_positive(block_size, "block_size")
+    rows, cols = field.shape
+    for i in range(0, rows, block_size):
+        for j in range(0, cols, block_size):
+            yield (i // block_size, j // block_size), field[
+                i : i + block_size, j : j + block_size
+            ]
+
+
+def reassemble_blocks(
+    blocks: np.ndarray, original_shape: Tuple[int, int]
+) -> np.ndarray:
+    """Inverse of :func:`block_view` followed by a crop to ``original_shape``.
+
+    ``blocks`` must have shape ``(nbi, nbj, bs, bs)``.
+    """
+
+    if blocks.ndim != 4:
+        raise ValueError(f"expected 4D block array, got shape {blocks.shape}")
+    nbi, nbj, bs, bs2 = blocks.shape
+    if bs != bs2:
+        raise ValueError("blocks must be square")
+    full = blocks.transpose(0, 2, 1, 3).reshape(nbi * bs, nbj * bs)
+    rows, cols = original_shape
+    return np.ascontiguousarray(full[:rows, :cols])
+
+
+def window_starts(length: int, window: int, *, include_partial: bool = False) -> List[int]:
+    """Start indices of non-overlapping windows of size ``window``.
+
+    Parameters
+    ----------
+    length:
+        Length of the dimension being tiled.
+    window:
+        Window size.
+    include_partial:
+        When ``False`` (default) a trailing window that would extend past
+        ``length`` is dropped, matching the paper's tiled-window convention
+        where only complete 32x32 windows contribute to the local
+        statistics.
+    """
+
+    ensure_positive(window, "window")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    starts = list(range(0, length - window + 1, window))
+    if include_partial and (not starts or starts[-1] + window < length):
+        last = starts[-1] + window if starts else 0
+        if last < length:
+            starts.append(last)
+    return starts

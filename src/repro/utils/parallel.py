@@ -1,0 +1,77 @@
+"""Parallel execution helpers for embarrassingly parallel sweeps.
+
+The experiments in this repository are sweeps over independent
+(field, compressor, error-bound) combinations — exactly the workload shape
+the original study ran on a cluster node with 64 cores.  We expose a small
+wrapper around :mod:`concurrent.futures` that
+
+* preserves input ordering in the results,
+* degrades gracefully to serial execution for ``workers <= 1`` (useful in
+  tests and when the work items are tiny, where pool overhead dominates),
+* supports both process pools (CPU-bound NumPy work that releases the GIL
+  only partially) and thread pools (cheap tasks, avoids pickling).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["ParallelConfig", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of a parallel map.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes/threads.  ``1`` (default) runs serially
+        in the calling process.
+    use_processes:
+        Select :class:`~concurrent.futures.ProcessPoolExecutor` (default)
+        versus :class:`~concurrent.futures.ThreadPoolExecutor`.
+    chunksize:
+        Forwarded to ``Executor.map`` for process pools to amortise IPC
+        overhead when there are many small tasks.
+    """
+
+    workers: int = 1
+    use_processes: bool = True
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    config: ParallelConfig | None = None,
+) -> List[R]:
+    """Apply ``func`` to every item, optionally in parallel, preserving order.
+
+    ``func`` and the items must be picklable when ``use_processes=True`` and
+    ``workers > 1``.  Exceptions raised by workers propagate to the caller.
+    """
+
+    config = config or ParallelConfig()
+    items_list: Sequence[T] = list(items)
+    if not items_list:
+        return []
+    if config.workers == 1:
+        return [func(item) for item in items_list]
+
+    if config.use_processes:
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            return list(pool.map(func, items_list, chunksize=config.chunksize))
+    with ThreadPoolExecutor(max_workers=config.workers) as pool:
+        return list(pool.map(func, items_list))

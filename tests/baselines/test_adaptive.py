@@ -1,0 +1,46 @@
+"""Tests for repro.baselines.adaptive_selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.adaptive_selection import select_compressor
+
+
+class TestSelectCompressor:
+    def test_selected_is_a_candidate(self, smooth_field):
+        result = select_compressor(smooth_field, 1e-3, seed=0)
+        assert result.selected in ("sz", "zfp")
+        assert set(result.estimated_crs) == {"sz", "zfp"}
+
+    def test_verification_reports_accuracy_and_regret(self, smooth_field):
+        result = select_compressor(smooth_field, 1e-3, seed=0, verify=True)
+        assert result.true_crs is not None
+        assert result.correct in (True, False)
+        assert result.regret is not None and result.regret >= 0.0
+        if result.correct:
+            assert result.regret == pytest.approx(0.0)
+
+    def test_entropy_statistic_reported(self, smooth_field):
+        result = select_compressor(smooth_field, 1e-2, seed=0)
+        assert result.quantized_entropy_bits >= 0.0
+
+    def test_single_candidate(self, smooth_field):
+        result = select_compressor(smooth_field, 1e-3, candidates=("mgard",), seed=0)
+        assert result.selected == "mgard"
+
+    def test_empty_candidates_rejected(self, smooth_field):
+        with pytest.raises(ValueError):
+            select_compressor(smooth_field, 1e-3, candidates=())
+
+    def test_selection_usually_correct_on_smooth_fields(self):
+        from repro.datasets.gaussian import generate_gaussian_field
+
+        correct = 0
+        trials = 4
+        for seed in range(trials):
+            field = generate_gaussian_field((96, 96), 12.0, seed=seed)
+            result = select_compressor(field, 1e-3, seed=seed, verify=True, n_blocks=10)
+            correct += int(bool(result.correct))
+        assert correct >= trials - 1

@@ -1,0 +1,57 @@
+"""Tests for repro.baselines.sampling_estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling_estimator import estimate_cr_by_sampling
+from repro.compressors.sz import SZCompressor
+
+
+class TestBlockSamplingEstimate:
+    def test_reproducible_given_seed(self, smooth_field):
+        a = estimate_cr_by_sampling(smooth_field, "sz", 1e-3, seed=0)
+        b = estimate_cr_by_sampling(smooth_field, "sz", 1e-3, seed=0)
+        assert a.estimated_cr == b.estimated_cr
+
+    def test_estimate_correlates_with_true_cr(self):
+        from repro.datasets.gaussian import generate_gaussian_field
+
+        bound = 1e-3
+        estimates, truths = [], []
+        for a, seed in ((2.0, 0), (8.0, 1), (24.0, 2)):
+            field = generate_gaussian_field((96, 96), a, seed=seed)
+            estimates.append(
+                estimate_cr_by_sampling(field, "sz", bound, n_blocks=12, seed=3).estimated_cr
+            )
+            truths.append(SZCompressor(bound).compression_ratio(field))
+        # The estimator must preserve the ordering of compressibility.
+        assert np.argsort(estimates).tolist() == np.argsort(truths).tolist()
+
+    def test_result_fields(self, smooth_field):
+        estimate = estimate_cr_by_sampling(
+            smooth_field, "zfp", 1e-3, n_blocks=4, block_size=16, seed=0
+        )
+        assert estimate.compressor == "zfp"
+        assert estimate.n_blocks == 4
+        assert estimate.block_size == 16
+        assert len(estimate.per_block_crs) == 4
+        assert 0 < estimate.sampled_fraction <= 1.0
+        assert estimate.cr_std >= 0
+
+    def test_block_size_larger_than_field_rejected(self, smooth_field):
+        with pytest.raises(ValueError):
+            estimate_cr_by_sampling(smooth_field, "sz", 1e-3, block_size=128)
+
+    def test_invalid_arguments(self, smooth_field):
+        with pytest.raises(ValueError):
+            estimate_cr_by_sampling(smooth_field, "sz", 0.0)
+        with pytest.raises(ValueError):
+            estimate_cr_by_sampling(smooth_field, "sz", 1e-3, n_blocks=0)
+
+    def test_compressor_options_forwarded(self, smooth_field):
+        estimate = estimate_cr_by_sampling(
+            smooth_field, "sz", 1e-3, n_blocks=4, seed=0, predictors=("lorenzo",)
+        )
+        assert estimate.estimated_cr > 0

@@ -1,0 +1,93 @@
+"""Tests for repro.compressors.transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.transform import (
+    forward_block_transform,
+    inverse_block_transform,
+    orthonormal_dct_matrix,
+    sequency_order,
+)
+
+
+class TestDCTMatrix:
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_orthonormality(self, size):
+        basis = orthonormal_dct_matrix(size)
+        np.testing.assert_allclose(basis @ basis.T, np.eye(size), atol=1e-12)
+
+    def test_first_row_is_constant(self):
+        basis = orthonormal_dct_matrix(4)
+        np.testing.assert_allclose(basis[0], np.full(4, 0.5))
+
+
+class TestBlockTransform:
+    def test_roundtrip(self):
+        blocks = np.random.default_rng(0).normal(size=(10, 4, 4))
+        coeffs = forward_block_transform(blocks)
+        np.testing.assert_allclose(inverse_block_transform(coeffs), blocks, atol=1e-12)
+
+    def test_energy_preservation(self):
+        blocks = np.random.default_rng(1).normal(size=(5, 4, 4))
+        coeffs = forward_block_transform(blocks)
+        np.testing.assert_allclose(
+            (blocks**2).sum(axis=(1, 2)), (coeffs**2).sum(axis=(1, 2)), rtol=1e-12
+        )
+
+    def test_constant_block_energy_in_dc_only(self):
+        blocks = np.full((1, 4, 4), 2.0)
+        coeffs = forward_block_transform(blocks)
+        assert abs(coeffs[0, 0, 0] - 8.0) < 1e-12  # 2.0 * 4 (norm of separable DC)
+        assert np.abs(coeffs[0]).sum() == pytest.approx(8.0, abs=1e-10)
+
+    def test_smooth_block_concentrates_energy_in_low_frequencies(self, smooth_field):
+        from repro.utils.blocking import block_view
+
+        blocks = block_view(smooth_field[:32, :32], 4).reshape(-1, 4, 4)
+        coeffs = forward_block_transform(blocks)
+        rows, cols = sequency_order(4)
+        ordered = coeffs[:, rows, cols]
+        low = np.abs(ordered[:, :4]).sum()
+        high = np.abs(ordered[:, 8:]).sum()
+        assert low > 5 * high
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            forward_block_transform(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            inverse_block_transform(np.zeros((2, 4, 5)))
+
+    @given(
+        blocks=hnp.arrays(
+            np.float64,
+            (3, 4, 4),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, blocks):
+        recon = inverse_block_transform(forward_block_transform(blocks))
+        np.testing.assert_allclose(recon, blocks, atol=1e-9)
+
+
+class TestSequencyOrder:
+    def test_is_a_permutation(self):
+        rows, cols = sequency_order(4)
+        flat = rows * 4 + cols
+        assert sorted(flat.tolist()) == list(range(16))
+
+    def test_starts_at_dc_and_ends_at_highest_frequency(self):
+        rows, cols = sequency_order(4)
+        assert (rows[0], cols[0]) == (0, 0)
+        assert (rows[-1], cols[-1]) == (3, 3)
+
+    def test_total_frequency_is_nondecreasing(self):
+        rows, cols = sequency_order(8)
+        totals = rows + cols
+        assert np.all(np.diff(totals) >= 0)

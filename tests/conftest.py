@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Fields are kept small (32-96 grid points per side) so the full suite runs
+in seconds; the statistical behaviour under test (error bounds, variogram
+recovery, monotonicity) does not depend on field size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.gaussian import generate_gaussian_field, generate_multi_range_field
+from repro.datasets.miranda import MirandaConfig, MirandaSurrogate
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def smooth_field() -> np.ndarray:
+    """Strongly correlated Gaussian field (range 16 on a 64x64 grid)."""
+
+    return generate_gaussian_field((64, 64), correlation_range=16.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def rough_field() -> np.ndarray:
+    """Weakly correlated Gaussian field (range 2 on a 64x64 grid)."""
+
+    return generate_gaussian_field((64, 64), correlation_range=2.0, seed=2)
+
+
+@pytest.fixture(scope="session")
+def multi_range_field() -> np.ndarray:
+    """Two-range Gaussian field (ranges 3 and 20 on a 64x64 grid)."""
+
+    return generate_multi_range_field((64, 64), correlation_ranges=(3.0, 20.0), seed=3)
+
+
+@pytest.fixture(scope="session")
+def miranda_slice() -> np.ndarray:
+    """One slice of a small Miranda-like surrogate volume."""
+
+    surrogate = MirandaSurrogate(MirandaConfig(shape=(8, 64, 64)))
+    slices = surrogate.generate_slices(seed=4, axis=0, count=3)
+    return slices[1][1]
+
+
+@pytest.fixture(scope="session")
+def white_noise_field(rng: np.random.Generator) -> np.ndarray:
+    """Uncorrelated Gaussian noise (the least compressible reference)."""
+
+    return np.random.default_rng(7).normal(size=(64, 64))

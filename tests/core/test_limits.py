@@ -1,0 +1,53 @@
+"""Tests for repro.core.limits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.limits import estimate_compressibility_plateau
+
+
+class TestPlateauEstimation:
+    def test_saturating_curve_detected(self):
+        x = np.linspace(1, 100, 60)
+        cr = 20.0 * (1.0 - np.exp(-x / 10.0))  # rises then flattens
+        estimate = estimate_compressibility_plateau(x, cr)
+        assert estimate.detected
+        assert estimate.plateau_cr == pytest.approx(20.0, rel=0.05)
+        assert estimate.final_slope < estimate.initial_slope
+
+    def test_pure_logarithmic_growth_not_detected(self):
+        x = np.linspace(1, 100, 60)
+        cr = 1.0 + 5.0 * np.log(x)
+        estimate = estimate_compressibility_plateau(x, cr)
+        assert not estimate.detected
+        assert np.isnan(estimate.plateau_cr)
+
+    def test_too_few_points_returns_undetected(self):
+        estimate = estimate_compressibility_plateau([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert not estimate.detected
+
+    def test_invalid_points_are_dropped(self):
+        x = np.concatenate(([0.0, -5.0, np.nan], np.linspace(1, 50, 40)))
+        cr = np.concatenate(([1.0, 1.0, 1.0], 10 * (1 - np.exp(-np.linspace(1, 50, 40) / 5))))
+        estimate = estimate_compressibility_plateau(x, cr)
+        assert estimate.detected
+
+    def test_onset_is_within_observed_range(self):
+        x = np.linspace(1, 80, 50)
+        cr = 15.0 * (1.0 - np.exp(-x / 8.0))
+        estimate = estimate_compressibility_plateau(x, cr)
+        assert x.min() <= estimate.onset_x <= x.max()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            estimate_compressibility_plateau([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            estimate_compressibility_plateau([1.0, 2.0], [1.0, 2.0], flatness_fraction=1.5)
+
+    def test_decreasing_curve_not_detected(self):
+        x = np.linspace(1, 50, 30)
+        cr = 30.0 - 3.0 * np.log(x)
+        estimate = estimate_compressibility_plateau(x, cr)
+        assert not estimate.detected

@@ -1,0 +1,107 @@
+"""Tests for repro.core.pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.pipeline import records_to_table, run_experiment, run_experiment_on_fields
+from repro.datasets.registry import DatasetRegistry
+from repro.utils.parallel import ParallelConfig
+
+FAST_CONFIG = ExperimentConfig(
+    compressors=("sz", "zfp"),
+    error_bounds=(1e-3, 1e-2),
+    compute_local_variogram=False,
+    compute_local_svd=False,
+)
+
+
+def _toy_registry() -> DatasetRegistry:
+    registry = DatasetRegistry()
+
+    def factory(seed=None):
+        rng = np.random.default_rng(seed)
+        return [
+            ("smooth", np.cumsum(np.cumsum(rng.normal(size=(48, 48)), axis=0), axis=1) / 100),
+            ("rough", rng.normal(size=(48, 48))),
+        ]
+
+    registry.register("toy", factory)
+    return registry
+
+
+class TestRunExperiment:
+    def test_record_count(self):
+        result = run_experiment("toy", config=FAST_CONFIG, registry=_toy_registry(), seed=0)
+        # 2 fields x 2 compressors x 2 bounds
+        assert len(result.records) == 8
+        assert result.dataset == "toy"
+
+    def test_filtering(self):
+        result = run_experiment("toy", config=FAST_CONFIG, registry=_toy_registry(), seed=0)
+        sz_records = result.filter(compressor="sz")
+        assert all(r.compressor == "sz" for r in sz_records)
+        assert len(sz_records) == 4
+        bound_records = result.filter(error_bound=1e-2)
+        assert len(bound_records) == 4
+        both = result.filter(compressor="zfp", error_bound=1e-3)
+        assert len(both) == 2
+
+    def test_compressors_and_bounds_properties(self):
+        result = run_experiment("toy", config=FAST_CONFIG, registry=_toy_registry(), seed=0)
+        assert result.compressors == ["sz", "zfp"]
+        assert result.error_bounds == [1e-3, 1e-2]
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment("toy", config=FAST_CONFIG, registry=_toy_registry(), seed=3)
+        b = run_experiment("toy", config=FAST_CONFIG, registry=_toy_registry(), seed=3)
+        assert [r.compression_ratio for r in a.records] == [
+            r.compression_ratio for r in b.records
+        ]
+
+    def test_parallel_matches_serial(self):
+        serial = run_experiment("toy", config=FAST_CONFIG, registry=_toy_registry(), seed=1)
+        threaded = run_experiment(
+            "toy",
+            config=FAST_CONFIG,
+            registry=_toy_registry(),
+            seed=1,
+            parallel=ParallelConfig(workers=2, use_processes=False),
+        )
+        assert [r.compression_ratio for r in serial.records] == [
+            r.compression_ratio for r in threaded.records
+        ]
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope", registry=_toy_registry())
+
+
+class TestRunExperimentOnFields:
+    def test_explicit_fields(self, smooth_field, rough_field):
+        result = run_experiment_on_fields(
+            [("a", smooth_field), ("b", rough_field)], dataset="explicit", config=FAST_CONFIG
+        )
+        assert len(result.records) == 8
+        labels = {r.field_label for r in result.records}
+        assert labels == {"a", "b"}
+
+    def test_empty_field_list(self):
+        result = run_experiment_on_fields([], dataset="empty", config=FAST_CONFIG)
+        assert result.records == ()
+
+
+class TestRecordsToTable:
+    def test_column_alignment(self, smooth_field):
+        result = run_experiment_on_fields(
+            [("a", smooth_field)], dataset="t", config=FAST_CONFIG
+        )
+        table = records_to_table(result.records)
+        n = len(result.records)
+        assert all(len(column) == n for column in table.values())
+        assert set(table["compressor"]) == {"sz", "zfp"}
+
+    def test_empty_records(self):
+        assert records_to_table([]) == {}

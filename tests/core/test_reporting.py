@@ -1,0 +1,96 @@
+"""Tests for repro.core.reporting."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.figures import series_from_result
+from repro.core.pipeline import run_experiment_on_fields
+from repro.core.reporting import (
+    format_table,
+    records_to_csv,
+    series_to_markdown,
+    write_records_csv,
+)
+from repro.datasets.gaussian import generate_gaussian_field
+
+FAST_CONFIG = ExperimentConfig(
+    compressors=("sz",),
+    error_bounds=(1e-3, 1e-2),
+    compute_local_variogram=False,
+    compute_local_svd=False,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    fields = [
+        ("a4", generate_gaussian_field((48, 48), 4.0, seed=0)),
+        ("a16", generate_gaussian_field((48, 48), 16.0, seed=1)),
+    ]
+    return run_experiment_on_fields(fields, dataset="report-test", config=FAST_CONFIG)
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(("name", "value"), [("alpha", 1.23456), ("beta", 2)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "alpha" in lines[2]
+        assert "1.235" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRecordsToCsv:
+    def test_csv_roundtrips_through_reader(self, small_result):
+        content = records_to_csv(small_result.records)
+        reader = csv.DictReader(io.StringIO(content))
+        rows = list(reader)
+        assert len(rows) == len(small_result.records)
+        assert {row["compressor"] for row in rows} == {"sz"}
+        crs = sorted(float(row["compression_ratio"]) for row in rows)
+        expected = sorted(r.compression_ratio for r in small_result.records)
+        np.testing.assert_allclose(crs, expected)
+
+    def test_empty_records_give_empty_string(self):
+        assert records_to_csv([]) == ""
+
+    def test_write_records_csv(self, small_result, tmp_path):
+        path = tmp_path / "records.csv"
+        write_records_csv(path, small_result.records)
+        content = path.read_text()
+        assert content.startswith("dataset,")
+        assert content.count("\n") == len(small_result.records) + 1
+
+
+class TestSeriesToMarkdown:
+    def test_markdown_structure(self, small_result):
+        series = series_from_result(
+            small_result, "global_variogram_range", figure="report-test"
+        )
+        markdown = series_to_markdown(series, title="Test figure")
+        lines = markdown.splitlines()
+        assert lines[0] == "### Test figure"
+        assert lines[2].startswith("| compressor |")
+        assert lines[3].startswith("|---")
+        # one table row per series
+        assert len([line for line in lines if line.startswith("| sz")]) == len(series)
+
+    def test_series_without_fit_rendered_with_dashes(self, small_result):
+        series = series_from_result(
+            small_result, "global_variogram_range", figure="report-test"
+        )
+        # Forge a series with no fit.
+        from dataclasses import replace
+
+        broken = [replace(series[0], fit=None)]
+        markdown = series_to_markdown(broken)
+        assert "| — |" in markdown or "| - |" in markdown or "—" in markdown

@@ -1,0 +1,72 @@
+"""Tests for repro.datasets.miranda."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.miranda import MirandaConfig, MirandaSurrogate, generate_miranda_like_volume
+from repro.stats.variogram_models import estimate_variogram_range
+
+
+class TestConfig:
+    def test_rejects_bad_shapes_and_bands(self):
+        with pytest.raises(ValueError):
+            MirandaConfig(shape=(10, 10))
+        with pytest.raises(ValueError):
+            MirandaConfig(k_min=10.0, k_max=5.0)
+        with pytest.raises(ValueError):
+            MirandaConfig(background_turbulence=2.0)
+
+
+class TestVolumeGeneration:
+    def test_shape_and_determinism(self):
+        volume = generate_miranda_like_volume((8, 48, 48), seed=0)
+        assert volume.shape == (8, 48, 48)
+        np.testing.assert_array_equal(volume, generate_miranda_like_volume((8, 48, 48), seed=0))
+
+    def test_different_seeds_change_turbulence(self):
+        a = generate_miranda_like_volume((4, 32, 32), seed=1)
+        b = generate_miranda_like_volume((4, 32, 32), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_finite_values(self):
+        volume = generate_miranda_like_volume((4, 48, 48), seed=3)
+        assert np.all(np.isfinite(volume))
+
+    def test_mixing_layer_has_more_fluctuation_than_far_field(self):
+        config = MirandaConfig(shape=(32, 64, 64), interface_amplitude=0.0)
+        volume = MirandaSurrogate(config).generate(seed=4)
+        # Remove the mean shear per slice, then compare fluctuation energy.
+        centre = volume[16] - volume[16].mean()
+        edge = volume[1] - volume[1].mean()
+        # High-pass: subtract a smoothed version to isolate turbulence.
+        def roughness(plane):
+            return np.abs(np.diff(plane, axis=0)).mean() + np.abs(np.diff(plane, axis=1)).mean()
+
+        assert roughness(centre) > 2.0 * roughness(edge)
+
+    def test_slices_have_heterogeneous_correlation_ranges(self):
+        surrogate = MirandaSurrogate(MirandaConfig(shape=(16, 64, 64)))
+        slices = surrogate.generate_slices(seed=5, axis=0, count=5)
+        ranges = [estimate_variogram_range(plane) for _, plane in slices]
+        assert len(slices) == 5
+        # The surrogate must produce a spread of correlation ranges across
+        # slices (this is what gives Figures 4 and 7 their x-axis spread).
+        assert max(ranges) / max(min(ranges), 1e-9) > 1.2
+
+
+class TestSliceInterface:
+    def test_generate_slices_axis_and_count(self):
+        surrogate = MirandaSurrogate(MirandaConfig(shape=(6, 32, 40)))
+        slices = surrogate.generate_slices(seed=0, axis=0, count=3)
+        assert len(slices) == 3
+        for _, plane in slices:
+            assert plane.shape == (32, 40)
+
+    def test_generate_slices_other_axes(self):
+        surrogate = MirandaSurrogate(MirandaConfig(shape=(6, 32, 40)))
+        slices_y = surrogate.generate_slices(seed=0, axis=1, count=2)
+        assert slices_y[0][1].shape == (6, 40)
+        slices_x = surrogate.generate_slices(seed=0, axis=2, count=2)
+        assert slices_x[0][1].shape == (6, 32)

@@ -1,0 +1,117 @@
+"""Tests for repro.datasets.nonstationary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.nonstationary import (
+    NonstationaryFieldConfig,
+    blob_range_map,
+    generate_nonstationary_field,
+    gradient_range_map,
+    split_range_map,
+)
+from repro.stats.local import local_variogram_ranges, std_local_variogram_range
+from repro.stats.variogram_models import estimate_variogram_range
+
+
+class TestRangeMaps:
+    def test_gradient_map_bounds_and_monotonicity(self):
+        range_map = gradient_range_map((40, 30), 2.0, 20.0, axis=0)
+        assert range_map.shape == (40, 30)
+        assert range_map.min() == pytest.approx(2.0)
+        assert range_map.max() == pytest.approx(20.0)
+        assert np.all(np.diff(range_map[:, 0]) >= 0)
+
+    def test_gradient_map_axis_1(self):
+        range_map = gradient_range_map((20, 50), 1.0, 10.0, axis=1)
+        assert np.all(np.diff(range_map[0, :]) >= 0)
+        np.testing.assert_array_equal(range_map[0], range_map[-1])
+
+    def test_blob_map_centre_is_long_range(self):
+        range_map = blob_range_map((64, 64), 3.0, 24.0)
+        assert range_map[32, 32] > 20.0
+        assert range_map[0, 0] < 5.0
+        assert np.all(range_map >= 3.0 - 1e-9)
+        assert np.all(range_map <= 24.0 + 1e-9)
+
+    def test_split_map_halves(self):
+        range_map = split_range_map((10, 20), 2.0, 16.0)
+        assert np.all(range_map[:, :10] == 2.0)
+        assert np.all(range_map[:, 10:] == 16.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gradient_range_map((10, 10), -1.0, 5.0)
+        with pytest.raises(ValueError):
+            gradient_range_map((10, 10), 1.0, 5.0, axis=2)
+        with pytest.raises(ValueError):
+            blob_range_map((10, 10), 1.0, 5.0, blob_fraction=1.5)
+
+
+class TestConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            NonstationaryFieldConfig(component_ranges=(5.0,))
+        with pytest.raises(ValueError):
+            NonstationaryFieldConfig(component_ranges=(5.0, -1.0))
+        with pytest.raises(ValueError):
+            NonstationaryFieldConfig(variance=0.0)
+
+
+class TestGeneration:
+    def test_shape_determinism_and_finiteness(self):
+        range_map = gradient_range_map((64, 64), 2.0, 24.0)
+        a = generate_nonstationary_field(range_map, seed=0)
+        b = generate_nonstationary_field(range_map, seed=0)
+        c = generate_nonstationary_field(range_map, seed=1)
+        assert a.shape == (64, 64)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.all(np.isfinite(a))
+
+    def test_marginal_variance_near_one(self):
+        range_map = gradient_range_map((128, 128), 2.0, 16.0)
+        field = generate_nonstationary_field(range_map, seed=2)
+        assert field.var() == pytest.approx(1.0, abs=0.4)
+
+    def test_rejects_invalid_range_map(self):
+        with pytest.raises(ValueError):
+            generate_nonstationary_field(np.ones((4, 4, 4)))
+        with pytest.raises(ValueError):
+            generate_nonstationary_field(np.zeros((8, 8)))
+
+    def test_local_smoothness_follows_the_range_map(self):
+        # Rough half vs smooth half: the rough half must have a visibly
+        # larger mean absolute increment.
+        range_map = split_range_map((96, 96), 2.0, 24.0)
+        field = generate_nonstationary_field(range_map, seed=3)
+        rough_half = field[:, : 96 // 2]
+        smooth_half = field[:, 96 // 2 :]
+        grad = lambda f: np.abs(np.diff(f, axis=0)).mean()  # noqa: E731
+        assert grad(smooth_half) < 0.5 * grad(rough_half)
+
+    def test_local_variogram_ranges_track_the_map(self):
+        range_map = split_range_map((96, 96), 2.0, 24.0)
+        field = generate_nonstationary_field(range_map, seed=4)
+        result = local_variogram_ranges(field, window=32)
+        left = result.ranges[:, 0]   # rough side
+        right = result.ranges[:, -1]  # smooth side
+        assert np.nanmean(right) > np.nanmean(left)
+
+    def test_nonstationary_field_raises_local_statistic_vs_stationary(self):
+        from repro.datasets.gaussian import generate_gaussian_field
+
+        stationary = generate_gaussian_field((96, 96), 8.0, seed=5)
+        range_map = gradient_range_map((96, 96), 2.0, 32.0)
+        nonstationary = generate_nonstationary_field(range_map, seed=5)
+        assert std_local_variogram_range(nonstationary, 32) > std_local_variogram_range(
+            stationary, 32
+        )
+
+    def test_global_range_is_an_average_of_the_map(self):
+        range_map = gradient_range_map((96, 96), 2.0, 24.0)
+        field = generate_nonstationary_field(range_map, seed=6)
+        global_range = estimate_variogram_range(field)
+        assert 1.0 < global_range < 30.0

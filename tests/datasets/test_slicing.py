@@ -1,0 +1,62 @@
+"""Tests for repro.datasets.slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.slicing import slice_indices, slice_volume
+
+
+class TestSliceIndices:
+    def test_all_indices_by_default(self):
+        assert slice_indices(5) == [0, 1, 2, 3, 4]
+
+    def test_count_larger_than_axis_returns_all(self):
+        assert slice_indices(3, count=10) == [0, 1, 2]
+
+    def test_equally_spaced_includes_endpoints(self):
+        indices = slice_indices(100, count=5)
+        assert indices[0] == 0
+        assert indices[-1] == 99
+        assert len(indices) == 5
+
+    def test_single_slice_is_middle(self):
+        assert slice_indices(11, count=1) == [5]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            slice_indices(0)
+        with pytest.raises(ValueError):
+            slice_indices(10, count=0)
+
+
+class TestSliceVolume:
+    def test_slices_match_take(self):
+        volume = np.random.default_rng(0).normal(size=(4, 6, 8))
+        slices = slice_volume(volume, axis=0)
+        assert len(slices) == 4
+        for idx, plane in slices:
+            np.testing.assert_array_equal(plane, volume[idx])
+
+    def test_axis_1_and_2(self):
+        volume = np.random.default_rng(1).normal(size=(3, 5, 7))
+        assert slice_volume(volume, axis=1)[0][1].shape == (3, 7)
+        assert slice_volume(volume, axis=2)[0][1].shape == (3, 5)
+
+    def test_negative_axis(self):
+        volume = np.zeros((2, 3, 4))
+        assert slice_volume(volume, axis=-1)[0][1].shape == (2, 3)
+
+    def test_slices_are_contiguous_copies(self):
+        volume = np.random.default_rng(2).normal(size=(3, 4, 5))
+        _, plane = slice_volume(volume, axis=2, count=1)[0]
+        assert plane.flags["C_CONTIGUOUS"]
+        plane[0, 0] = 99.0
+        assert volume[0, 0, 2] != 99.0
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            slice_volume(np.zeros((4, 4)), axis=0)
+        with pytest.raises(ValueError):
+            slice_volume(np.zeros((2, 2, 2)), axis=3)

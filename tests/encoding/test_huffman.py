@@ -1,0 +1,108 @@
+"""Tests for repro.encoding.huffman."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.huffman import (
+    HuffmanCode,
+    huffman_code_lengths,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+class TestCodeLengths:
+    def test_empty_frequencies(self):
+        assert huffman_code_lengths({}) == {}
+
+    def test_single_symbol_gets_length_one(self):
+        assert huffman_code_lengths({5: 100}) == {5: 1}
+
+    def test_two_symbols_get_one_bit_each(self):
+        lengths = huffman_code_lengths({0: 5, 1: 5})
+        assert lengths == {0: 1, 1: 1}
+
+    def test_rare_symbols_get_longer_codes(self):
+        lengths = huffman_code_lengths({0: 1000, 1: 10, 2: 1})
+        assert lengths[0] < lengths[2]
+
+    def test_kraft_inequality_holds(self):
+        freqs = {i: (i + 1) ** 2 for i in range(20)}
+        lengths = huffman_code_lengths(freqs)
+        kraft = sum(2.0 ** -l for l in lengths.values())
+        assert kraft <= 1.0 + 1e-12
+
+    def test_optimality_against_entropy(self):
+        # Average Huffman length is within 1 bit of the entropy.
+        rng = np.random.default_rng(0)
+        symbols = rng.geometric(0.3, size=5000) - 1
+        values, counts = np.unique(symbols, return_counts=True)
+        freqs = {int(v): int(c) for v, c in zip(values, counts)}
+        lengths = huffman_code_lengths(freqs)
+        total = counts.sum()
+        probs = counts / total
+        entropy = -(probs * np.log2(probs)).sum()
+        avg_len = sum(freqs[s] * lengths[s] for s in freqs) / total
+        assert entropy <= avg_len <= entropy + 1.0
+
+
+class TestCanonicalCode:
+    def test_codes_are_prefix_free(self):
+        lengths = huffman_code_lengths({i: i + 1 for i in range(10)})
+        code = HuffmanCode.from_lengths(lengths)
+        entries = sorted(zip(code.lengths, code.codes))
+        for i, (li, ci) in enumerate(entries):
+            for lj, cj in entries[i + 1 :]:
+                assert cj >> (lj - li) != ci, "prefix property violated"
+
+    def test_lookup_tables_are_consistent(self):
+        lengths = huffman_code_lengths({1: 4, 2: 3, 3: 2, 4: 1})
+        code = HuffmanCode.from_lengths(lengths)
+        lookup = code.as_lookup()
+        decoding = code.decoding_table()
+        for symbol, (codeword, length) in lookup.items():
+            assert decoding[(length, codeword)] == symbol
+
+
+class TestEncodeDecode:
+    def test_empty_stream(self):
+        blob = huffman_encode([])
+        assert huffman_decode(blob).size == 0
+
+    def test_single_symbol_stream(self):
+        blob = huffman_encode([7] * 100)
+        decoded = huffman_decode(blob)
+        np.testing.assert_array_equal(decoded, np.full(100, 7))
+
+    def test_roundtrip_skewed_distribution(self):
+        rng = np.random.default_rng(1)
+        symbols = np.abs(rng.geometric(0.2, size=2000) - 1)
+        decoded = huffman_decode(huffman_encode(symbols))
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_compresses_skewed_better_than_uniform(self):
+        rng = np.random.default_rng(2)
+        skewed = np.zeros(4000, dtype=np.int64)
+        skewed[:100] = rng.integers(0, 64, size=100)
+        uniform = rng.integers(0, 64, size=4000)
+        assert len(huffman_encode(skewed)) < len(huffman_encode(uniform))
+
+    def test_rejects_negative_symbols(self):
+        with pytest.raises(ValueError):
+            huffman_encode([-1, 2])
+
+    def test_large_alphabet(self):
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(0, 5000, size=3000)
+        decoded = huffman_decode(huffman_encode(symbols))
+        np.testing.assert_array_equal(decoded, symbols)
+
+    @given(st.lists(st.integers(min_value=0, max_value=300), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, symbols):
+        decoded = huffman_decode(huffman_encode(symbols))
+        np.testing.assert_array_equal(decoded, np.asarray(symbols, dtype=np.int64))

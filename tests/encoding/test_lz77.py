@@ -1,0 +1,61 @@
+"""Tests for repro.encoding.lz77."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.lz77 import LZ77Token, lz77_compress, lz77_decompress
+
+
+class TestTokens:
+    def test_literal_flag(self):
+        assert LZ77Token(literal=65).is_literal
+        assert not LZ77Token(distance=3, length=5).is_literal
+
+
+class TestCompress:
+    def test_empty_input(self):
+        assert lz77_compress(b"") == []
+
+    def test_incompressible_short_input_is_all_literals(self):
+        tokens = lz77_compress(b"abc")
+        assert all(t.is_literal for t in tokens)
+
+    def test_repetitive_input_produces_matches(self):
+        data = b"abcd" * 100
+        tokens = lz77_compress(data)
+        assert any(not t.is_literal for t in tokens)
+        assert len(tokens) < len(data) // 2
+
+    def test_run_of_single_byte(self):
+        data = b"\x00" * 1000
+        tokens = lz77_compress(data)
+        assert len(tokens) < 20
+
+
+class TestDecompress:
+    def test_roundtrip_text(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 20
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_roundtrip_binary(self):
+        import numpy as np
+
+        data = np.random.default_rng(0).integers(0, 8, size=5000).astype(np.uint8).tobytes()
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError, match="back-reference"):
+            lz77_decompress([LZ77Token(distance=5, length=3)])
+
+    def test_overlapping_match_roundtrip(self):
+        # 'aaaaa...' forces matches whose source overlaps the output cursor.
+        data = b"a" * 300 + b"b" + b"a" * 300
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data

@@ -1,0 +1,60 @@
+"""Tests for repro.encoding.rle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.rle import rle_decode, rle_encode
+
+
+class TestRleEncode:
+    def test_empty(self):
+        values, runs = rle_encode(np.array([], dtype=np.int64))
+        assert values.size == 0 and runs.size == 0
+
+    def test_single_run(self):
+        values, runs = rle_encode(np.full(10, 3))
+        np.testing.assert_array_equal(values, [3])
+        np.testing.assert_array_equal(runs, [10])
+
+    def test_alternating_values(self):
+        values, runs = rle_encode(np.array([1, 2, 1, 2]))
+        np.testing.assert_array_equal(values, [1, 2, 1, 2])
+        np.testing.assert_array_equal(runs, [1, 1, 1, 1])
+
+    def test_mixed_runs(self):
+        values, runs = rle_encode(np.array([0, 0, 0, 5, 5, -1]))
+        np.testing.assert_array_equal(values, [0, 5, -1])
+        np.testing.assert_array_equal(runs, [3, 2, 1])
+
+    def test_run_lengths_sum_to_input_size(self):
+        data = np.random.default_rng(0).integers(0, 3, size=500)
+        _, runs = rle_encode(data)
+        assert runs.sum() == data.size
+
+
+class TestRleDecode:
+    def test_roundtrip(self):
+        data = np.random.default_rng(1).integers(-2, 3, size=1000)
+        np.testing.assert_array_equal(rle_decode(*rle_encode(data)), data)
+
+    def test_empty_roundtrip(self):
+        out = rle_decode(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            rle_decode(np.array([1, 2]), np.array([1]))
+
+    def test_rejects_non_positive_runs(self):
+        with pytest.raises(ValueError):
+            rle_decode(np.array([1]), np.array([0]))
+
+    @given(st.lists(st.integers(min_value=-5, max_value=5), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        arr = np.asarray(data, dtype=np.int64)
+        np.testing.assert_array_equal(rle_decode(*rle_encode(arr)), arr)

@@ -1,0 +1,79 @@
+"""Tests for repro.encoding.varint."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.varint import (
+    decode_signed_varint,
+    decode_varint,
+    encode_signed_varint,
+    encode_varint,
+)
+
+
+class TestUnsignedVarint:
+    def test_small_values_are_one_byte(self):
+        for value in (0, 1, 127):
+            assert len(encode_varint(value)) == 1
+
+    def test_larger_values_grow(self):
+        assert len(encode_varint(128)) == 2
+        assert len(encode_varint(1 << 20)) == 3
+
+    def test_roundtrip_examples(self):
+        for value in (0, 1, 127, 128, 300, 2**31, 2**60):
+            blob = encode_varint(value)
+            decoded, offset = decode_varint(blob)
+            assert decoded == value
+            assert offset == len(blob)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        blob = encode_varint(300)[:-1]
+        with pytest.raises(EOFError):
+            decode_varint(blob)
+
+    def test_decode_with_offset(self):
+        blob = b"\x00" + encode_varint(500)
+        value, offset = decode_varint(blob, 1)
+        assert value == 500
+        assert offset == len(blob)
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestSignedVarint:
+    def test_roundtrip_examples(self):
+        for value in (0, 1, -1, 63, -64, 12345, -98765, 2**40, -(2**40)):
+            decoded, _ = decode_signed_varint(encode_signed_varint(value))
+            assert decoded == value
+
+    def test_zigzag_keeps_small_magnitudes_short(self):
+        assert len(encode_signed_varint(-1)) == 1
+        assert len(encode_signed_varint(63)) == 1
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_signed_varint(encode_signed_varint(value))
+        assert decoded == value
+
+    def test_stream_of_values(self):
+        values = [3, -7, 0, 1000, -123456]
+        blob = b"".join(encode_signed_varint(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            value, pos = decode_signed_varint(blob, pos)
+            out.append(value)
+        assert out == values

@@ -1,0 +1,51 @@
+"""Tests for repro.encoding.zstd_like."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.zstd_like import zstd_like_compress, zstd_like_decompress
+
+
+class TestZstdLike:
+    def test_empty_roundtrip(self):
+        assert zstd_like_decompress(zstd_like_compress(b"")) == b""
+
+    def test_text_roundtrip(self):
+        data = b"correlation structures in scientific datasets " * 50
+        assert zstd_like_decompress(zstd_like_compress(data)) == data
+
+    def test_repetitive_data_compresses(self):
+        data = bytes(range(16)) * 512
+        blob = zstd_like_compress(data)
+        assert len(blob) < len(data) / 4
+
+    def test_random_data_does_not_explode(self):
+        data = np.random.default_rng(0).integers(0, 256, size=4096).astype(np.uint8).tobytes()
+        blob = zstd_like_compress(data)
+        # Entropy-coded random bytes should stay within ~35% of the input size.
+        assert len(blob) < len(data) * 1.35
+        assert zstd_like_decompress(blob) == data
+
+    def test_quantization_code_stream_compresses_well(self):
+        # A stream shaped like SZ's output: many zeros, few spikes.
+        rng = np.random.default_rng(1)
+        codes = np.zeros(8192, dtype=np.uint8)
+        spikes = rng.integers(0, 8192, size=200)
+        codes[spikes] = rng.integers(1, 255, size=200)
+        data = codes.tobytes()
+        blob = zstd_like_compress(data)
+        assert len(blob) < len(data) / 4
+        assert zstd_like_decompress(blob) == data
+
+    def test_corrupt_header_rejected(self):
+        with pytest.raises((ValueError, EOFError)):
+            zstd_like_decompress(b"\xff\xff\xff")
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert zstd_like_decompress(zstd_like_compress(data)) == data

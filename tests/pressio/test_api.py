@@ -1,0 +1,64 @@
+"""Tests for repro.pressio.api."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pressio.api import PressioCompressor, compress_and_measure
+from repro.pressio.options import CompressorOptions
+
+
+class TestPressioCompressor:
+    def test_unknown_compressor_rejected(self):
+        with pytest.raises(KeyError):
+            PressioCompressor("fpzip")
+
+    @pytest.mark.parametrize("name", ["sz", "zfp", "mgard"])
+    def test_compress_and_decompress(self, name, smooth_field):
+        codec = PressioCompressor(name, CompressorOptions(error_bound=1e-3))
+        compressed, metrics = codec.compress(smooth_field)
+        assert metrics.bound_satisfied
+        assert metrics.compression_ratio > 1.0
+        decompressed = codec.decompress(compressed)
+        assert np.abs(decompressed - smooth_field).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_relative_mode_resolves_against_field_range(self, smooth_field):
+        codec = PressioCompressor("sz", CompressorOptions(error_bound=0.01, mode="rel"))
+        compressed, metrics = codec.compress(smooth_field)
+        expected_bound = 0.01 * (smooth_field.max() - smooth_field.min())
+        assert compressed.error_bound == pytest.approx(expected_bound)
+        assert metrics.max_abs_error <= expected_bound * (1 + 1e-9)
+
+    def test_extra_options_forwarded(self, smooth_field):
+        codec = PressioCompressor(
+            "sz", CompressorOptions(error_bound=1e-3, extra={"block_size": 8})
+        )
+        compressed, metrics = codec.compress(smooth_field)
+        assert metrics.bound_satisfied
+
+    def test_get_configuration(self):
+        codec = PressioCompressor("zfp", CompressorOptions(error_bound=1e-4))
+        config = codec.get_configuration()
+        assert config["compressor_id"] == "zfp"
+        assert config["error_bound"] == 1e-4
+        assert config["mode"] == "abs"
+
+    def test_rejects_non_2d_input(self):
+        codec = PressioCompressor("sz")
+        with pytest.raises(ValueError):
+            codec.compress(np.ones(16))
+
+
+class TestCompressAndMeasure:
+    def test_one_call_workflow(self, smooth_field):
+        compressed, metrics = compress_and_measure(smooth_field, "sz", 1e-3)
+        assert metrics.compression_ratio == pytest.approx(compressed.compression_ratio)
+        assert metrics.bound_satisfied
+
+    def test_kwargs_forwarded_to_compressor(self, smooth_field):
+        _, metrics_lorenzo = compress_and_measure(
+            smooth_field, "sz", 1e-3, predictors=("lorenzo",)
+        )
+        _, metrics_both = compress_and_measure(smooth_field, "sz", 1e-3)
+        assert metrics_lorenzo.bound_satisfied and metrics_both.bound_satisfied

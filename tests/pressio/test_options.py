@@ -1,0 +1,37 @@
+"""Tests for repro.pressio.options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pressio.options import CompressorOptions
+
+
+class TestCompressorOptions:
+    def test_defaults(self):
+        options = CompressorOptions()
+        assert options.mode == "abs"
+        assert options.error_bound == 1e-3
+        assert options.extra == {}
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CompressorOptions(error_bound=0.0)
+        with pytest.raises(ValueError):
+            CompressorOptions(mode="psnr")
+
+    def test_absolute_mode_ignores_field_range(self):
+        options = CompressorOptions(error_bound=1e-2, mode="abs")
+        assert options.absolute_bound(-5.0, 10.0) == pytest.approx(1e-2)
+
+    def test_relative_mode_scales_by_value_range(self):
+        options = CompressorOptions(error_bound=1e-2, mode="rel")
+        assert options.absolute_bound(0.0, 50.0) == pytest.approx(0.5)
+
+    def test_relative_mode_on_constant_field_falls_back(self):
+        options = CompressorOptions(error_bound=1e-2, mode="rel")
+        assert options.absolute_bound(3.0, 3.0) == pytest.approx(1e-2)
+
+    def test_extra_options_are_stored(self):
+        options = CompressorOptions(extra={"block_size": 8})
+        assert options.extra["block_size"] == 8

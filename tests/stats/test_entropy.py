@@ -1,0 +1,62 @@
+"""Tests for repro.stats.entropy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.entropy import quantized_entropy, shannon_entropy
+
+
+class TestShannonEntropy:
+    def test_empty_stream(self):
+        assert shannon_entropy(np.array([])) == 0.0
+
+    def test_constant_stream_has_zero_entropy(self):
+        assert shannon_entropy(np.full(100, 7)) == 0.0
+
+    def test_uniform_binary_is_one_bit(self):
+        symbols = np.array([0, 1] * 500)
+        assert shannon_entropy(symbols) == pytest.approx(1.0)
+
+    def test_uniform_alphabet_is_log2_size(self):
+        symbols = np.repeat(np.arange(16), 10)
+        assert shannon_entropy(symbols) == pytest.approx(4.0)
+
+    def test_bounded_by_log2_alphabet(self):
+        rng = np.random.default_rng(0)
+        symbols = rng.integers(0, 37, size=5000)
+        assert shannon_entropy(symbols) <= np.log2(37) + 1e-9
+
+    @given(st.lists(st.integers(min_value=-10, max_value=10), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_non_negative_property(self, symbols):
+        assert shannon_entropy(np.asarray(symbols)) >= 0.0
+
+
+class TestQuantizedEntropy:
+    def test_larger_error_bound_gives_lower_entropy(self, rough_field):
+        fine = quantized_entropy(rough_field, 1e-4)
+        coarse = quantized_entropy(rough_field, 1e-1)
+        assert coarse < fine
+
+    def test_smooth_field_less_entropy_than_rough_at_same_bound(
+        self, smooth_field, rough_field
+    ):
+        # Marginal entropy alone does not capture spatial correlation, but a
+        # strongly correlated field over the same value range still spreads
+        # over slightly fewer occupied bins per value.
+        assert quantized_entropy(smooth_field, 1e-3) <= quantized_entropy(rough_field, 1e-3) + 1.0
+
+    def test_constant_field_zero_entropy(self):
+        assert quantized_entropy(np.full((16, 16), 2.5), 1e-3) == 0.0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            quantized_entropy(np.ones((4, 4)), 0.0)
+
+    def test_error_bound_much_larger_than_range_gives_zero(self, smooth_field):
+        bound = 100.0 * float(np.abs(smooth_field).max())
+        assert quantized_entropy(smooth_field, bound) == pytest.approx(0.0)

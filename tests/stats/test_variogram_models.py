@@ -1,0 +1,126 @@
+"""Tests for repro.stats.variogram_models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.gaussian import generate_gaussian_field
+from repro.stats.variogram import EmpiricalVariogram, VariogramConfig, empirical_variogram
+from repro.stats.variogram_models import (
+    estimate_variogram_range,
+    exponential_variogram,
+    fit_variogram,
+    gaussian_variogram,
+    spherical_variogram,
+)
+
+
+class TestModelFunctions:
+    def test_gaussian_zero_at_origin_and_sill_at_infinity(self):
+        assert gaussian_variogram(np.array([0.0]), 2.0, 5.0)[0] == pytest.approx(0.0)
+        assert gaussian_variogram(np.array([1e6]), 2.0, 5.0)[0] == pytest.approx(2.0)
+
+    def test_nugget_shifts_origin(self):
+        assert gaussian_variogram(np.array([0.0]), 2.0, 5.0, nugget=0.3)[0] == pytest.approx(0.3)
+
+    def test_exponential_monotone(self):
+        h = np.linspace(0, 50, 100)
+        values = exponential_variogram(h, 1.0, 8.0)
+        assert np.all(np.diff(values) > 0)
+
+    def test_spherical_reaches_sill_exactly_at_range(self):
+        assert spherical_variogram(np.array([8.0]), 1.5, 8.0)[0] == pytest.approx(1.5)
+        assert spherical_variogram(np.array([20.0]), 1.5, 8.0)[0] == pytest.approx(1.5)
+
+    def test_models_increase_with_distance(self):
+        h = np.linspace(0, 30, 50)
+        for func in (gaussian_variogram, exponential_variogram, spherical_variogram):
+            values = func(h, 1.0, 10.0)
+            assert np.all(np.diff(values) >= -1e-12)
+
+
+class TestFitVariogram:
+    def _synthetic_variogram(self, sill, range_, nugget=0.0, noise=0.0, seed=0):
+        lags = np.linspace(1.0, 40.0, 30)
+        values = gaussian_variogram(lags, sill, range_, nugget)
+        if noise:
+            values = values + np.random.default_rng(seed).normal(0, noise, size=lags.size)
+        return EmpiricalVariogram(
+            lags=lags,
+            values=np.clip(values, 0, None),
+            pair_counts=np.full(lags.size, 1000, dtype=np.int64),
+            field_variance=sill + nugget,
+        )
+
+    def test_recovers_known_parameters(self):
+        variogram = self._synthetic_variogram(sill=2.0, range_=12.0)
+        fitted = fit_variogram(variogram, model="gaussian")
+        assert fitted.sill == pytest.approx(2.0, rel=0.02)
+        assert fitted.range == pytest.approx(12.0, rel=0.02)
+        assert fitted.converged
+
+    def test_recovers_nugget_when_requested(self):
+        variogram = self._synthetic_variogram(sill=1.5, range_=8.0, nugget=0.25)
+        fitted = fit_variogram(variogram, model="gaussian", fit_nugget=True)
+        assert fitted.nugget == pytest.approx(0.25, abs=0.05)
+        assert fitted.range == pytest.approx(8.0, rel=0.1)
+
+    def test_robust_to_noise(self):
+        variogram = self._synthetic_variogram(sill=1.0, range_=15.0, noise=0.03, seed=1)
+        fitted = fit_variogram(variogram, model="gaussian")
+        assert fitted.range == pytest.approx(15.0, rel=0.2)
+
+    def test_weighting_options(self):
+        variogram = self._synthetic_variogram(sill=1.0, range_=10.0)
+        by_pairs = fit_variogram(variogram, weights="pairs")
+        uniform = fit_variogram(variogram, weights="uniform")
+        assert by_pairs.range == pytest.approx(uniform.range, rel=0.05)
+
+    def test_unknown_model_rejected(self):
+        variogram = self._synthetic_variogram(1.0, 5.0)
+        with pytest.raises(ValueError):
+            fit_variogram(variogram, model="cubic")
+
+    def test_too_few_bins_rejected(self):
+        variogram = EmpiricalVariogram(
+            lags=np.array([1.0, 2.0]),
+            values=np.array([0.1, 0.2]),
+            pair_counts=np.array([10, 10]),
+            field_variance=1.0,
+        )
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_variogram(variogram)
+
+    def test_fitted_model_is_callable(self):
+        variogram = self._synthetic_variogram(1.0, 10.0)
+        fitted = fit_variogram(variogram)
+        values = fitted(np.array([0.0, 10.0, 100.0]))
+        assert values[0] == pytest.approx(fitted.nugget, abs=1e-9)
+        assert values[-1] == pytest.approx(fitted.sill + fitted.nugget, rel=0.01)
+
+    def test_effective_range_exceeds_range_for_gaussian(self):
+        variogram = self._synthetic_variogram(1.0, 10.0)
+        fitted = fit_variogram(variogram)
+        assert fitted.effective_range > fitted.range
+
+
+class TestEstimateVariogramRange:
+    @pytest.mark.parametrize("true_range", [4.0, 8.0, 16.0])
+    def test_recovers_generative_range(self, true_range):
+        field = generate_gaussian_field((128, 128), true_range, seed=int(true_range))
+        estimated = estimate_variogram_range(field)
+        assert estimated == pytest.approx(true_range, rel=0.35)
+
+    def test_monotone_in_true_range(self):
+        estimates = [
+            estimate_variogram_range(generate_gaussian_field((96, 96), a, seed=7))
+            for a in (2.0, 8.0, 24.0)
+        ]
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_custom_config_respected(self, smooth_field):
+        value = estimate_variogram_range(
+            smooth_field, config=VariogramConfig(max_lag=16.0, bin_width=2.0)
+        )
+        assert value > 0

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.gaussian import generate_gaussian_field
+from repro.datasets.io import save_field, save_raw
+
+
+@pytest.fixture()
+def field_npy(tmp_path):
+    field = generate_gaussian_field((64, 64), 12.0, seed=0)
+    path = tmp_path / "field.npy"
+    save_field(path, field)
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("compress", "stats", "experiment", "figure"):
+            assert command in parser.format_help()
+
+
+class TestCompressCommand:
+    def test_compress_npy(self, field_npy, capsys):
+        code = main(["compress", str(field_npy), "--compressor", "sz", "--error-bound", "1e-3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compression ratio" in out
+        assert "bound satisfied" in out and "True" in out
+
+    def test_compress_raw_with_shape(self, tmp_path, capsys):
+        field = generate_gaussian_field((32, 40), 6.0, seed=1)
+        path = tmp_path / "field.raw"
+        save_raw(path, field, dtype="float32")
+        code = main(
+            [
+                "compress",
+                str(path),
+                "--raw-shape",
+                "32",
+                "40",
+                "--raw-dtype",
+                "float32",
+                "--compressor",
+                "zfp",
+            ]
+        )
+        assert code == 0
+        assert "compression ratio" in capsys.readouterr().out
+
+    def test_compress_3d_takes_middle_slice(self, tmp_path, capsys):
+        volume = np.random.default_rng(2).normal(size=(6, 24, 24))
+        path = tmp_path / "vol.npy"
+        save_field(path, volume)
+        code = main(["compress", str(path), "--error-bound", "1e-2"])
+        assert code == 0
+
+
+class TestStatsCommand:
+    def test_stats_output(self, field_npy, capsys):
+        code = main(["stats", str(field_npy), "--window", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "global variogram range" in out
+        assert "std local variogram range" in out
+        assert "quantized entropy" in out
+
+    def test_stats_small_field_skips_local(self, tmp_path, capsys):
+        field = generate_gaussian_field((24, 24), 4.0, seed=3)
+        path = tmp_path / "small.npy"
+        save_field(path, field)
+        code = main(["stats", str(path), "--window", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "std local variogram range" not in out
+
+
+class TestExperimentCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "records.csv"
+        code = main(
+            [
+                "experiment",
+                "gaussian-single",
+                "--output",
+                str(output),
+                "--size",
+                "48",
+                "--bounds",
+                "1e-3",
+                "1e-2",
+                "--compressors",
+                "sz",
+                "--skip-local-stats",
+            ]
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(output.read_text())))
+        assert len(rows) == 6 * 2  # 6 fields x 1 compressor x 2 bounds
+        assert {row["compressor"] for row in rows} == {"sz"}
+
+
+class TestFigureCommand:
+    def test_figure3_table(self, capsys):
+        code = main(["figure", "3", "--size", "48"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_figure3_markdown(self, capsys):
+        code = main(["figure", "3", "--size", "48", "--markdown"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "| compressor |" in out

@@ -1,0 +1,55 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seeds, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).normal(size=10)
+        b = make_rng(42).normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).normal(size=10)
+        b = make_rng(2).normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        out = make_rng(seq)
+        assert isinstance(out, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveSeeds:
+    def test_deterministic_for_int_seed(self):
+        assert derive_seeds(7, 5) == derive_seeds(7, 5)
+
+    def test_children_are_distinct(self):
+        seeds = derive_seeds(0, 20)
+        assert len(set(seeds)) == 20
+
+    def test_count_zero(self):
+        assert derive_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seeds(0, -1)
+
+    def test_generator_seed_is_deterministic_per_state(self):
+        gen = np.random.default_rng(3)
+        first = derive_seeds(gen, 3)
+        gen2 = np.random.default_rng(3)
+        second = derive_seeds(gen2, 3)
+        assert first == second
