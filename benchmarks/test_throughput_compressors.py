@@ -29,11 +29,12 @@ def test_compress_throughput(benchmark, bench_field, name):
     compressor = make_compressor(name, ERROR_BOUND)
     compressed = benchmark(compressor.compress, bench_field)
     mb = bench_field.nbytes / 1e6
-    print(
-        f"\n{name}: CR={compressed.compression_ratio:.2f} on {mb:.2f} MB field "
-        f"(mean {benchmark.stats['mean'] * 1e3:.1f} ms -> "
-        f"{mb / benchmark.stats['mean']:.1f} MB/s)"
-    )
+    if benchmark.stats:  # absent under --benchmark-disable (CI smoke runs)
+        print(
+            f"\n{name}: CR={compressed.compression_ratio:.2f} on {mb:.2f} MB field "
+            f"(mean {benchmark.stats['mean'] * 1e3:.1f} ms -> "
+            f"{mb / benchmark.stats['mean']:.1f} MB/s)"
+        )
     assert compressed.compression_ratio > 1.0
 
 

@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.encoding.bitio import BitReader, BitWriter
 from repro.encoding.rle import rle_decode, rle_encode
 from repro.encoding.huffman import huffman_decode, huffman_encode
 from repro.encoding.varint import decode_varint, encode_varint
@@ -138,11 +139,9 @@ class LosslessBackend:
             return bytes(body)
         width = max(1, int(symbols.max()).bit_length())
         body.extend(encode_varint(width))
-        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-        bits = ((symbols.astype(np.uint64)[:, None] >> shifts[None, :]) & np.uint64(1)).astype(
-            np.uint8
-        )
-        body.extend(np.packbits(bits.ravel()).tobytes())
+        writer = BitWriter()
+        writer.write_bits_array(symbols, width)
+        body.extend(writer.getvalue())
         return bytes(body)
 
     @staticmethod
@@ -151,13 +150,17 @@ class LosslessBackend:
         width, pos = decode_varint(body, pos)
         if count == 0:
             return np.empty(0, dtype=np.int64)
-        bits = np.unpackbits(np.frombuffer(body[pos:], dtype=np.uint8))[: count * width]
-        matrix = bits.reshape(count, width).astype(np.int64)
-        weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
-        return matrix @ weights
+        reader = BitReader(body[pos:])
+        return reader.read_bits_array(np.full(count, width, dtype=np.int64)).astype(np.int64)
 
-    def _encode_huffman_body(self, symbols: np.ndarray) -> bytes:
-        values, runs = rle_encode(symbols)
+    #: Run fraction above which run-length coding stops paying: almost every
+    #: run has length 1, so the runs stream costs a second Huffman pass (and
+    #: a second decode) for no size win — code the symbols directly instead.
+    _RLE_RUN_FRACTION = 0.7
+
+    def _encode_huffman_body(self, symbols: np.ndarray, values=None, runs=None) -> bytes:
+        if values is None:
+            values, runs = rle_encode(symbols)
         body = bytearray()
         values_blob = huffman_encode(values)
         runs_blob = huffman_encode(runs)
@@ -167,6 +170,24 @@ class LosslessBackend:
         body.extend(encode_varint(len(runs_blob)))
         body.extend(runs_blob)
         return bytes(body)
+
+    @staticmethod
+    def _encode_direct_body(symbols: np.ndarray) -> bytes:
+        return bytes(encode_varint(symbols.size)) + huffman_encode(symbols)
+
+    @staticmethod
+    def _packed_size(symbols: np.ndarray) -> int:
+        """Exact byte size of ``b"P" + _encode_packed(symbols)`` without building it."""
+
+        if symbols.size == 0:
+            return 1 + len(encode_varint(0)) + len(encode_varint(0))
+        width = max(1, int(symbols.max()).bit_length())
+        return (
+            1
+            + len(encode_varint(symbols.size))
+            + len(encode_varint(width))
+            + (symbols.size * width + 7) // 8
+        )
 
     def encode_symbols(self, symbols: np.ndarray) -> bytes:
         """Losslessly encode a non-negative integer symbol stream."""
@@ -178,13 +199,19 @@ class LosslessBackend:
             payload = symbols.astype("<i8").tobytes()
             return b"R" + encode_varint(symbols.size) + payload
 
-        packed_candidate = b"P" + self._encode_packed(symbols)
-        huffman_body = self._encode_huffman_body(symbols)
         if self.name == "zstd":
-            entropy_candidate = b"Z" + zstd_like_compress(huffman_body)
+            entropy_candidate = b"Z" + zstd_like_compress(self._encode_huffman_body(symbols))
         else:
-            entropy_candidate = b"H" + huffman_body
-        return min(entropy_candidate, packed_candidate, key=len)
+            values, runs = rle_encode(symbols)
+            if runs.size > self._RLE_RUN_FRACTION * symbols.size:
+                entropy_candidate = b"D" + self._encode_direct_body(symbols)
+            else:
+                entropy_candidate = b"H" + self._encode_huffman_body(symbols, values, runs)
+        # The fixed-width candidate's size is known analytically; only pay
+        # for building it when it actually beats the entropy-coded stream.
+        if self._packed_size(symbols) < len(entropy_candidate):
+            return b"P" + self._encode_packed(symbols)
+        return entropy_candidate
 
     def decode_symbols(self, blob: bytes) -> np.ndarray:
         """Inverse of :meth:`encode_symbols`."""
@@ -197,6 +224,12 @@ class LosslessBackend:
             return np.frombuffer(body[pos : pos + 8 * count], dtype="<i8").astype(np.int64)
         if tag == b"P":
             return self._decode_packed(body)
+        if tag == b"D":
+            count, pos = decode_varint(body, 0)
+            symbols = huffman_decode(body[pos:])
+            if symbols.size != count:
+                raise ValueError("lossless payload symbol count mismatch")
+            return symbols
         if tag == b"Z":
             body = zstd_like_decompress(body)
         elif tag != b"H":

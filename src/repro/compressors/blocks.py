@@ -1,0 +1,516 @@
+"""Shared NumPy-vectorized block-codec engine.
+
+Every block-structured compressor in this package (the SZ-like predictor
+pipeline, the hyperplane regression predictor, the shared linear quantizer,
+and the MGARD-like level quantizer) is built on the primitives in this
+module.  The engine's contract is that **no stage loops over blocks or
+elements in Python**: fields are partitioned into a ``(nbi, nbj, bs, bs)``
+block tensor once, and every subsequent step — prediction, quantization,
+mode selection, unpredictable-value routing — is a whole-tensor array
+operation.
+
+Layer map
+---------
+
+* **Partition / merge** — :func:`partition_field` / :func:`merge_field`
+  (edge-padded block views and the inverse crop).
+* **Prediction** — :func:`lorenzo_residuals` / :func:`lorenzo_reconstruct`
+  (first-order Lorenzo in integer-code space over all blocks at once) and
+  the hyperplane regression family (:func:`fit_block_planes`,
+  :func:`plane_predictions`, coefficient quantization).
+* **Quantization** — :func:`quantize_to_grid` (single ``np.rint`` pass onto
+  the ``2*eb`` grid with overflow detection) and :func:`linear_quantize`
+  (residual quantization with batched unpredictable-value handling).
+* **Block codec** — :class:`BlockCodec` composes the above into the
+  encode/decode pipeline shared by the SZ-like compressor: pre-quantize,
+  predict with every enabled predictor, select the cheaper mode per block,
+  and split out-of-radius residuals into an exact side channel.
+
+The container/serialisation layer stays with the individual compressors;
+this module deals only in arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.blocking import block_view, pad_to_multiple, reassemble_blocks
+from repro.utils.validation import ensure_2d, ensure_positive
+
+__all__ = [
+    "DEFAULT_CODE_RADIUS",
+    "MODE_LORENZO",
+    "MODE_REGRESSION",
+    "partition_field",
+    "merge_field",
+    "lorenzo_residuals",
+    "lorenzo_reconstruct",
+    "plane_design_matrix",
+    "fit_block_planes",
+    "coefficient_precisions",
+    "quantize_plane_coefficients",
+    "dequantize_plane_coefficients",
+    "plane_predictions",
+    "quantize_to_grid",
+    "linear_quantize",
+    "select_block_modes",
+    "split_unpredictable",
+    "merge_unpredictable",
+    "BlockEncoding",
+    "BlockCodec",
+]
+
+#: Default maximum |code|; matches SZ's default of 2^16 quantization intervals
+#: (radius 2^15) — beyond that a value is declared unpredictable.
+DEFAULT_CODE_RADIUS = 1 << 15
+
+#: Per-block predictor modes (stored as one bit per block in the containers).
+MODE_LORENZO = 0
+MODE_REGRESSION = 1
+
+#: Cost-model overhead charged to a regression block for storing its plane
+#: coefficients (~3 coefficients x ~16 bits).
+REGRESSION_OVERHEAD_BITS = 48.0
+
+#: Safety margin for the pre-quantization integer grid (int64).
+MAX_SAFE_CODE = float(2**62)
+
+
+# ----------------------------------------------------------------------
+# partition / merge
+# ----------------------------------------------------------------------
+def partition_field(
+    field: np.ndarray, block_size: int, *, mode: str = "edge"
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Pad a 2D field and view it as a ``(nbi, nbj, bs, bs)`` block tensor.
+
+    Returns ``(blocks, original_shape)``; ``blocks`` is a strided view of
+    the padded array (no copy) and ``original_shape`` is what
+    :func:`merge_field` needs to crop the reconstruction.
+    """
+
+    padded, original_shape = pad_to_multiple(field, block_size, mode=mode)
+    return block_view(padded, block_size), original_shape
+
+
+def merge_field(blocks: np.ndarray, original_shape: Tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`partition_field`: reassemble blocks and crop."""
+
+    return reassemble_blocks(blocks, original_shape)
+
+
+# ----------------------------------------------------------------------
+# Lorenzo prediction (integer-code space, all blocks at once)
+# ----------------------------------------------------------------------
+def lorenzo_residuals(code_blocks: np.ndarray) -> np.ndarray:
+    """First-order 2D Lorenzo differences within each block.
+
+    ``code_blocks`` has shape ``(nbi, nbj, bs, bs)`` (integer quantization
+    codes).  Out-of-block neighbours are treated as zero, so the first row
+    and column of every block fall back to 1D differences and the corner
+    stores the code itself.
+    """
+
+    if code_blocks.ndim != 4:
+        raise ValueError(f"expected 4D block array, got shape {code_blocks.shape}")
+    codes = np.asarray(code_blocks, dtype=np.int64)
+    residuals = codes.copy()
+    residuals[:, :, 1:, :] -= codes[:, :, :-1, :]
+    residuals[:, :, :, 1:] -= codes[:, :, :, :-1]
+    residuals[:, :, 1:, 1:] += codes[:, :, :-1, :-1]
+    return residuals
+
+
+def lorenzo_reconstruct(residual_blocks: np.ndarray) -> np.ndarray:
+    """Invert :func:`lorenzo_residuals` via double cumulative sums."""
+
+    if residual_blocks.ndim != 4:
+        raise ValueError(f"expected 4D block array, got shape {residual_blocks.shape}")
+    residuals = np.asarray(residual_blocks, dtype=np.int64)
+    return np.cumsum(np.cumsum(residuals, axis=2), axis=3)
+
+
+# ----------------------------------------------------------------------
+# hyperplane regression prediction (SZ's second predictor)
+# ----------------------------------------------------------------------
+def plane_design_matrix(block_size: int) -> np.ndarray:
+    """Design matrix ``[1, i, j]`` for every cell of a ``block_size`` block."""
+
+    ensure_positive(block_size, "block_size")
+    ii, jj = np.meshgrid(np.arange(block_size), np.arange(block_size), indexing="ij")
+    return np.column_stack(
+        [
+            np.ones(block_size * block_size),
+            ii.ravel().astype(np.float64),
+            jj.ravel().astype(np.float64),
+        ]
+    )
+
+
+def fit_block_planes(blocks: np.ndarray) -> np.ndarray:
+    """Least-squares plane coefficients for every block.
+
+    ``blocks`` has shape ``(nbi, nbj, bs, bs)``; the result has shape
+    ``(nbi, nbj, 3)`` holding ``(beta0, beta_i, beta_j)`` per block.  The
+    design matrix is identical for every block, so one precomputed
+    pseudo-inverse applied with a single ``einsum`` fits them all.
+    """
+
+    if blocks.ndim != 4:
+        raise ValueError(f"expected 4D block array, got shape {blocks.shape}")
+    nbi, nbj, bs, bs2 = blocks.shape
+    if bs != bs2:
+        raise ValueError("blocks must be square")
+    design = plane_design_matrix(bs)
+    pseudo_inverse = np.linalg.pinv(design)  # (3, bs*bs)
+    flat = blocks.reshape(nbi, nbj, bs * bs).astype(np.float64)
+    return np.einsum("kp,ijp->ijk", pseudo_inverse, flat)
+
+
+def coefficient_precisions(error_bound: float, block_size: int) -> np.ndarray:
+    """Quantization step for (intercept, slope_i, slope_j) coefficients.
+
+    Following SZ's choice, the intercept is stored to within the error
+    bound itself, while slope coefficients are stored to within
+    ``error_bound / block_size`` so the accumulated prediction error across
+    a block stays of the order of the error bound.
+    """
+
+    ensure_positive(error_bound, "error_bound")
+    ensure_positive(block_size, "block_size")
+    return np.array(
+        [error_bound, error_bound / block_size, error_bound / block_size], dtype=np.float64
+    )
+
+
+def quantize_plane_coefficients(
+    coefficients: np.ndarray, error_bound: float, block_size: int
+) -> np.ndarray:
+    """Quantize plane coefficients to integer codes (per-coefficient precision)."""
+
+    precisions = coefficient_precisions(error_bound, block_size)
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    return np.rint(coeffs / precisions).astype(np.int64)
+
+
+def dequantize_plane_coefficients(
+    codes: np.ndarray, error_bound: float, block_size: int
+) -> np.ndarray:
+    """Inverse of :func:`quantize_plane_coefficients`."""
+
+    precisions = coefficient_precisions(error_bound, block_size)
+    return np.asarray(codes, dtype=np.float64) * precisions
+
+
+def plane_predictions(coefficients: np.ndarray, block_size: int) -> np.ndarray:
+    """Evaluate plane predictions for every block.
+
+    ``coefficients`` has shape ``(nbi, nbj, 3)``; the result has shape
+    ``(nbi, nbj, bs, bs)``.
+    """
+
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.ndim != 3 or coeffs.shape[-1] != 3:
+        raise ValueError(f"expected (nbi, nbj, 3) coefficients, got {coeffs.shape}")
+    ii, jj = np.meshgrid(np.arange(block_size), np.arange(block_size), indexing="ij")
+    return (
+        coeffs[:, :, 0, None, None]
+        + coeffs[:, :, 1, None, None] * ii[None, None, :, :]
+        + coeffs[:, :, 2, None, None] * jj[None, None, :, :]
+    )
+
+
+# ----------------------------------------------------------------------
+# quantization
+# ----------------------------------------------------------------------
+def quantize_to_grid(
+    values: np.ndarray, step: float, *, max_code: float = MAX_SAFE_CODE
+) -> Optional[np.ndarray]:
+    """Round a float array onto the ``step`` grid in one ``np.rint`` pass.
+
+    Returns int64 codes such that ``codes * step`` reconstructs each value
+    to within ``step / 2``, or ``None`` when any scaled value is non-finite
+    or too large for the integer grid (callers fall back to raw storage).
+    """
+
+    scaled = np.asarray(values, dtype=np.float64) / step
+    if not np.all(np.isfinite(scaled)):
+        return None
+    codes = np.rint(scaled)
+    if float(np.abs(codes).max(initial=0.0)) > max_code:
+        return None
+    return codes.astype(np.int64)
+
+
+def linear_quantize(
+    values: np.ndarray,
+    predictions: np.ndarray,
+    error_bound: float,
+    *,
+    code_radius: int = DEFAULT_CODE_RADIUS,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize ``values - predictions`` with bin width ``2 * error_bound``.
+
+    One vectorized pass: round residuals onto the grid, mark entries whose
+    code magnitude exceeds ``code_radius`` (or whose reconstruction would
+    violate the bound due to floating-point corner cases, or whose code is
+    non-finite) as *unpredictable*, and reconstruct predictable entries at
+    ``prediction + step * code`` while unpredictable ones keep the exact
+    value.  Returns ``(codes, unpredictable_mask, reconstruction)``.
+    """
+
+    ensure_positive(error_bound, "error_bound")
+    ensure_positive(code_radius, "code_radius")
+    values = np.asarray(values, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    if values.shape != predictions.shape:
+        raise ValueError(
+            f"values shape {values.shape} != predictions shape {predictions.shape}"
+        )
+
+    step = 2.0 * error_bound
+    with np.errstate(invalid="ignore", over="ignore"):
+        residuals = values - predictions
+        codes = np.rint(residuals / step)
+        out_of_range = np.abs(codes) > code_radius
+        reconstruction = predictions + step * codes
+        violates = np.abs(reconstruction - values) > error_bound
+    unpredictable = out_of_range | violates | ~np.isfinite(codes)
+
+    codes = np.where(unpredictable, 0, codes).astype(np.int64)
+    reconstruction = np.where(unpredictable, values, predictions + step * codes)
+    return codes, unpredictable, reconstruction
+
+
+# ----------------------------------------------------------------------
+# per-block mode selection and the unpredictable side channel
+# ----------------------------------------------------------------------
+def select_block_modes(
+    candidates: Dict[str, np.ndarray],
+    *,
+    regression_overhead_bits: float = REGRESSION_OVERHEAD_BITS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pick the cheaper predictor per block.
+
+    ``candidates`` maps predictor name (``"lorenzo"`` / ``"regression"``)
+    to its ``(nbi, nbj, bs, bs)`` residual-code tensor.  The coding cost
+    proxy is the total number of significant bits of the residual codes (a
+    cheap stand-in for the Huffman-coded size), with a fixed overhead added
+    for the coefficients a regression block must store.  Returns
+    ``(modes, residuals)`` with ``modes`` in {MODE_LORENZO, MODE_REGRESSION}.
+    """
+
+    names = list(candidates)
+    if len(names) == 1:
+        residuals = candidates[names[0]]
+        nbi, nbj = residuals.shape[:2]
+        mode = MODE_LORENZO if names[0] == "lorenzo" else MODE_REGRESSION
+        return np.full((nbi, nbj), mode, dtype=np.int64), residuals
+
+    lorenzo = candidates["lorenzo"]
+    regression = candidates["regression"]
+    cost_lorenzo = np.log2(np.abs(lorenzo) + 1.0).sum(axis=(2, 3))
+    cost_regression = np.log2(np.abs(regression) + 1.0).sum(axis=(2, 3))
+    cost_regression = cost_regression + regression_overhead_bits
+    modes = np.where(cost_regression < cost_lorenzo, MODE_REGRESSION, MODE_LORENZO)
+    residuals = np.where(
+        (modes == MODE_REGRESSION)[:, :, None, None], regression, lorenzo
+    )
+    return modes.astype(np.int64), residuals
+
+
+def split_unpredictable(
+    residuals: np.ndarray, code_radius: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split residual codes into bounded symbols and an exact side channel.
+
+    Codes with ``|code| <= code_radius`` become the non-negative symbols
+    ``code + code_radius + 1``; larger codes are replaced by the reserved
+    symbol 0 and appended (in scan order) to the outlier array.  Returns
+    ``(symbols, outliers)`` with ``symbols`` shaped like ``residuals``.
+    """
+
+    residuals = np.asarray(residuals, dtype=np.int64)
+    outlier_mask = np.abs(residuals) > code_radius
+    outliers = residuals[outlier_mask]
+    symbols = np.where(outlier_mask, 0, residuals + code_radius + 1)
+    return symbols, outliers
+
+
+def merge_unpredictable(
+    symbols: np.ndarray, outliers: np.ndarray, code_radius: int
+) -> np.ndarray:
+    """Inverse of :func:`split_unpredictable` (flat or shaped symbols)."""
+
+    symbols = np.asarray(symbols, dtype=np.int64)
+    residuals = symbols - (code_radius + 1)
+    flat = residuals.ravel()
+    flat[np.flatnonzero(symbols.ravel() == 0)] = outliers
+    return residuals
+
+
+# ----------------------------------------------------------------------
+# the composed block codec (SZ-style predict/quantize/select pipeline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockEncoding:
+    """Array-level output of :meth:`BlockCodec.encode`.
+
+    The container layer serializes these fields; ``reconstruction`` is the
+    decoder-identical reconstruction computed as an encode by-product.
+    """
+
+    original_shape: Tuple[int, int]
+    nbi: int
+    nbj: int
+    modes: np.ndarray  # (nbi, nbj) in {MODE_LORENZO, MODE_REGRESSION}
+    symbols: np.ndarray  # (nbi*nbj, bs*bs) non-negative, 0 = outlier marker
+    outliers: np.ndarray  # exact residual codes beyond the radius, scan order
+    coeff_codes: Optional[np.ndarray]  # (n_regression_blocks, 3) or None
+    reconstruction: np.ndarray
+
+    @property
+    def unpredictable_fraction(self) -> float:
+        if self.symbols.size == 0:
+            return 0.0
+        return float((self.symbols == 0).mean())
+
+    @property
+    def regression_fraction(self) -> float:
+        if self.modes.size == 0:
+            return 0.0
+        return float((self.modes == MODE_REGRESSION).mean())
+
+
+class BlockCodec:
+    """SZ-style block predict/quantize/select engine (arrays in, arrays out).
+
+    The reference SZ predicts from *reconstructed* neighbour values, which
+    serialises the scan.  This engine pre-quantizes the field onto the
+    ``2*error_bound`` grid (so every reconstructed value equals
+    ``2*eb*q`` exactly) and predicts in integer-code space.  Prediction
+    from codes is then identical to prediction from reconstructed values,
+    the point-wise error bound holds by construction, and both predictors
+    reduce to pure NumPy operations over all blocks at once.
+    """
+
+    def __init__(
+        self,
+        error_bound: float,
+        *,
+        block_size: int = 16,
+        predictors: Tuple[str, ...] = ("lorenzo", "regression"),
+        code_radius: int = DEFAULT_CODE_RADIUS,
+    ) -> None:
+        ensure_positive(error_bound, "error_bound")
+        if block_size < 2:
+            raise ValueError("block_size must be >= 2")
+        if not predictors:
+            raise ValueError("at least one predictor must be enabled")
+        for predictor in predictors:
+            if predictor not in ("lorenzo", "regression"):
+                raise ValueError(f"unknown predictor {predictor!r}")
+        if code_radius < 1:
+            raise ValueError("code_radius must be >= 1")
+        self.error_bound = float(error_bound)
+        self.block_size = int(block_size)
+        self.predictors = tuple(predictors)
+        self.code_radius = int(code_radius)
+
+    @property
+    def step(self) -> float:
+        return 2.0 * self.error_bound
+
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray) -> Optional[BlockEncoding]:
+        """Encode a 2D float field; ``None`` when the integer grid overflows."""
+
+        values = ensure_2d(values, "values")
+        padded, original_shape = pad_to_multiple(values, self.block_size)
+        q = quantize_to_grid(padded, self.step)
+        if q is None:
+            return None
+
+        code_blocks = block_view(q, self.block_size)
+        value_blocks = block_view(padded, self.block_size)
+        nbi, nbj, bs, _ = code_blocks.shape
+
+        candidates: Dict[str, np.ndarray] = {}
+        reg_coeff_codes = None
+        if "lorenzo" in self.predictors:
+            candidates["lorenzo"] = lorenzo_residuals(code_blocks)
+        if "regression" in self.predictors:
+            coefficients = fit_block_planes(value_blocks)
+            reg_coeff_codes = quantize_plane_coefficients(
+                coefficients, self.error_bound, self.block_size
+            )
+            quantized_coeffs = dequantize_plane_coefficients(
+                reg_coeff_codes, self.error_bound, self.block_size
+            )
+            predictions = plane_predictions(quantized_coeffs, self.block_size)
+            predicted_codes = np.rint(predictions / self.step).astype(np.int64)
+            candidates["regression"] = code_blocks - predicted_codes
+
+        modes, residual_blocks = select_block_modes(candidates)
+        flat = residual_blocks.reshape(nbi * nbj, bs * bs)
+        symbols, outliers = split_unpredictable(flat, self.code_radius)
+
+        coeff_codes = None
+        if reg_coeff_codes is not None:
+            coeff_codes = reg_coeff_codes[modes == MODE_REGRESSION]
+
+        reconstruction = (q.astype(np.float64) * self.step)[
+            : original_shape[0], : original_shape[1]
+        ]
+        return BlockEncoding(
+            original_shape=original_shape,
+            nbi=nbi,
+            nbj=nbj,
+            modes=modes,
+            symbols=symbols,
+            outliers=outliers,
+            coeff_codes=coeff_codes,
+            reconstruction=reconstruction,
+        )
+
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        modes: np.ndarray,
+        symbols: np.ndarray,
+        outliers: np.ndarray,
+        coeff_codes: Optional[np.ndarray],
+        original_shape: Tuple[int, int],
+    ) -> np.ndarray:
+        """Reconstruct the field from the arrays produced by :meth:`encode`."""
+
+        bs = self.block_size
+        nbi, nbj = modes.shape
+        residuals = merge_unpredictable(symbols, outliers, self.code_radius)
+        residual_blocks = residuals.reshape(nbi, nbj, bs, bs)
+
+        code_blocks = np.empty_like(residual_blocks)
+        lorenzo_mask = modes == MODE_LORENZO
+        if lorenzo_mask.any():
+            code_blocks[lorenzo_mask] = lorenzo_reconstruct(
+                residual_blocks[lorenzo_mask].reshape(-1, 1, bs, bs)
+            ).reshape(-1, bs, bs)
+        regression_mask = modes == MODE_REGRESSION
+        if regression_mask.any():
+            if coeff_codes is None:
+                raise ValueError("regression blocks present but no coefficients given")
+            quantized_coeffs = dequantize_plane_coefficients(
+                coeff_codes, self.error_bound, bs
+            ).reshape(-1, 1, 3)
+            predictions = plane_predictions(quantized_coeffs, bs).reshape(-1, bs, bs)
+            predicted_codes = np.rint(predictions / self.step).astype(np.int64)
+            code_blocks[regression_mask] = (
+                residual_blocks[regression_mask] + predicted_codes
+            )
+
+        q = merge_field(code_blocks, (nbi * bs, nbj * bs))
+        field = q.astype(np.float64) * self.step
+        return field[: original_shape[0], : original_shape[1]]

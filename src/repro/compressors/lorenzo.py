@@ -8,14 +8,16 @@ neighbours::
 Two implementations are provided:
 
 * **Block-local integer Lorenzo** (:func:`block_lorenzo_residuals` /
-  :func:`block_lorenzo_reconstruct`) — operates on *pre-quantized* integer
-  codes inside each block independently, treating out-of-block neighbours
-  as zero.  Because each reconstructed value equals ``2*eb*code`` exactly,
-  prediction from codes is identical to prediction from reconstructed
-  values, the error bound holds point-wise, and both directions reduce to
-  array shifts / double cumulative sums that vectorise across all blocks at
-  once.  Block independence also matches the paper's observation that SZ's
-  predictor "does not observe values outside of its block".
+  :func:`block_lorenzo_reconstruct`) — thin aliases of the shared
+  block-codec engine (:mod:`repro.compressors.blocks`), which operates on
+  *pre-quantized* integer codes inside each block independently, treating
+  out-of-block neighbours as zero.  Because each reconstructed value equals
+  ``2*eb*code`` exactly, prediction from codes is identical to prediction
+  from reconstructed values, the error bound holds point-wise, and both
+  directions reduce to array shifts / double cumulative sums that vectorise
+  across all blocks at once.  Block independence also matches the paper's
+  observation that SZ's predictor "does not observe values outside of its
+  block".
 * **Feedback Lorenzo** (:func:`lorenzo_predict_feedback`) — the textbook SZ
   formulation where the prediction uses previously *reconstructed*
   floating-point values and the residual is quantized on the fly.  It is a
@@ -29,7 +31,11 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.compressors.quantization import DEFAULT_CODE_RADIUS
+from repro.compressors.blocks import (
+    DEFAULT_CODE_RADIUS,
+    lorenzo_reconstruct,
+    lorenzo_residuals,
+)
 from repro.utils.validation import ensure_2d, ensure_positive
 
 __all__ = [
@@ -38,35 +44,9 @@ __all__ = [
     "lorenzo_predict_feedback",
 ]
 
-
-def block_lorenzo_residuals(code_blocks: np.ndarray) -> np.ndarray:
-    """First-order 2D Lorenzo differences within each block.
-
-    ``code_blocks`` has shape ``(nbi, nbj, bs, bs)`` (integer quantization
-    codes).  Out-of-block neighbours are treated as zero, so the first row
-    and column of every block fall back to 1D differences and the corner
-    stores the code itself.
-    """
-
-    if code_blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {code_blocks.shape}")
-    codes = np.asarray(code_blocks, dtype=np.int64)
-    up = np.zeros_like(codes)
-    left = np.zeros_like(codes)
-    diag = np.zeros_like(codes)
-    up[:, :, 1:, :] = codes[:, :, :-1, :]
-    left[:, :, :, 1:] = codes[:, :, :, :-1]
-    diag[:, :, 1:, 1:] = codes[:, :, :-1, :-1]
-    return codes - up - left + diag
-
-
-def block_lorenzo_reconstruct(residual_blocks: np.ndarray) -> np.ndarray:
-    """Invert :func:`block_lorenzo_residuals` via double cumulative sums."""
-
-    if residual_blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {residual_blocks.shape}")
-    residuals = np.asarray(residual_blocks, dtype=np.int64)
-    return np.cumsum(np.cumsum(residuals, axis=2), axis=3)
+#: Vectorized block-local Lorenzo; implemented by the block-codec engine.
+block_lorenzo_residuals = lorenzo_residuals
+block_lorenzo_reconstruct = lorenzo_reconstruct
 
 
 def lorenzo_predict_feedback(

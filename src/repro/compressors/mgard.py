@@ -29,6 +29,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.compressors.base import CompressedField, Compressor, CompressorError, LosslessBackend
+from repro.compressors.blocks import quantize_to_grid
 from repro.compressors.multigrid import (
     MultigridDecomposition,
     decompose,
@@ -108,18 +109,19 @@ class MGARDCompressor(Compressor):
         decomposition = decompose(values, n_levels)
         budgets = self._level_budgets(decomposition.n_levels)
 
+        # Per-level grid quantization via the shared block-codec engine; any
+        # level overflowing the integer grid routes the field to raw storage.
         detail_codes: List[np.ndarray] = []
         for level, detail in enumerate(decomposition.details):
-            step = 2.0 * budgets[level]
-            codes = np.rint(detail / step)
-            if not np.all(np.isfinite(codes)) or np.abs(codes).max(initial=0) > _CODE_RADIUS:
+            codes = quantize_to_grid(detail, 2.0 * budgets[level], max_code=_CODE_RADIUS)
+            if codes is None:
                 return self._compress_raw(values, original_dtype)
-            detail_codes.append(codes.astype(np.int64))
-        coarse_step = 2.0 * budgets[-1]
-        coarse_codes = np.rint(decomposition.coarse / coarse_step)
-        if not np.all(np.isfinite(coarse_codes)) or np.abs(coarse_codes).max(initial=0) > _CODE_RADIUS:
+            detail_codes.append(codes)
+        coarse_codes = quantize_to_grid(
+            decomposition.coarse, 2.0 * budgets[-1], max_code=_CODE_RADIUS
+        )
+        if coarse_codes is None:
             return self._compress_raw(values, original_dtype)
-        coarse_codes = coarse_codes.astype(np.int64)
 
         reconstruction = self._reconstruct(
             coarse_codes, detail_codes, decomposition.shapes, budgets

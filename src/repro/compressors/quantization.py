@@ -7,24 +7,22 @@ point-wise absolute error bound.  Codes outside a configurable radius mark
 the value as *unpredictable*: it is stored exactly (bit-for-bit) in a side
 channel instead, exactly as the real SZ does.
 
-The functions here operate on whole arrays at once (no Python loops) and
-are shared by the SZ-like and MGARD-like compressors.
+The vectorized single-pass implementation lives in the shared block-codec
+engine (:func:`repro.compressors.blocks.linear_quantize`); this module
+wraps it in the :class:`QuantizationResult` record used by the SZ-like and
+MGARD-like compressors and the tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
+from repro.compressors.blocks import DEFAULT_CODE_RADIUS, linear_quantize
 from repro.utils.validation import ensure_positive
 
 __all__ = ["QuantizationResult", "quantize_residuals", "dequantize_codes", "DEFAULT_CODE_RADIUS"]
-
-#: Default maximum |code|; matches SZ's default of 2^16 quantization intervals
-#: (radius 2^15) — beyond that a value is declared unpredictable.
-DEFAULT_CODE_RADIUS = 1 << 15
 
 
 @dataclass(frozen=True)
@@ -71,26 +69,9 @@ def quantize_residuals(
     performed and any violating entry is demoted to unpredictable.
     """
 
-    ensure_positive(error_bound, "error_bound")
-    ensure_positive(code_radius, "code_radius")
-    values = np.asarray(values, dtype=np.float64)
-    predictions = np.asarray(predictions, dtype=np.float64)
-    if values.shape != predictions.shape:
-        raise ValueError(
-            f"values shape {values.shape} != predictions shape {predictions.shape}"
-        )
-
-    step = 2.0 * error_bound
-    with np.errstate(invalid="ignore", over="ignore"):
-        residuals = values - predictions
-        codes = np.rint(residuals / step)
-        out_of_range = np.abs(codes) > code_radius
-        reconstruction = predictions + step * codes
-        violates = np.abs(reconstruction - values) > error_bound
-    unpredictable = out_of_range | violates | ~np.isfinite(codes)
-
-    codes = np.where(unpredictable, 0, codes).astype(np.int64)
-    reconstruction = np.where(unpredictable, values, predictions + step * codes)
+    codes, unpredictable, reconstruction = linear_quantize(
+        values, predictions, error_bound, code_radius=code_radius
+    )
     return QuantizationResult(
         codes=codes, unpredictable_mask=unpredictable, reconstruction=reconstruction
     )

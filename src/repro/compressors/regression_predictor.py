@@ -16,15 +16,22 @@ The decoder must form the *same* plane, so the coefficients are themselves
 quantized (with a precision tied to the error bound, as in SZ) and stored
 in the compressed stream; predictions are always computed from the
 quantized coefficients on both sides.
+
+The implementations live in the shared block-codec engine
+(:mod:`repro.compressors.blocks`); this module re-exports them under their
+historical names.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-import numpy as np
-
-from repro.utils.validation import ensure_positive
+from repro.compressors.blocks import (
+    coefficient_precisions,
+    dequantize_plane_coefficients,
+    fit_block_planes,
+    plane_design_matrix,
+    plane_predictions,
+    quantize_plane_coefficients,
+)
 
 __all__ = [
     "plane_design_matrix",
@@ -34,84 +41,3 @@ __all__ = [
     "plane_predictions",
     "coefficient_precisions",
 ]
-
-
-def plane_design_matrix(block_size: int) -> np.ndarray:
-    """Design matrix ``[1, i, j]`` for every cell of a ``block_size`` block."""
-
-    ensure_positive(block_size, "block_size")
-    ii, jj = np.meshgrid(np.arange(block_size), np.arange(block_size), indexing="ij")
-    return np.column_stack(
-        [np.ones(block_size * block_size), ii.ravel().astype(np.float64), jj.ravel().astype(np.float64)]
-    )
-
-
-def fit_block_planes(blocks: np.ndarray) -> np.ndarray:
-    """Least-squares plane coefficients for every block.
-
-    ``blocks`` has shape ``(nbi, nbj, bs, bs)``; the result has shape
-    ``(nbi, nbj, 3)`` holding ``(beta0, beta_i, beta_j)`` per block.
-    """
-
-    if blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {blocks.shape}")
-    nbi, nbj, bs, bs2 = blocks.shape
-    if bs != bs2:
-        raise ValueError("blocks must be square")
-    design = plane_design_matrix(bs)
-    pseudo_inverse = np.linalg.pinv(design)  # (3, bs*bs)
-    flat = blocks.reshape(nbi, nbj, bs * bs).astype(np.float64)
-    return np.einsum("kp,ijp->ijk", pseudo_inverse, flat)
-
-
-def coefficient_precisions(error_bound: float, block_size: int) -> np.ndarray:
-    """Quantization step for (intercept, slope_i, slope_j) coefficients.
-
-    Following SZ's choice, the intercept is stored to within the error
-    bound itself, while slope coefficients are stored to within
-    ``error_bound / block_size`` so the accumulated prediction error across
-    a block stays of the order of the error bound.
-    """
-
-    ensure_positive(error_bound, "error_bound")
-    ensure_positive(block_size, "block_size")
-    return np.array(
-        [error_bound, error_bound / block_size, error_bound / block_size], dtype=np.float64
-    )
-
-
-def quantize_plane_coefficients(
-    coefficients: np.ndarray, error_bound: float, block_size: int
-) -> np.ndarray:
-    """Quantize plane coefficients to integer codes (per-coefficient precision)."""
-
-    precisions = coefficient_precisions(error_bound, block_size)
-    coeffs = np.asarray(coefficients, dtype=np.float64)
-    return np.rint(coeffs / precisions).astype(np.int64)
-
-
-def dequantize_plane_coefficients(
-    codes: np.ndarray, error_bound: float, block_size: int
-) -> np.ndarray:
-    """Inverse of :func:`quantize_plane_coefficients`."""
-
-    precisions = coefficient_precisions(error_bound, block_size)
-    return np.asarray(codes, dtype=np.float64) * precisions
-
-
-def plane_predictions(coefficients: np.ndarray, block_size: int) -> np.ndarray:
-    """Evaluate plane predictions for every block.
-
-    ``coefficients`` has shape ``(nbi, nbj, 3)``; the result has shape
-    ``(nbi, nbj, bs, bs)``.
-    """
-
-    coeffs = np.asarray(coefficients, dtype=np.float64)
-    if coeffs.ndim != 3 or coeffs.shape[-1] != 3:
-        raise ValueError(f"expected (nbi, nbj, 3) coefficients, got {coeffs.shape}")
-    ii, jj = np.meshgrid(np.arange(block_size), np.arange(block_size), indexing="ij")
-    return (
-        coeffs[:, :, 0, None, None]
-        + coeffs[:, :, 1, None, None] * ii[None, None, :, :]
-        + coeffs[:, :, 2, None, None] * jj[None, None, :, :]
-    )

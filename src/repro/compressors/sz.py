@@ -13,19 +13,18 @@ Section II-A:
 4. the quantization-code stream is entropy coded (run-length + canonical
    Huffman by default, optionally the LZ77+Huffman Zstd-like backend).
 
-Vectorisation note
-------------------
-The reference SZ predicts from *reconstructed* neighbour values, which
-serialises the scan.  This implementation pre-quantizes the field onto the
-``2*error_bound`` grid (so every reconstructed value equals
-``2*eb*q`` exactly) and predicts in integer-code space.  Prediction from
-codes is then identical to prediction from reconstructed values, the
-point-wise error bound holds by construction, and both predictors reduce to
-pure NumPy array operations over all blocks at once.  The scalar
-reference formulation is kept in
-:func:`repro.compressors.lorenzo.lorenzo_predict_feedback` and the test
-suite checks the two agree on the error-bound invariant and produce
-similar code statistics.
+Steps 1-3 are the shared, fully vectorized block-codec engine
+(:class:`repro.compressors.blocks.BlockCodec`); this module owns only the
+container format: serializing the engine's arrays (modes, symbols,
+regression coefficients, exact outliers) into a self-describing byte blob
+and back.  The coefficient and outlier side channels use the array varint
+codecs, so neither direction loops over elements in Python.
+
+See the engine's docstring for why predicting in pre-quantized integer-code
+space is equivalent to the reference feedback formulation; the scalar
+reference is kept in :func:`repro.compressors.lorenzo.lorenzo_predict_feedback`
+and the test suite checks the two agree on the error-bound invariant and
+produce similar code statistics.
 """
 
 from __future__ import annotations
@@ -36,30 +35,22 @@ from typing import Tuple
 import numpy as np
 
 from repro.compressors.base import CompressedField, Compressor, CompressorError, LosslessBackend
-from repro.compressors.lorenzo import block_lorenzo_reconstruct, block_lorenzo_residuals
-from repro.compressors.quantization import DEFAULT_CODE_RADIUS
-from repro.compressors.regression_predictor import (
-    dequantize_plane_coefficients,
-    fit_block_planes,
-    plane_predictions,
-    quantize_plane_coefficients,
+from repro.compressors.blocks import (
+    DEFAULT_CODE_RADIUS,
+    MODE_REGRESSION,
+    BlockCodec,
 )
 from repro.encoding.varint import (
-    decode_signed_varint,
+    decode_signed_varint_array,
     decode_varint,
-    encode_signed_varint,
+    encode_signed_varint_array,
     encode_varint,
 )
-from repro.utils.blocking import block_view, pad_to_multiple, reassemble_blocks
 from repro.utils.validation import ensure_2d, ensure_float_array
 
 __all__ = ["SZCompressor"]
 
 _MAGIC = b"SZR1"
-_MODE_LORENZO = 0
-_MODE_REGRESSION = 1
-# Safety margin for the pre-quantization integer grid (int64).
-_MAX_SAFE_CODE = float(2**62)
 
 
 class SZCompressor(Compressor):
@@ -94,19 +85,25 @@ class SZCompressor(Compressor):
         code_radius: int = DEFAULT_CODE_RADIUS,
     ) -> None:
         super().__init__(error_bound)
-        if block_size < 2:
-            raise ValueError("block_size must be >= 2")
-        if not predictors:
-            raise ValueError("at least one predictor must be enabled")
-        for predictor in predictors:
-            if predictor not in ("lorenzo", "regression"):
-                raise ValueError(f"unknown predictor {predictor!r}")
-        self.block_size = int(block_size)
-        self.predictors = tuple(predictors)
+        self._codec = BlockCodec(
+            error_bound,
+            block_size=block_size,
+            predictors=predictors,
+            code_radius=code_radius,
+        )
         self.backend = LosslessBackend(backend)
-        if code_radius < 1:
-            raise ValueError("code_radius must be >= 1")
-        self.code_radius = int(code_radius)
+
+    @property
+    def block_size(self) -> int:
+        return self._codec.block_size
+
+    @property
+    def predictors(self) -> Tuple[str, ...]:
+        return self._codec.predictors
+
+    @property
+    def code_radius(self) -> int:
+        return self._codec.code_radius
 
     # ------------------------------------------------------------------
     # compression
@@ -115,125 +112,65 @@ class SZCompressor(Compressor):
         original = ensure_2d(field, "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
-        step = 2.0 * self.error_bound
 
-        padded, original_shape = pad_to_multiple(values, self.block_size)
-        scaled = padded / step
-        if not np.all(np.isfinite(scaled)) or float(np.abs(scaled).max(initial=0.0)) > _MAX_SAFE_CODE:
+        encoding = self._codec.encode(values)
+        if encoding is None:
             # Error bound too small relative to the data magnitude for the
             # integer grid: fall back to verbatim storage (CR ~= 1).
             return self._compress_raw(values, original_dtype)
-
-        q = np.rint(scaled).astype(np.int64)
-        code_blocks = block_view(q, self.block_size)
-        value_blocks = block_view(padded, self.block_size)
-        nbi, nbj, bs, _ = code_blocks.shape
-
-        candidates = {}
-        if "lorenzo" in self.predictors:
-            candidates["lorenzo"] = block_lorenzo_residuals(code_blocks)
-        reg_coeff_codes = None
-        if "regression" in self.predictors:
-            coefficients = fit_block_planes(value_blocks)
-            reg_coeff_codes = quantize_plane_coefficients(
-                coefficients, self.error_bound, self.block_size
-            )
-            quantized_coeffs = dequantize_plane_coefficients(
-                reg_coeff_codes, self.error_bound, self.block_size
-            )
-            predictions = plane_predictions(quantized_coeffs, self.block_size)
-            predicted_codes = np.rint(predictions / step).astype(np.int64)
-            candidates["regression"] = code_blocks - predicted_codes
-
-        modes, residual_blocks = self._select_modes(candidates)
-
-        # Route residual codes beyond the quantization radius to the exact
-        # (integer) side channel, identified by the reserved symbol 0.
-        flat_codes = residual_blocks.reshape(nbi * nbj, bs * bs)
-        outlier_mask = np.abs(flat_codes) > self.code_radius
-        outliers = flat_codes[outlier_mask]
-        symbols = np.where(
-            outlier_mask, 0, flat_codes + self.code_radius + 1
-        ).astype(np.int64)
+        max_error = float(np.abs(values - encoding.reconstruction).max(initial=0.0))
+        if max_error > self.error_bound:
+            # The grid reconstruction is mathematically within eb, but at
+            # extreme magnitude/bound ratios floating-point round-off on
+            # q*step can exceed it by a few ulps; raw storage keeps the
+            # bound a hard guarantee.
+            return self._compress_raw(values, original_dtype)
 
         payload = bytearray()
         payload.extend(_MAGIC)
         payload.extend(encode_varint(0))  # container version / raw flag = 0
-        payload.extend(encode_varint(original_shape[0]))
-        payload.extend(encode_varint(original_shape[1]))
+        payload.extend(encode_varint(encoding.original_shape[0]))
+        payload.extend(encode_varint(encoding.original_shape[1]))
         payload.extend(encode_varint(self.block_size))
         payload.extend(struct.pack("<d", self.error_bound))
         payload.extend(encode_varint(self.code_radius))
-        payload.extend(encode_varint(nbi))
-        payload.extend(encode_varint(nbj))
+        payload.extend(encode_varint(encoding.nbi))
+        payload.extend(encode_varint(encoding.nbj))
 
-        mode_bits = np.packbits(modes.astype(np.uint8).ravel())
+        mode_bits = np.packbits(encoding.modes.astype(np.uint8).ravel())
         payload.extend(encode_varint(len(mode_bits)))
         payload.extend(mode_bits.tobytes())
 
-        coeff_blob = bytearray()
-        if reg_coeff_codes is not None:
-            selected = reg_coeff_codes[modes == _MODE_REGRESSION]
-            for code in selected.ravel():
-                coeff_blob.extend(encode_signed_varint(int(code)))
+        coeff_blob = b""
+        if encoding.coeff_codes is not None:
+            coeff_blob = encode_signed_varint_array(encoding.coeff_codes.ravel())
         payload.extend(encode_varint(len(coeff_blob)))
         payload.extend(coeff_blob)
 
-        symbol_blob = self.backend.encode_symbols(symbols.ravel())
+        symbol_blob = self.backend.encode_symbols(encoding.symbols.ravel())
         payload.extend(encode_varint(len(symbol_blob)))
         payload.extend(symbol_blob)
 
-        outlier_blob = bytearray()
-        for code in outliers:
-            outlier_blob.extend(encode_signed_varint(int(code)))
-        payload.extend(encode_varint(int(outliers.size)))
+        outlier_blob = encode_signed_varint_array(encoding.outliers)
+        payload.extend(encode_varint(int(encoding.outliers.size)))
         payload.extend(encode_varint(len(outlier_blob)))
         payload.extend(outlier_blob)
 
-        reconstruction = (q.astype(np.float64) * step)[: original_shape[0], : original_shape[1]]
         compressed = CompressedField(
             data=bytes(payload),
-            original_shape=tuple(original_shape),
+            original_shape=tuple(encoding.original_shape),
             original_dtype=original_dtype,
             compressor=self.name,
             error_bound=self.error_bound,
-            reconstruction=reconstruction,
+            reconstruction=encoding.reconstruction,
             extras={
-                "unpredictable_fraction": float(outlier_mask.mean()),
-                "regression_block_fraction": float((modes == _MODE_REGRESSION).mean()),
-                "n_blocks": float(nbi * nbj),
+                "unpredictable_fraction": encoding.unpredictable_fraction,
+                "regression_block_fraction": encoding.regression_fraction,
+                "n_blocks": float(encoding.nbi * encoding.nbj),
             },
         )
-        self.check_error_bound(values, reconstruction)
+        self.check_error_bound(values, encoding.reconstruction)
         return compressed
-
-    def _select_modes(self, candidates) -> Tuple[np.ndarray, np.ndarray]:
-        """Pick the cheaper predictor per block.
-
-        The coding cost proxy is the total number of significant bits of the
-        residual codes (a cheap stand-in for the Huffman-coded size), with a
-        fixed overhead added for the regression coefficients that must be
-        stored per regression block.
-        """
-
-        names = list(candidates)
-        if len(names) == 1:
-            residuals = candidates[names[0]]
-            nbi, nbj = residuals.shape[:2]
-            mode = _MODE_LORENZO if names[0] == "lorenzo" else _MODE_REGRESSION
-            return np.full((nbi, nbj), mode, dtype=np.int64), residuals
-
-        lorenzo = candidates["lorenzo"]
-        regression = candidates["regression"]
-        cost_lorenzo = np.log2(np.abs(lorenzo) + 1.0).sum(axis=(2, 3))
-        cost_regression = np.log2(np.abs(regression) + 1.0).sum(axis=(2, 3))
-        # ~3 coefficients x ~16 bits of overhead per regression block.
-        cost_regression = cost_regression + 48.0
-        modes = np.where(cost_regression < cost_lorenzo, _MODE_REGRESSION, _MODE_LORENZO)
-        residuals = np.where(
-            (modes == _MODE_REGRESSION)[:, :, None, None], regression, lorenzo
-        )
-        return modes.astype(np.int64), residuals
 
     def _compress_raw(self, values: np.ndarray, original_dtype: np.dtype) -> CompressedField:
         payload = bytearray()
@@ -276,7 +213,6 @@ class SZCompressor(Compressor):
         code_radius, pos = decode_varint(blob, pos)
         nbi, pos = decode_varint(blob, pos)
         nbj, pos = decode_varint(blob, pos)
-        step = 2.0 * error_bound
 
         mode_bytes_len, pos = decode_varint(blob, pos)
         mode_bits = np.frombuffer(blob[pos : pos + mode_bytes_len], dtype=np.uint8)
@@ -285,11 +221,11 @@ class SZCompressor(Compressor):
 
         coeff_len, pos = decode_varint(blob, pos)
         coeff_end = pos + coeff_len
-        n_regression = int((modes == _MODE_REGRESSION).sum())
-        coeff_codes = np.zeros((n_regression, 3), dtype=np.int64)
-        for k in range(n_regression * 3):
-            value, pos = decode_signed_varint(blob, pos)
-            coeff_codes[k // 3, k % 3] = value
+        n_regression = int((modes == MODE_REGRESSION).sum())
+        coeff_codes = None
+        if n_regression:
+            flat_coeffs, pos = decode_signed_varint_array(blob, n_regression * 3, pos)
+            coeff_codes = flat_coeffs.reshape(n_regression, 3)
         if pos != coeff_end:
             raise CompressorError("regression coefficient stream length mismatch")
 
@@ -299,34 +235,17 @@ class SZCompressor(Compressor):
 
         n_outliers, pos = decode_varint(blob, pos)
         outlier_len, pos = decode_varint(blob, pos)
-        outliers = np.zeros(n_outliers, dtype=np.int64)
-        for k in range(n_outliers):
-            value, pos = decode_signed_varint(blob, pos)
-            outliers[k] = value
+        outliers = np.empty(0, dtype=np.int64)
+        if n_outliers:
+            outliers, pos = decode_signed_varint_array(blob, n_outliers, pos)
 
-        bs = block_size
-        residuals = symbols.astype(np.int64) - (code_radius + 1)
-        outlier_positions = np.flatnonzero(symbols == 0)
-        residuals[outlier_positions] = outliers
-        residual_blocks = residuals.reshape(nbi, nbj, bs, bs)
-
-        code_blocks = np.empty_like(residual_blocks)
-        lorenzo_mask = modes == _MODE_LORENZO
-        if lorenzo_mask.any():
-            code_blocks[lorenzo_mask] = block_lorenzo_reconstruct(
-                residual_blocks[lorenzo_mask][None, ...].reshape(-1, 1, bs, bs)
-            ).reshape(-1, bs, bs)
-        regression_mask = modes == _MODE_REGRESSION
-        if regression_mask.any():
-            quantized_coeffs = dequantize_plane_coefficients(
-                coeff_codes, error_bound, bs
-            ).reshape(n_regression, 1, 3)
-            predictions = plane_predictions(quantized_coeffs, bs).reshape(-1, bs, bs)
-            predicted_codes = np.rint(predictions / step).astype(np.int64)
-            code_blocks[regression_mask] = (
-                residual_blocks[regression_mask] + predicted_codes
-            )
-
-        q = reassemble_blocks(code_blocks, (nbi * bs, nbj * bs))
-        field = q.astype(np.float64) * step
-        return field[:rows, :cols]
+        codec = BlockCodec(
+            error_bound, block_size=block_size, code_radius=code_radius
+        )
+        return codec.decode(
+            modes,
+            symbols.reshape(nbi * nbj, block_size * block_size),
+            outliers,
+            coeff_codes,
+            (rows, cols),
+        )

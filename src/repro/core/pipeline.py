@@ -6,12 +6,22 @@ use: it instantiates a named dataset from the registry (a list of labelled
 returns the flat list of :class:`repro.core.experiment.CompressionRecord`.
 Field-level work is embarrassingly parallel and can be distributed over a
 process pool via :class:`repro.utils.parallel.ParallelConfig`.
+
+Repeated cells are memoized: several figure drivers sweep the same
+(field, compressor, bound) combinations — e.g. the global-range and
+local-statistics panels over one dataset realisation — so the per-field
+measurement is cached in an :class:`ExperimentCache` keyed by the field's
+content hash and the sweep configuration.  The default process-wide cache
+can be bypassed per call (``cache=False``) or cleared with
+:func:`clear_default_cache`.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,7 +30,84 @@ from repro.datasets.registry import DatasetRegistry, default_registry
 from repro.utils.parallel import ParallelConfig, parallel_map
 from repro.utils.rng import SeedLike
 
-__all__ = ["ExperimentResult", "run_experiment", "run_experiment_on_fields", "records_to_table"]
+__all__ = [
+    "ExperimentCache",
+    "ExperimentResult",
+    "default_cache",
+    "clear_default_cache",
+    "run_experiment",
+    "run_experiment_on_fields",
+    "records_to_table",
+]
+
+
+class ExperimentCache:
+    """LRU memo of per-field measurement results.
+
+    Keys combine the dataset name, field label, a SHA-1 of the field's raw
+    bytes (plus shape/dtype) and the repr of the frozen
+    :class:`~repro.core.experiment.ExperimentConfig`, so a hit is only
+    possible for a byte-identical field measured under an identical sweep
+    configuration.  Values are the tuples of records produced by
+    :func:`repro.core.experiment.measure_field` (frozen dataclasses, safe
+    to share between callers).
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, Tuple[CompressionRecord, ...]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        dataset: str, label: str, field: np.ndarray, config: ExperimentConfig
+    ) -> str:
+        field = np.ascontiguousarray(field)
+        digest = hashlib.sha1(field.tobytes())
+        digest.update(repr((field.shape, str(field.dtype), dataset, label)).encode())
+        digest.update(repr(config).encode())
+        return digest.hexdigest()
+
+    def get(self, key: str) -> Optional[Tuple[CompressionRecord, ...]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, records: Sequence[CompressionRecord]) -> None:
+        self._entries[key] = tuple(records)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_DEFAULT_CACHE = ExperimentCache()
+
+
+def default_cache() -> ExperimentCache:
+    """The process-wide experiment cache used when no cache is passed."""
+
+    return _DEFAULT_CACHE
+
+
+def clear_default_cache() -> None:
+    """Drop all entries (and counters) of the process-wide cache."""
+
+    _DEFAULT_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -68,13 +155,43 @@ def run_experiment_on_fields(
     dataset: str,
     config: ExperimentConfig | None = None,
     parallel: ParallelConfig | None = None,
+    cache: Union[ExperimentCache, bool, None] = None,
 ) -> ExperimentResult:
-    """Measure an explicit list of labelled fields."""
+    """Measure an explicit list of labelled fields.
+
+    ``cache`` selects the memo for repeated (field, config) cells: ``None``
+    (default) uses the process-wide cache, an :class:`ExperimentCache`
+    instance uses that cache, and ``False`` disables memoization.
+    """
 
     config = config or ExperimentConfig()
+    if cache is None or cache is True:
+        cache = _DEFAULT_CACHE
+    elif cache is False:
+        cache = None
+
     tasks = [(dataset, label, np.asarray(field), config) for label, field in fields]
-    results = parallel_map(_measure_one, tasks, parallel)
-    records: List[CompressionRecord] = [record for group in results for record in group]
+    keys: List[Optional[str]] = [None] * len(tasks)
+    groups: List[Optional[List[CompressionRecord]]] = [None] * len(tasks)
+    pending: List[int] = []
+    if cache is not None:
+        for i, (_, label, field, _) in enumerate(tasks):
+            keys[i] = ExperimentCache.key(dataset, label, field, config)
+            hit = cache.get(keys[i])
+            groups[i] = list(hit) if hit is not None else None
+            if groups[i] is None:
+                pending.append(i)
+    else:
+        pending = list(range(len(tasks)))
+
+    if pending:
+        fresh = parallel_map(_measure_one, [tasks[i] for i in pending], parallel)
+        for i, group in zip(pending, fresh):
+            groups[i] = group
+            if cache is not None:
+                cache.put(keys[i], group)
+
+    records: List[CompressionRecord] = [record for group in groups for record in group]
     return ExperimentResult(dataset=dataset, config=config, records=tuple(records))
 
 
@@ -85,6 +202,7 @@ def run_experiment(
     registry: DatasetRegistry | None = None,
     seed: SeedLike = 0,
     parallel: ParallelConfig | None = None,
+    cache: Union[ExperimentCache, bool, None] = None,
 ) -> ExperimentResult:
     """Run a full sweep on a named dataset from the registry.
 
@@ -101,12 +219,14 @@ def run_experiment(
         Seed used to instantiate the dataset (field realisations).
     parallel:
         Optional process-pool configuration for the per-field work.
+    cache:
+        Memo for repeated cells; see :func:`run_experiment_on_fields`.
     """
 
     registry = registry or default_registry()
     fields = registry.create(dataset, seed=seed)
     return run_experiment_on_fields(
-        fields, dataset=dataset, config=config, parallel=parallel
+        fields, dataset=dataset, config=config, parallel=parallel, cache=cache
     )
 
 

@@ -2,9 +2,11 @@
 
 The writer accumulates bits most-significant-first into a Python
 ``bytearray``; the reader consumes them in the same order.  Both support
-bulk operations on NumPy arrays of per-symbol codes so that the Huffman
-encoder and the ZFP-like embedded coder can avoid Python-level loops on the
-hot path where possible.
+bulk operations on NumPy arrays of per-symbol codes
+(:meth:`BitWriter.write_bits_array` / :meth:`BitReader.read_bits_array`)
+so the packed fixed-width streams of the lossless backends avoid
+Python-level loops on the hot path; the bulk forms produce bit-identical
+streams to their scalar counterparts applied element-wise.
 """
 
 from __future__ import annotations
@@ -47,6 +49,51 @@ class BitWriter:
             self._buffer.append((self._accum >> self._nbits) & 0xFF)
         # Keep only the residual bits to avoid unbounded growth of _accum.
         self._accum &= (1 << self._nbits) - 1
+
+    def write_bits_array(self, values: np.ndarray, counts) -> None:
+        """Append many ``(value, count)`` fields in one vectorized pass.
+
+        ``counts`` may be a scalar (fixed-width packing) or an array of
+        per-value widths; the resulting bit stream is identical to calling
+        :meth:`write_bits` for every pair in order.
+        """
+
+        raw = np.asarray(values)
+        if raw.dtype.kind == "i" and raw.size and int(raw.min()) < 0:
+            raise ValueError("values must be non-negative; encode sign separately")
+        values = raw.astype(np.uint64).ravel()
+        counts = np.broadcast_to(np.asarray(counts, dtype=np.int64), values.shape)
+        if values.size == 0:
+            return
+        if counts.min() < 0 or counts.max() > 64:
+            raise ValueError("counts must be in [0, 64]")
+        checkable = (counts > 0) & (counts < 64)
+        if np.any(values[checkable] >> counts[checkable].astype(np.uint64)):
+            raise ValueError("a value does not fit in its bit count")
+
+        total = int(counts.sum())
+        if total == 0:
+            return
+        starts = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+        rep_values = np.repeat(values, counts)
+        rep_shifts = (np.repeat(counts, counts) - 1 - within).astype(np.uint64)
+        bits = ((rep_values >> rep_shifts) & np.uint64(1)).astype(np.uint8)
+
+        # Prepend the writer's pending sub-byte bits so one packbits emits
+        # whole bytes; the remainder goes back into the accumulator.
+        if self._nbits:
+            pending = (
+                (np.uint64(self._accum) >> np.arange(self._nbits - 1, -1, -1, dtype=np.uint64))
+                & np.uint64(1)
+            ).astype(np.uint8)
+            bits = np.concatenate([pending, bits])
+        n_whole = bits.size // 8
+        if n_whole:
+            self._buffer.extend(np.packbits(bits[: n_whole * 8]).tobytes())
+        tail = bits[n_whole * 8 :]
+        self._nbits = int(tail.size)
+        self._accum = int(tail @ (1 << np.arange(tail.size - 1, -1, -1))) if tail.size else 0
 
     def write_unary(self, value: int) -> None:
         """Append ``value`` one-bits followed by a terminating zero bit."""
@@ -122,6 +169,38 @@ class BitReader:
             self._pos += take
             remaining -= take
         return value
+
+    def read_bits_array(self, counts) -> np.ndarray:
+        """Read many bit fields at once; inverse of ``write_bits_array``.
+
+        ``counts`` is an array of per-field widths (0 yields 0).  Returns a
+        uint64 array and advances the bit position by ``counts.sum()``.
+        """
+
+        counts = np.asarray(counts, dtype=np.int64).ravel()
+        if counts.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        if counts.min() < 0 or counts.max() > 64:
+            raise ValueError("counts must be in [0, 64]")
+        total = int(counts.sum())
+        if self._pos + total > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+
+        start_byte = self._pos >> 3
+        end_byte = (self._pos + total + 7) >> 3
+        window = np.frombuffer(self._data, dtype=np.uint8, count=end_byte - start_byte, offset=start_byte)
+        bits = np.unpackbits(window)[self._pos - start_byte * 8 :][:total]
+
+        starts = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+        weights = np.uint64(1) << (np.repeat(counts, counts) - 1 - within).astype(np.uint64)
+        contributions = bits.astype(np.uint64) * weights
+        out = np.zeros(counts.size, dtype=np.uint64)
+        nonzero = counts > 0
+        if total:
+            out[nonzero] = np.add.reduceat(contributions, starts[nonzero])
+        self._pos += total
+        return out
 
     def read_unary(self) -> int:
         """Read a unary-coded value (count of one-bits before the zero)."""

@@ -7,10 +7,17 @@ around zero.  Huffman coding of those streams is where the compression
 ratio is actually realised, so this module is a genuine (if compact)
 canonical Huffman implementation:
 
-* code lengths are derived from a standard heap-based Huffman tree,
+* code lengths are derived from a standard heap-based Huffman tree and then
+  *length-limited* (zlib-style Kraft repair) so every codeword fits the
+  decoder's lookup table,
 * codes are made *canonical* so the decoder only needs the code lengths,
 * encoding is vectorised with NumPy (per-symbol code/length lookup followed
-  by a single Python loop over the packed words).
+  by a single ``packbits`` pass),
+* decoding is vectorised too: a canonical prefix table maps every
+  ``max_len``-bit window of the payload to ``(symbol, length)``, and the
+  serial "next codeword starts where the previous one ended" chain is
+  resolved with pointer doubling (``log2(n)`` gathers) instead of a
+  per-symbol Python loop.
 
 The encoded container stores the symbol table (symbols + code lengths) with
 varints, then the bit stream.
@@ -24,46 +31,100 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.encoding.varint import decode_varint, encode_varint
+from repro.encoding.varint import (
+    decode_varint,
+    decode_varint_array,
+    encode_varint,
+    encode_varint_array,
+)
 
 __all__ = ["HuffmanCode", "huffman_code_lengths", "huffman_encode", "huffman_decode"]
 
 _MAX_CODE_LENGTH = 57  # keeps (code << length) within a 64-bit word during packing
+#: Codes are length-limited to this many bits at encode time so the decoder
+#: table (2**limit entries) stays small; raised automatically for alphabets
+#: too large to fit.
+_LENGTH_LIMIT = 16
+#: Largest header-declared code length the table-driven decoder accepts;
+#: longer (foreign/adversarial) streams fall back to the scalar decoder.
+_MAX_TABLE_BITS = 20
 
 
-def huffman_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
-    """Return the Huffman code length for every symbol with non-zero frequency.
+def _limit_lengths(lengths: Dict[int, int], limit: int) -> Dict[int, int]:
+    """Clamp code lengths to ``limit`` bits and repair the Kraft inequality.
 
-    A single-symbol alphabet gets length 1 (a degenerate but decodable code).
+    Standard zlib-style repair: clamping overfull depths can push the Kraft
+    sum above 1; demoting the shallowest over-budget leaves one level deeper
+    restores it while disturbing the optimal lengths as little as possible.
     """
 
-    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not lengths:
+        return lengths
+    limit = max(limit, max(1, (len(lengths) - 1).bit_length()))
+    if max(lengths.values()) <= limit:
+        return lengths
+
+    counts = np.zeros(limit + 1, dtype=np.int64)
+    for length in lengths.values():
+        counts[min(length, limit)] += 1
+    budget = 1 << limit
+    kraft = int(sum(int(counts[l]) << (limit - l) for l in range(1, limit + 1)))
+    while kraft > budget:
+        for l in range(limit - 1, 0, -1):
+            if counts[l] > 0:
+                counts[l] -= 1
+                counts[l + 1] += 1
+                kraft -= 1 << (limit - l - 1)
+                break
+    # Reassign: symbols sorted by (original length, symbol) receive the new
+    # lengths in non-decreasing order, so originally-short (frequent)
+    # symbols keep the short codes.
+    ordered = sorted(lengths, key=lambda s: (lengths[s], s))
+    new_lengths = np.repeat(np.arange(limit + 1), counts)
+    return {sym: int(new_lengths[i]) for i, sym in enumerate(ordered)}
+
+
+def huffman_code_lengths(
+    frequencies: Dict[int, int], *, max_length: int = _LENGTH_LIMIT
+) -> Dict[int, int]:
+    """Return the Huffman code length for every symbol with non-zero frequency.
+
+    Lengths are limited to ``max_length`` bits (Kraft-repaired, see
+    :func:`_limit_lengths`) so the vectorised decoder's prefix table stays
+    bounded; the limit is raised automatically when the alphabet is too
+    large for it.  A single-symbol alphabet gets length 1 (a degenerate but
+    decodable code).
+    """
+
+    symbols = sorted(s for s, f in frequencies.items() if f > 0)
     if not symbols:
         return {}
     if len(symbols) == 1:
         return {symbols[0]: 1}
 
-    # Heap items: (frequency, tie_breaker, [list of (symbol, depth)])
-    heap: List[Tuple[int, int, List[Tuple[int, int]]]] = []
-    for tie, sym in enumerate(sorted(symbols)):
-        heapq.heappush(heap, (frequencies[sym], tie, [(sym, 0)]))
-    tie = len(symbols)
+    # Standard heap-based tree build, but nodes are just indices into a
+    # parent array (no per-node symbol lists): depth(leaf) = number of
+    # parent hops to the root.
+    n = len(symbols)
+    parents = [0] * (2 * n - 1)
+    heap: List[Tuple[int, int]] = [(frequencies[sym], i) for i, sym in enumerate(symbols)]
+    heapq.heapify(heap)
+    next_node = n
     while len(heap) > 1:
-        f1, _, group1 = heapq.heappop(heap)
-        f2, _, group2 = heapq.heappop(heap)
-        merged = [(s, d + 1) for s, d in group1] + [(s, d + 1) for s, d in group2]
-        heapq.heappush(heap, (f1 + f2, tie, merged))
-        tie += 1
-    _, _, groups = heap[0]
-    lengths = {sym: depth for sym, depth in groups}
-    max_len = max(lengths.values())
-    if max_len > _MAX_CODE_LENGTH:
-        # Extremely skewed distributions on huge alphabets could exceed the
-        # packing limit; fall back to a flat code.  In practice quantization
-        # code distributions never get here.
-        flat = max(1, int(np.ceil(np.log2(len(symbols)))))
-        lengths = {sym: flat for sym in symbols}
-    return lengths
+        f1, n1 = heapq.heappop(heap)
+        f2, n2 = heapq.heappop(heap)
+        parents[n1] = next_node
+        parents[n2] = next_node
+        heapq.heappush(heap, (f1 + f2, next_node))
+        next_node += 1
+    # Children always have smaller indices than their parent, so one
+    # root-to-leaves sweep yields every depth in O(n).
+    root = next_node - 1
+    depths = [0] * (2 * n - 1)
+    for node in range(root - 1, -1, -1):
+        depths[node] = depths[parents[node]] + 1
+    lengths = {sym: depths[i] for i, sym in enumerate(symbols)}
+    return _limit_lengths(lengths, min(max_length, _MAX_CODE_LENGTH))
 
 
 @dataclass(frozen=True)
@@ -106,20 +167,26 @@ class HuffmanCode:
 def _write_header(writer_bytes: bytearray, code: HuffmanCode, n_symbols: int) -> None:
     writer_bytes.extend(encode_varint(n_symbols))
     writer_bytes.extend(encode_varint(len(code.symbols)))
-    for sym, length in zip(code.symbols, code.lengths):
-        writer_bytes.extend(encode_varint(sym))
-        writer_bytes.extend(encode_varint(length))
+    pairs = np.empty(2 * len(code.symbols), dtype=np.int64)
+    pairs[0::2] = code.symbols
+    pairs[1::2] = code.lengths
+    writer_bytes.extend(encode_varint_array(pairs))
 
 
-def _read_header(data: bytes) -> Tuple[int, HuffmanCode, int]:
-    n_symbols, pos = decode_varint(data, 0)
-    table_size, pos = decode_varint(data, pos)
-    lengths: Dict[int, int] = {}
-    for _ in range(table_size):
-        sym, pos = decode_varint(data, pos)
-        length, pos = decode_varint(data, pos)
-        lengths[sym] = length
-    return n_symbols, HuffmanCode.from_lengths(lengths), pos
+def _count_symbols(arr: np.ndarray):
+    """``np.unique(..., return_inverse, return_counts)`` without the sort
+    when the value span is narrow enough for a bincount (the common case for
+    quantization-code streams)."""
+
+    vmin = int(arr.min())
+    span = int(arr.max()) - vmin + 1
+    if span > max(1024, 4 * arr.size):
+        return np.unique(arr, return_inverse=True, return_counts=True)
+    full = np.bincount(arr - vmin, minlength=span)
+    present = np.flatnonzero(full)
+    slot = np.zeros(span, dtype=np.int64)
+    slot[present] = np.arange(present.size)
+    return present + vmin, slot[arr - vmin], full[present]
 
 
 def huffman_encode(symbols: Sequence[int]) -> bytes:
@@ -136,57 +203,116 @@ def huffman_encode(symbols: Sequence[int]) -> bytes:
         out.extend(encode_varint(0))
         return bytes(out)
 
-    values, counts = np.unique(arr, return_counts=True)
+    values, inverse, counts = _count_symbols(arr)
     freqs = {int(v): int(c) for v, c in zip(values, counts)}
     code = HuffmanCode.from_lengths(huffman_code_lengths(freqs))
     _write_header(out, code, arr.size)
 
-    # Vectorised lookup of (code, length) per input symbol, using searchsorted
-    # over the sorted symbol alphabet (canonical order is by (length, symbol),
-    # so build an explicit sorted view for the lookup).
+    # Vectorised lookup of (code, length) per input symbol: ``inverse`` maps
+    # each symbol to its slot in the sorted alphabet (``values``), and
+    # ``argsort`` of the canonical symbols maps those slots to canonical
+    # order — no per-symbol searchsorted over the input needed.
     alphabet = np.asarray(code.symbols, dtype=np.int64)
     order = np.argsort(alphabet)
-    sorted_alphabet = alphabet[order]
-    positions = np.searchsorted(sorted_alphabet, arr)
-    index = order[positions]
+    index = order[inverse.ravel()]
     codes_arr = np.asarray(code.codes, dtype=np.uint64)[index]
     lens_arr = np.asarray(code.lengths, dtype=np.int64)[index]
 
-    # Vectorised MSB-first bit packing: expand every code into a max_len-wide
-    # bit matrix, mask out the leading unused bits per row, and packbits the
-    # row-major flattening (which preserves symbol order).
-    max_len = int(lens_arr.max())
-    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
-    bit_matrix = ((codes_arr[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    valid = np.arange(max_len)[None, :] >= (max_len - lens_arr)[:, None]
-    bits = bit_matrix[valid]
+    # Vectorised MSB-first bit packing: expand every codeword into exactly
+    # its own bits (no max_len-wide matrix) — bit k of a length-L codeword
+    # is (code >> (L-1-k)) & 1, laid out flat in symbol order.
+    starts = np.cumsum(lens_arr) - lens_arr
+    total = int(starts[-1] + lens_arr[-1])
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens_arr)
+    rep_codes = np.repeat(codes_arr, lens_arr)
+    rep_shifts = (np.repeat(lens_arr, lens_arr) - 1 - within).astype(np.uint64)
+    bits = ((rep_codes >> rep_shifts) & np.uint64(1)).astype(np.uint8)
     payload = np.packbits(bits).tobytes()
     out.extend(encode_varint(len(payload)))
     out.extend(payload)
     return bytes(out)
 
 
-def huffman_decode(blob: bytes) -> np.ndarray:
-    """Inverse of :func:`huffman_encode`; returns an ``int64`` array."""
+def _decode_vectorized(
+    syms_canonical: np.ndarray, lens_canonical: np.ndarray, payload: bytes, n_symbols: int
+) -> np.ndarray:
+    """Table-driven canonical decode without a per-symbol Python loop.
 
-    n_symbols, code, pos = _read_header(blob)
-    if n_symbols == 0:
-        return np.empty(0, dtype=np.int64)
-    payload_len, pos = decode_varint(blob, pos)
-    payload = blob[pos : pos + payload_len]
-    if len(payload) < payload_len:
-        raise EOFError("truncated Huffman payload")
+    ``syms_canonical`` / ``lens_canonical`` are the alphabet in canonical
+    (length, symbol) order; the canonical codewords themselves are never
+    materialised — they tile the prefix space contiguously, so the lookup
+    table is a single ``repeat``.
+    """
+
+    max_len = int(lens_canonical[-1])
+    total_bits = len(payload) * 8
+
+    # Canonical codewords tile the prefix space contiguously (base of the
+    # next codeword = base + span of the previous), so the full lookup
+    # table is a single repeat; the tail past the Kraft sum is invalid.
+    lens = lens_canonical.astype(np.int32)
+    spans = np.int64(1) << (max_len - lens)
+    if int(spans.sum()) > (1 << max_len):
+        raise ValueError("invalid Huffman code lengths (Kraft violation)")
+    table_syms = np.repeat(syms_canonical, spans)
+    table_lens = np.repeat(lens, spans)
+    gap = (1 << max_len) - table_syms.size
+    if gap:
+        table_syms = np.concatenate([table_syms, np.zeros(gap, dtype=np.int64)])
+        table_lens = np.concatenate([table_lens, np.zeros(gap, dtype=np.int32)])
+
+    # Window value of the max_len bits starting at every bit position
+    # (zero-padded past the end of the payload).
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    padded = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+    windows = np.zeros(total_bits, dtype=np.int32)
+    for k in range(max_len):
+        windows |= padded[k : k + total_bits].astype(np.int32) << np.int32(max_len - 1 - k)
+
+    len_at = table_lens[windows]
+
+    # Jump table: bit position -> bit position of the next codeword; the
+    # sentinel (total_bits) absorbs jumps past the end, and invalid
+    # prefixes (length 0) self-loop — both are rejected after the chain.
+    sentinel = total_bits
+    jump = np.empty(total_bits + 1, dtype=np.int32)
+    np.add(np.arange(total_bits, dtype=np.int32), len_at, out=jump[:total_bits])
+    jump[total_bits] = sentinel
+    np.minimum(jump, sentinel, out=jump)
+
+    # Pointer doubling: with the first `filled` codeword positions known and
+    # J jumping `filled` codewords at once, one gather doubles the sequence.
+    # Composing J costs a full-stream gather, so stop doubling at a modest
+    # stride and extend the sequence stride-by-stride instead — the
+    # remaining extensions only gather `stride` elements each.
+    stride_cap = 256
+    seq = np.empty(n_symbols, dtype=np.int32)
+    seq[0] = 0
+    filled = 1
+    J = jump
+    jumpby = 1  # invariant: J jumps `jumpby` codewords from any bit position
+    while filled < n_symbols:
+        take = min(jumpby, n_symbols - filled)
+        seq[filled : filled + take] = J[seq[filled - jumpby : filled - jumpby + take]]
+        filled += take
+        if jumpby < stride_cap and filled >= 2 * jumpby and filled < n_symbols:
+            J = J[J]
+            jumpby *= 2
+
+    if seq[-1] >= sentinel:
+        raise EOFError("bit stream exhausted")
+    seq_lens = len_at[seq]
+    if (seq_lens == 0).any():
+        raise ValueError("invalid Huffman bit stream")
+    if seq[-1] + seq_lens[-1] > total_bits:
+        raise EOFError("bit stream exhausted")
+    return table_syms[windows[seq]]
+
+
+def _decode_scalar(code: HuffmanCode, payload: bytes, n_symbols: int) -> np.ndarray:
+    """Reference per-symbol decoder (fallback for over-long foreign codes)."""
 
     out = np.empty(n_symbols, dtype=np.int64)
-    if len(code.symbols) == 1:
-        # Degenerate single-symbol stream: each symbol used one bit.
-        out[:] = code.symbols[0]
-        return out
-
-    # Canonical decoding: for each code length, the first canonical code and
-    # the index of its symbol in canonical order.  Walking lengths in
-    # increasing order, a prefix is a valid codeword of length L iff
-    # first_code[L] <= prefix <= last_code[L].
     lengths_present = sorted(set(code.lengths))
     first_code: Dict[int, int] = {}
     first_index: Dict[int, int] = {}
@@ -222,3 +348,31 @@ def huffman_decode(blob: bytes) -> np.ndarray:
         if not decoded:
             raise ValueError("invalid Huffman bit stream")
     return out
+
+
+def huffman_decode(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`huffman_encode`; returns an ``int64`` array."""
+
+    n_symbols, pos = decode_varint(blob, 0)
+    if n_symbols == 0:
+        return np.empty(0, dtype=np.int64)
+    table_size, pos = decode_varint(blob, pos)
+    pairs, pos = decode_varint_array(blob, 2 * table_size, pos)
+    syms = pairs[0::2].astype(np.int64)
+    lens = pairs[1::2].astype(np.int64)
+    payload_len, pos = decode_varint(blob, pos)
+    payload = blob[pos : pos + payload_len]
+    if len(payload) < payload_len:
+        raise EOFError("truncated Huffman payload")
+
+    if table_size == 1:
+        # Degenerate single-symbol stream: each symbol used one bit.
+        return np.full(n_symbols, syms[0], dtype=np.int64)
+    if table_size == 0 or lens.min() < 1:
+        raise ValueError("invalid Huffman symbol table")
+    order = np.lexsort((syms, lens))
+    lens_canonical = lens[order]
+    if int(lens_canonical[-1]) <= _MAX_TABLE_BITS:
+        return _decode_vectorized(syms[order], lens_canonical, payload, n_symbols)
+    code = HuffmanCode.from_lengths({int(s): int(l) for s, l in zip(syms, lens)})
+    return _decode_scalar(code, payload, n_symbols)

@@ -3,17 +3,30 @@
 Used for container headers (shapes, block counts, stream lengths) in the
 compressor bitstreams so that small metadata does not cost a fixed 8 bytes
 per field.
+
+Besides the scalar codecs, the module provides array codecs
+(:func:`encode_varint_array` / :func:`decode_varint_array` and their
+zigzag-signed variants) that process a whole NumPy array per call and emit
+exactly the same byte stream as the scalar functions applied element-wise.
+The compressor side channels (regression coefficients, unpredictable
+values) use the array forms on their hot paths.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
+import numpy as np
+
 __all__ = [
     "encode_varint",
     "decode_varint",
     "encode_signed_varint",
     "decode_signed_varint",
+    "encode_varint_array",
+    "decode_varint_array",
+    "encode_signed_varint_array",
+    "decode_signed_varint_array",
 ]
 
 
@@ -69,3 +82,89 @@ def decode_signed_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
     if zigzag & 1:
         return -((zigzag + 1) >> 1), pos
     return zigzag >> 1, pos
+
+
+# ----------------------------------------------------------------------
+# array codecs (byte-identical to the scalar codecs, no Python loops)
+# ----------------------------------------------------------------------
+def encode_varint_array(values: np.ndarray) -> bytes:
+    """LEB128-encode an array of non-negative integers (uint64 range)."""
+
+    v = np.asarray(values)
+    if v.size == 0:
+        return b""
+    if v.dtype.kind not in "iu":
+        raise TypeError("encode_varint_array requires an integer array")
+    if v.dtype.kind == "i" and v.size and int(v.min()) < 0:
+        raise ValueError("encode_varint_array requires non-negative integers")
+    v = v.astype(np.uint64).ravel()
+
+    # Bytes per value: ceil(bit_length / 7), at least 1 (<= 10 for uint64).
+    nbytes = np.ones(v.size, dtype=np.int64)
+    tmp = v >> np.uint64(7)
+    while tmp.any():
+        nbytes += tmp != 0
+        tmp >>= np.uint64(7)
+
+    total = int(nbytes.sum())
+    starts = np.cumsum(nbytes) - nbytes
+    # Position of every output byte within its value's byte group.
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, nbytes)
+    groups = np.repeat(v, nbytes)
+    chunks = ((groups >> (np.uint64(7) * within.astype(np.uint64))) & np.uint64(0x7F)).astype(
+        np.uint8
+    )
+    is_last = within == np.repeat(nbytes, nbytes) - 1
+    return np.where(is_last, chunks, chunks | 0x80).astype(np.uint8).tobytes()
+
+
+def decode_varint_array(data: bytes, count: int, offset: int = 0) -> Tuple[np.ndarray, int]:
+    """Decode ``count`` consecutive LEB128 integers starting at ``offset``.
+
+    Returns ``(values, next_offset)`` with ``values`` as uint64.
+    """
+
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if count == 0:
+        return np.empty(0, dtype=np.uint64), offset
+    # A LEB128 value is at most 10 bytes, so never scan (or index) past
+    # count*10 bytes — callers hand in whole container blobs.
+    full = np.frombuffer(data, dtype=np.uint8)
+    buf = full[offset : offset + 10 * count]
+    terminators = np.flatnonzero((buf & 0x80) == 0)
+    if terminators.size < count:
+        if full.size > offset + buf.size:
+            # More bytes existed beyond the scan window, so some value ran
+            # past the 10-byte LEB128 maximum.
+            raise ValueError("varint too long")
+        raise EOFError("truncated varint")
+    consumed = int(terminators[count - 1]) + 1
+    buf = buf[:consumed]
+    ends = terminators[:count]
+    starts = np.concatenate(([0], ends[:-1] + 1))
+    lengths = ends - starts + 1
+    if lengths.max(initial=0) > 10:
+        raise ValueError("varint too long")
+    within = np.arange(consumed, dtype=np.int64) - np.repeat(starts, lengths)
+    chunks = (buf & 0x7F).astype(np.uint64) << (np.uint64(7) * within.astype(np.uint64))
+    values = np.add.reduceat(chunks, starts)
+    return values, offset + consumed
+
+
+def encode_signed_varint_array(values: np.ndarray) -> bytes:
+    """ZigZag + LEB128 encode an int64 array (matches the scalar codec)."""
+
+    v = np.asarray(values, dtype=np.int64).ravel()
+    zigzag = (v << 1) ^ (v >> 63)
+    return encode_varint_array(zigzag.view(np.uint64))
+
+
+def decode_signed_varint_array(
+    data: bytes, count: int, offset: int = 0
+) -> Tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_signed_varint_array`; returns int64 values."""
+
+    zigzag, pos = decode_varint_array(data, count, offset)
+    values = (zigzag >> np.uint64(1)).view(np.int64) ^ -(zigzag & np.uint64(1)).view(np.int64)
+    return values, pos

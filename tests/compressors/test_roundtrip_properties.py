@@ -1,0 +1,128 @@
+"""Property-based round-trip tests for every registered compressor.
+
+The one invariant every error-bounded compressor must satisfy:
+``max |field - decompress(compress(field))| <= error_bound`` — across
+dtypes, shapes (non-square, single-row, constant, tiny), error bounds, and
+data roughness.  Each case exercises the full container path (compress to
+bytes, decompress from bytes alone), not the reconstruction by-product.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.registry import available_compressors, make_compressor
+
+TOL = 1 + 1e-9
+
+BOUNDS = (1e-5, 1e-3, 1e-1)
+
+SHAPES = [
+    (1, 7),
+    (7, 1),
+    (2, 2),
+    (5, 5),
+    (16, 16),
+    (17, 31),
+    (33, 12),
+    (64, 64),
+]
+
+
+def _fields(shape, seed):
+    """A bundle of qualitatively different fields of one shape."""
+
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    smooth = np.cumsum(np.cumsum(rng.normal(size=shape), axis=0), axis=1) / 50.0
+    fields = {
+        "rough": rng.normal(size=shape),
+        "smooth": smooth,
+        "constant": np.full(shape, 3.25),
+        "zeros": np.zeros(shape),
+        "ramp": np.outer(np.linspace(-1, 1, rows), np.linspace(0, 2, cols))
+        if min(shape) > 1
+        else np.linspace(-1, 1, rows * cols).reshape(shape),
+        "large_scale": rng.normal(size=shape) * 1e6,
+    }
+    return fields
+
+
+@pytest.mark.parametrize("name", available_compressors())
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_roundtrip_error_bound(name, shape, bound):
+    seed = zlib.crc32(repr((name, shape, bound)).encode())
+    for label, field in _fields(shape, seed=seed).items():
+        compressor = make_compressor(name, bound)
+        compressed = compressor.compress(field)
+        decompressed = compressor.decompress(compressed)
+        assert decompressed.shape == field.shape, (name, label)
+        max_err = np.abs(decompressed - field).max()
+        assert max_err <= bound * TOL, (
+            f"{name} on {label}{shape} @ {bound}: max error {max_err:.3e}"
+        )
+
+
+@pytest.mark.parametrize("name", available_compressors())
+@pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int32])
+def test_roundtrip_dtypes(name, dtype):
+    rng = np.random.default_rng(99)
+    field = (rng.normal(size=(24, 24)) * 100).astype(dtype)
+    compressor = make_compressor(name, 1e-2)
+    decompressed = compressor.decompress(compressor.compress(field))
+    assert np.abs(decompressed - field.astype(np.float64)).max() <= 1e-2 * TOL
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_reconstruction_byproduct_matches_decompress(name):
+    """compress() exposes the decoder's reconstruction; they must agree."""
+
+    rng = np.random.default_rng(7)
+    field = rng.normal(size=(32, 48))
+    compressor = make_compressor(name, 1e-3)
+    compressed = compressor.compress(field)
+    decompressed = compressor.decompress(compressed)
+    np.testing.assert_allclose(decompressed, compressed.reconstruction, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_raw_fallback_on_extreme_magnitude(name):
+    """Bound tiny vs data huge: every compressor must stay within bound
+    (typically via its verbatim fallback), never crash or violate."""
+
+    field = np.full((8, 8), 1e18)
+    field[3, 3] = -1e18
+    compressor = make_compressor(name, 1e-10)
+    decompressed = compressor.decompress(compressor.compress(field))
+    assert np.abs(decompressed - field).max() <= 1e-10 * TOL
+
+
+@pytest.mark.parametrize("name", available_compressors())
+@given(
+    field=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 12), st.integers(1, 12)),
+        elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    ),
+    bound=st.sampled_from([1e-4, 1e-2, 1.0]),
+)
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(name, field, bound):
+    compressor = make_compressor(name, bound)
+    decompressed = compressor.decompress(compressor.compress(field))
+    assert decompressed.shape == field.shape
+    assert np.abs(decompressed - field).max(initial=0.0) <= bound * TOL
+
+
+@pytest.mark.parametrize("name", available_compressors())
+def test_compression_ratio_sane_on_smooth_data(name, smooth_field):
+    compressed = make_compressor(name, 1e-3).compress(smooth_field)
+    assert compressed.compression_ratio > 1.0
+    assert compressed.compressed_nbytes == len(compressed.data)
