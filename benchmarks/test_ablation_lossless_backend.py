@@ -8,8 +8,8 @@ much of the compression ratio is produced by the entropy-coding stage
 versus the prediction stage — and therefore how much of the
 CR-vs-correlation relationship flows through each.
 
-The fields are kept small (64x64) because the zstd-like backend's LZ77
-stage is pure Python.
+The zstd-like backend's LZ77 stage is NumPy-vectorized, so the ablation
+runs on the full 128x128 reference field size.
 """
 
 from __future__ import annotations
@@ -25,8 +25,8 @@ BACKENDS = ("raw", "huffman", "zstd")
 
 
 def _run():
-    smooth = generate_gaussian_field((64, 64), 16.0, seed=BENCH_SEED)
-    rough = generate_gaussian_field((64, 64), 2.0, seed=BENCH_SEED + 1)
+    smooth = generate_gaussian_field((128, 128), 16.0, seed=BENCH_SEED)
+    rough = generate_gaussian_field((128, 128), 2.0, seed=BENCH_SEED + 1)
     results = {}
     for backend in BACKENDS:
         compressor = SZCompressor(ERROR_BOUND, backend=backend)
@@ -40,7 +40,7 @@ def _run():
 def test_ablation_lossless_backend(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
 
-    print(f"\n=== ablation: SZ lossless backend (bound {ERROR_BOUND:g}, 64x64 fields) ===")
+    print(f"\n=== ablation: SZ lossless backend (bound {ERROR_BOUND:g}, 128x128 fields) ===")
     print(f"{'backend':>9} {'CR smooth':>10} {'CR rough':>9} {'bytes smooth':>13} {'bytes rough':>12}")
     for backend in BACKENDS:
         smooth = results[backend]["smooth"]

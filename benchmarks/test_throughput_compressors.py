@@ -44,3 +44,29 @@ def test_decompress_throughput(benchmark, bench_field, name):
     compressed = compressor.compress(bench_field)
     decompressed = benchmark(compressor.decompress, compressed)
     assert np.abs(decompressed - bench_field).max() <= ERROR_BOUND * (1 + 1e-9)
+
+
+def test_zfp_zstd_backend_compress_throughput(benchmark, bench_field):
+    """ZFP with the zstd-like lossless backend — the cell the CI smoke job
+    watches for both the sequency-partitioned ZFP stream and the vectorized
+    LZ77 staying functional and fast."""
+
+    compressor = make_compressor("zfp", ERROR_BOUND, backend="zstd")
+    compressed = benchmark(compressor.compress, bench_field)
+    decompressed = compressor.decompress(compressed)
+    assert np.abs(decompressed - bench_field).max() <= ERROR_BOUND * (1 + 1e-9)
+
+
+def test_zstd_like_roundtrip_throughput(benchmark, bench_field):
+    """Round-trip of the zstd-like backend over the reference field's raw
+    bytes (the lossless-backend ablation's former long-pole)."""
+
+    from repro.encoding.zstd_like import zstd_like_compress, zstd_like_decompress
+
+    data = bench_field.astype("<f4").tobytes()
+
+    def roundtrip():
+        return zstd_like_decompress(zstd_like_compress(data))
+
+    out = benchmark(roundtrip)
+    assert out == data

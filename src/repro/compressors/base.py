@@ -25,7 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.encoding.bitio import BitReader, BitWriter
+from repro.encoding.bitio import BitReader
 from repro.encoding.rle import rle_decode, rle_encode
 from repro.encoding.huffman import huffman_decode, huffman_encode
 from repro.encoding.varint import decode_varint, encode_varint
@@ -107,10 +107,9 @@ class LosslessBackend:
 
     ``"huffman"`` (default) run-length codes the symbol stream and Huffman
     codes both the run values and run lengths — fully vectorised, fast.
-    ``"zstd"`` additionally passes the Huffman output through the LZ77+
-    Huffman :mod:`repro.encoding.zstd_like` pipeline, which mirrors the real
-    SZ/MGARD (Huffman + Zstd) more closely at a significant speed cost in
-    pure Python.
+    ``"zstd"`` additionally passes the entropy-coded body through the
+    vectorized LZ77+Huffman :mod:`repro.encoding.zstd_like` pipeline, which
+    mirrors the real SZ/MGARD (Huffman + Zstd) more closely.
     ``"raw"`` stores the symbols as fixed-width integers — the "no entropy
     coding" ablation.
 
@@ -119,7 +118,10 @@ class LosslessBackend:
     High-entropy code streams (rough data at tight error bounds) would
     otherwise pay a Huffman symbol-table overhead larger than the data
     itself; real entropy coders degrade to near-raw coding in that regime,
-    and so does this one.  The stream stays self-describing via a tag byte.
+    and so does this one.  When the entropy lower bound alone proves that
+    packing wins (wide near-uniform alphabets, e.g. the ZFP-like DC
+    planes), the Huffman build is skipped outright.  The stream stays
+    self-describing via a tag byte.
     """
 
     NAMES = ("huffman", "zstd", "raw")
@@ -130,7 +132,13 @@ class LosslessBackend:
     # -- encoding ------------------------------------------------------
     @staticmethod
     def _encode_packed(symbols: np.ndarray) -> bytes:
-        """Fixed-width bit packing of a non-negative symbol stream."""
+        """Fixed-width bit packing of a non-negative symbol stream.
+
+        A single broadcasted shift expands every symbol into exactly
+        ``width`` MSB-first bits — byte-identical to the general
+        variable-width ``BitWriter.write_bits_array`` path, without its
+        per-symbol repeat/cumsum machinery.
+        """
 
         body = bytearray()
         body.extend(encode_varint(symbols.size))
@@ -139,9 +147,9 @@ class LosslessBackend:
             return bytes(body)
         width = max(1, int(symbols.max()).bit_length())
         body.extend(encode_varint(width))
-        writer = BitWriter()
-        writer.write_bits_array(symbols, width)
-        body.extend(writer.getvalue())
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = (symbols.astype(np.uint64)[:, None] >> shifts[None, :]) & np.uint64(1)
+        body.extend(np.packbits(bits.astype(np.uint8).ravel()).tobytes())
         return bytes(body)
 
     @staticmethod
@@ -176,6 +184,31 @@ class LosslessBackend:
         return bytes(encode_varint(symbols.size)) + huffman_encode(symbols)
 
     @staticmethod
+    def _packed_beats_entropy_bound(symbols: np.ndarray) -> bool:
+        """True when fixed-width packing provably beats any direct Huffman
+        stream, so the tree build can be skipped outright.
+
+        Any direct-Huffman candidate costs at least ``n*H/8`` payload bytes
+        (entropy lower bound) plus 2 bytes per alphabet entry of symbol
+        table.  Wide, near-uniform streams (e.g. the DC-side coefficient
+        planes of the ZFP-like compressor) fail that bound analytically;
+        building and then discarding their multi-thousand-symbol Huffman
+        tables was the dominant cost of the whole encode.
+        """
+
+        n = symbols.size
+        vmin = int(symbols.min())
+        span = int(symbols.max()) - vmin + 1
+        if span > max(65536, 4 * n):
+            return False  # histogram too wide to be worth the pre-check
+        counts = np.bincount(symbols - vmin, minlength=span)
+        counts = counts[counts > 0]
+        p = counts / n
+        entropy_bytes = float(-(p * np.log2(p)).sum()) * n / 8.0
+        lower_bound = 2.0 + 2.0 * counts.size + entropy_bytes
+        return LosslessBackend._packed_size(symbols) <= lower_bound
+
+    @staticmethod
     def _packed_size(symbols: np.ndarray) -> int:
         """Exact byte size of ``b"P" + _encode_packed(symbols)`` without building it."""
 
@@ -199,14 +232,24 @@ class LosslessBackend:
             payload = symbols.astype("<i8").tobytes()
             return b"R" + encode_varint(symbols.size) + payload
 
-        if self.name == "zstd":
-            entropy_candidate = b"Z" + zstd_like_compress(self._encode_huffman_body(symbols))
+        values, runs = rle_encode(symbols)
+        if runs.size > self._RLE_RUN_FRACTION * symbols.size:
+            # Runs do not pay, so only the direct-Huffman candidate remains;
+            # skip even that when packing wins on the entropy lower bound
+            # alone.  (The zstd backend always builds its candidate: the
+            # ablation measures the full LZ77+Huffman pipeline.)
+            if self.name == "huffman" and symbols.size and self._packed_beats_entropy_bound(
+                symbols
+            ):
+                return b"P" + self._encode_packed(symbols)
+            entropy_candidate = b"D" + self._encode_direct_body(symbols)
         else:
-            values, runs = rle_encode(symbols)
-            if runs.size > self._RLE_RUN_FRACTION * symbols.size:
-                entropy_candidate = b"D" + self._encode_direct_body(symbols)
-            else:
-                entropy_candidate = b"H" + self._encode_huffman_body(symbols, values, runs)
+            entropy_candidate = b"H" + self._encode_huffman_body(symbols, values, runs)
+        if self.name == "zstd":
+            # The Z stream wraps the better of the two entropy bodies (its
+            # own leading tag included), mirroring the real SZ/MGARD
+            # Huffman-then-Zstd stage.
+            entropy_candidate = b"Z" + zstd_like_compress(entropy_candidate)
         # The fixed-width candidate's size is known analytically; only pay
         # for building it when it actually beats the entropy-coded stream.
         if self._packed_size(symbols) < len(entropy_candidate):
@@ -231,8 +274,10 @@ class LosslessBackend:
                 raise ValueError("lossless payload symbol count mismatch")
             return symbols
         if tag == b"Z":
-            body = zstd_like_decompress(body)
-        elif tag != b"H":
+            # The decompressed body is a complete tagged entropy stream
+            # (H or D, whichever the encoder picked).
+            return self.decode_symbols(zstd_like_decompress(body))
+        if tag != b"H":
             raise ValueError(f"unknown lossless backend tag {tag!r}")
         count, pos = decode_varint(body, 0)
         vlen, pos = decode_varint(body, pos)
@@ -282,7 +327,9 @@ class Compressor(ABC):
         """
 
         max_error = float(np.max(np.abs(np.asarray(original) - np.asarray(reconstruction))))
-        if max_error > self.error_bound * tolerance_factor:
+        # Negated <= so a NaN max error (a reconstruction that went
+        # non-finite) fails the check instead of slipping past a ``>``.
+        if not (max_error <= self.error_bound * tolerance_factor):
             raise ErrorBoundExceededError(
                 f"{self.name}: max reconstruction error {max_error:.3e} exceeds "
                 f"error bound {self.error_bound:.3e}"

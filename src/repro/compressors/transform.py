@@ -18,12 +18,30 @@ module implements the separable transform machinery on stacks of blocks:
   coefficient ordering; streaming coefficients in sequency-major order
   groups the near-zero high-frequency codes of *all* blocks together,
   which is what makes the run-length + Huffman backend effective.
+
+Beyond the transform itself, the module holds the array-engine stages of
+the ZFP-like pipeline (the transform-domain analogue of
+:mod:`repro.compressors.blocks`), so the compressor is a pure container
+layer:
+
+* :func:`block_exponents` — block-floating-point normalisation over the
+  whole block stack (per-block ``emax``, negligible-block detection).
+* :func:`quantize_block_coefficients` — the coefficient → integer-code
+  cast with non-finite/overflow masking evaluated *before* the
+  ``float64 -> int64`` cast (casting a non-finite value is undefined, and
+  ``np.abs(np.int64.min)`` is still negative, so a post-cast magnitude
+  check can miss).
+* :func:`sequency_plane_widths` / :func:`group_planes_by_width` — the
+  bit-plane grouping of the sequency-major coefficient stream: planes are
+  grouped by the bit width of their zigzag codes so the entropy coder
+  sees one short alphabet per group instead of one huge symbol range,
+  and all-zero (width 0) groups cost nothing.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -34,6 +52,10 @@ __all__ = [
     "forward_block_transform",
     "inverse_block_transform",
     "sequency_order",
+    "block_exponents",
+    "quantize_block_coefficients",
+    "sequency_plane_widths",
+    "group_planes_by_width",
 ]
 
 
@@ -98,3 +120,116 @@ def sequency_order(size: int) -> Tuple[np.ndarray, np.ndarray]:
     rows = np.array([i for i, _ in indices], dtype=np.int64)
     cols = np.array([j for _, j in indices], dtype=np.int64)
     return rows, cols
+
+
+# ----------------------------------------------------------------------
+# array-engine stages of the ZFP-like pipeline
+# ----------------------------------------------------------------------
+def block_exponents(
+    blocks: np.ndarray, error_bound: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Block-floating-point normalisation of a ``(n_blocks, bs, bs)`` stack.
+
+    Returns ``(emax, negligible, normalised)``: the per-block power-of-two
+    exponent (smallest power of two >= max |value|), the mask of blocks
+    whose magnitude is already below the tolerance (they compress to an
+    all-zero block regardless, keeping the exponent side channel small),
+    and the normalised blocks (``0`` where negligible) on the [-1, 1]
+    scale.
+    """
+
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
+        raise ValueError(f"expected (n_blocks, bs, bs) stack, got {blocks.shape}")
+    ensure_positive(error_bound, "error_bound")
+    block_max = np.abs(blocks).max(axis=(1, 2))
+    emax = np.zeros(blocks.shape[0], dtype=np.int64)
+    nonzero = block_max > 0
+    emax[nonzero] = np.ceil(np.log2(block_max[nonzero])).astype(np.int64)
+    negligible = block_max <= error_bound
+    normalised = np.zeros_like(blocks)
+    active = ~negligible
+    # ldexp scales by 2^-emax through exponent arithmetic: unlike
+    # ``blocks * exp2(-emax)`` it cannot overflow for subnormal-magnitude
+    # blocks (|blocks| <= 2^emax, so the result is always <= 1).
+    normalised[active] = np.ldexp(blocks[active], -emax[active, None, None])
+    return emax, negligible, normalised
+
+
+def quantize_block_coefficients(
+    coefficients: np.ndarray,
+    step: np.ndarray,
+    active: np.ndarray,
+    code_radius: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize transform coefficients with a per-block step, safely.
+
+    Returns ``(codes, overflow)``: int64 codes (``0`` for inactive blocks
+    and for every coefficient of an overflowing block) and the per-block
+    mask of blocks whose ratio ``coefficient / step`` was non-finite or
+    beyond ``code_radius`` — those must be stored exactly.  The masking
+    happens on the *float* ratios, before any ``int64`` cast: casting a
+    non-finite float is undefined behaviour, and the sign trap
+    ``np.abs(np.int64.min) < 0`` means a post-cast magnitude check can
+    silently pass garbage through.
+    """
+
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    active = np.asarray(active, dtype=bool)
+    step = np.asarray(step, dtype=np.float64)
+    ensure_positive(code_radius, "code_radius")
+    codes = np.zeros(coefficients.shape, dtype=np.int64)
+    overflow = np.zeros(coefficients.shape[0], dtype=bool)
+    if not active.any():
+        return codes, overflow
+    with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+        scaled = np.rint(coefficients[active] / step[active, None, None])
+    safe = np.isfinite(scaled) & (np.abs(scaled) <= code_radius)
+    # A non-finite step (the per-block step itself can overflow at extreme
+    # magnitude/bound combinations) silently yields in-range ratios; such
+    # blocks must be stored exactly too.
+    overflow[active] = ~safe.all(axis=(1, 2)) | ~np.isfinite(step[active])
+    codes[active] = np.where(safe, scaled, 0.0).astype(np.int64)
+    codes[overflow] = 0
+    return codes, overflow
+
+
+def sequency_plane_widths(zigzag_planes: np.ndarray) -> np.ndarray:
+    """Bit width of each sequency plane of a zigzag-coded stream.
+
+    ``zigzag_planes`` has shape ``(n_blocks, n_planes)`` (non-negative
+    zigzag symbols, sequency-ordered planes).  Returns the per-plane bit
+    width ``bit_length(max symbol)`` with ``0`` for all-zero planes.
+    """
+
+    zigzag_planes = np.asarray(zigzag_planes, dtype=np.int64)
+    if zigzag_planes.ndim != 2:
+        raise ValueError(f"expected (n_blocks, n_planes) stream, got {zigzag_planes.shape}")
+    if zigzag_planes.size == 0:
+        return np.zeros(zigzag_planes.shape[1], dtype=np.int64)
+    maxima = zigzag_planes.max(axis=0)
+    # bit_length via frexp: frexp(m) = (f, e) with m = f * 2^e, 0.5 <= f < 1,
+    # so e is exactly bit_length(m) for positive integers.
+    widths = np.frexp(maxima.astype(np.float64))[1].astype(np.int64)
+    widths[maxima <= 0] = 0
+    return widths
+
+
+def group_planes_by_width(widths: np.ndarray) -> List[Tuple[int, int, int]]:
+    """Partition sequency planes into runs of equal bit width.
+
+    Returns ``[(start_plane, end_plane, width), ...]`` covering all planes
+    in order.  Coefficient magnitudes decay with sequency, so equal-width
+    runs are long; each run becomes one entropy-coded stream with a short
+    alphabet, and width-0 runs (all-zero planes) need no stream at all.
+    """
+
+    widths = np.asarray(widths, dtype=np.int64)
+    if widths.ndim != 1:
+        raise ValueError(f"expected 1D width array, got {widths.shape}")
+    if widths.size == 0:
+        return []
+    boundaries = np.flatnonzero(np.diff(widths)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [widths.size]))
+    return [(int(s), int(e), int(widths[s])) for s, e in zip(starts, ends)]

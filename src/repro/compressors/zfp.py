@@ -13,9 +13,18 @@ paper's Section II-A:
    tolerance *and the block exponent* — the block-floating-point analogue
    of ZFP truncating low-order bit planes — so high-magnitude blocks keep
    more precision, exactly as in ZFP's accuracy mode;
-5. the quantized coefficients are entropy coded (sequency-major ordering
-   followed by the run-length + Huffman backend, standing in for ZFP's
-   embedded group-testing coder).
+5. the quantized coefficients are entropy coded in a **bit-plane-grouped
+   sequency-partitioned stream** (standing in for ZFP's embedded
+   group-testing coder): sequency planes are grouped by the bit width of
+   their zigzag codes, each group is one backend stream with a short
+   alphabet, and all-zero groups cost no stream at all.
+
+Every per-block stage (exponents, normalisation, the safe coefficient
+quantization, plane grouping) lives in the shared array engine in
+:mod:`repro.compressors.transform`; this module owns only the container
+format.  Side channels are array-encoded like the SZ container's: block
+flags and active-block exponents go through the lossless backend, and
+only *active* blocks (neither negligible nor exact) carry coefficients.
 
 Error-bound argument
 --------------------
@@ -39,21 +48,32 @@ from typing import Tuple
 import numpy as np
 
 from repro.compressors.base import CompressedField, Compressor, CompressorError, LosslessBackend
+from repro.compressors.blocks import merge_field, partition_field
 from repro.compressors.transform import (
+    block_exponents,
     forward_block_transform,
+    group_planes_by_width,
     inverse_block_transform,
+    quantize_block_coefficients,
     sequency_order,
+    sequency_plane_widths,
 )
 from repro.encoding.varint import decode_varint, encode_varint
-from repro.utils.blocking import block_view, pad_to_multiple, reassemble_blocks
 from repro.utils.validation import ensure_2d, ensure_float_array
 
 __all__ = ["ZFPCompressor"]
 
-_MAGIC = b"ZFR1"
-#: Symbol offset so Huffman sees non-negative symbols; codes are clipped to
-#: this radius (beyond it the block falls back to exact storage).
+_MAGIC = b"ZFR2"
+#: Maximum |code|; blocks whose ratios exceed it fall back to exact storage.
 _CODE_RADIUS = 1 << 30
+#: Offset applied to the stored minimum exponent so the varint stays
+#: non-negative for any float64-representable block magnitude.
+_EMAX_OFFSET = 1 << 20
+
+#: Block flag values stored in the per-block side channel.
+_FLAG_ACTIVE = 0
+_FLAG_NEGLIGIBLE = 1
+_FLAG_EXACT = 2
 
 
 class ZFPCompressor(Compressor):
@@ -85,13 +105,16 @@ class ZFPCompressor(Compressor):
         self.backend = LosslessBackend(backend)
 
     # ------------------------------------------------------------------
-    def _coefficient_step(self, emax: np.ndarray) -> np.ndarray:
+    def _coefficient_step(self, emax: np.ndarray, error_bound: float) -> np.ndarray:
         """Quantization step (per block) in the *normalised* domain."""
 
         # delta = tol * 2^-emax / block_size, step = 2*delta; see module
-        # docstring for the error argument.
-        delta = self.error_bound * np.exp2(-emax.astype(np.float64)) / self.block_size
-        return 2.0 * delta
+        # docstring for the error argument.  The step can overflow to inf
+        # for subnormal-magnitude blocks under a far smaller bound; the
+        # quantizer flags such blocks for exact storage.
+        with np.errstate(over="ignore"):
+            delta = error_bound * np.exp2(-emax.astype(np.float64)) / self.block_size
+            return 2.0 * delta
 
     # ------------------------------------------------------------------
     def compress(self, field: np.ndarray) -> CompressedField:
@@ -101,48 +124,32 @@ class ZFPCompressor(Compressor):
         if not np.all(np.isfinite(values)):
             raise CompressorError("zfp: field contains non-finite values")
 
-        padded, original_shape = pad_to_multiple(values, self.block_size)
-        blocks4d = block_view(padded, self.block_size)
+        blocks4d, original_shape = partition_field(values, self.block_size)
         nbi, nbj, bs, _ = blocks4d.shape
         blocks = blocks4d.reshape(nbi * nbj, bs, bs)
         n_blocks = blocks.shape[0]
 
-        # Block-floating-point exponent: smallest power of two >= max |value|.
-        block_max = np.abs(blocks).max(axis=(1, 2))
-        emax = np.zeros(n_blocks, dtype=np.int64)
-        nonzero = block_max > 0
-        emax[nonzero] = np.ceil(np.log2(block_max[nonzero])).astype(np.int64)
-
-        # Values whose magnitude is already below the tolerance compress to
-        # an all-zero block regardless; flag them so the exponent side
-        # channel stays small.
-        negligible = block_max <= self.error_bound
-        normalised = np.zeros_like(blocks)
-        scale = np.exp2(-emax.astype(np.float64))
-        normalised[~negligible] = blocks[~negligible] * scale[~negligible, None, None]
-
+        emax, negligible, normalised = block_exponents(blocks, self.error_bound)
         coefficients = forward_block_transform(normalised)
-        step = self._coefficient_step(emax)
-        codes = np.zeros_like(coefficients, dtype=np.int64)
-        active = ~negligible
-        codes[active] = np.rint(
-            coefficients[active] / step[active, None, None]
-        ).astype(np.int64)
-
-        # Blocks whose codes exceed the radius (possible only for extreme
-        # tolerance/magnitude combinations) are stored exactly.
-        exact_mask = np.zeros(n_blocks, dtype=bool)
-        overflow = np.abs(codes).max(axis=(1, 2)) > _CODE_RADIUS
-        exact_mask |= overflow
-        codes[exact_mask] = 0
+        step = self._coefficient_step(emax, self.error_bound)
+        codes, exact_mask = quantize_block_coefficients(
+            coefficients, step, ~negligible, _CODE_RADIUS
+        )
 
         # Reconstruction (identical computation to the decompressor).
-        recon_blocks = self._reconstruct_blocks(codes, emax, negligible)
+        recon_blocks = self._reconstruct_blocks(codes, emax, negligible, self.error_bound)
         block_errors = np.abs(recon_blocks - blocks).max(axis=(1, 2))
-        violating = block_errors > self.error_bound
+        # Negated <= so NaN block errors (possible when emax itself sits at
+        # the float range limit) count as violations.
+        violating = ~(block_errors <= self.error_bound)
         exact_mask |= violating
         codes[exact_mask] = 0
         recon_blocks[exact_mask] = blocks[exact_mask]
+
+        flags = np.zeros(n_blocks, dtype=np.int64)
+        flags[negligible] = _FLAG_NEGLIGIBLE
+        flags[exact_mask] = _FLAG_EXACT
+        active = flags == _FLAG_ACTIVE
 
         # ------------------------------------------------------------------
         # container
@@ -156,34 +163,41 @@ class ZFPCompressor(Compressor):
         payload.extend(encode_varint(nbi))
         payload.extend(encode_varint(nbj))
 
-        flags = np.zeros(n_blocks, dtype=np.uint8)
-        flags[negligible] = 1
-        flags[exact_mask] = 2
-        flag_bytes = flags.tobytes()
-        payload.extend(encode_varint(len(flag_bytes)))
-        payload.extend(flag_bytes)
+        flag_blob = self.backend.encode_symbols(flags)
+        payload.extend(encode_varint(len(flag_blob)))
+        payload.extend(flag_blob)
 
-        emax_symbols = emax - emax.min()
-        payload.extend(encode_varint(int(emax.min() + 2**20)))  # offset-shifted minimum
-        emax_blob = self.backend.encode_symbols(emax_symbols)
+        # Exponent side channel: active blocks only (negligible blocks
+        # reconstruct to zero and exact blocks are stored verbatim).
+        emax_active = emax[active]
+        emax_min = int(emax_active.min()) if emax_active.size else 0
+        payload.extend(encode_varint(emax_min + _EMAX_OFFSET))
+        emax_blob = self.backend.encode_symbols(emax_active - emax_min)
         payload.extend(encode_varint(len(emax_blob)))
         payload.extend(emax_blob)
 
-        # Sequency-major coefficient stream: coefficient index is the major
-        # axis so that high-frequency (mostly zero) codes form long runs.
+        # Sequency-partitioned coefficient stream: active blocks' codes are
+        # zigzag-mapped, planes grouped by bit width, one short-alphabet
+        # backend stream per group (plane-major within the group so the
+        # near-zero high-frequency codes form long runs).
         rows, cols = sequency_order(bs)
-        ordered = codes[:, rows, cols]  # (n_blocks, bs*bs)
-        stream = ordered.T.ravel()  # coefficient-major
-        symbols = stream + _CODE_RADIUS + 1
-        code_blob = self.backend.encode_symbols(symbols)
-        payload.extend(encode_varint(len(code_blob)))
-        payload.extend(code_blob)
+        ordered = codes[active][:, rows, cols]  # (n_active, bs*bs)
+        zigzag = (ordered << 1) ^ (ordered >> 63)
+        groups = group_planes_by_width(sequency_plane_widths(zigzag))
+        payload.extend(encode_varint(len(groups)))
+        for start, end, width in groups:
+            payload.extend(encode_varint(end - start))
+            payload.extend(encode_varint(width))
+            if width > 0:
+                group_blob = self.backend.encode_symbols(zigzag[:, start:end].T.ravel())
+                payload.extend(encode_varint(len(group_blob)))
+                payload.extend(group_blob)
 
         exact_values = blocks[exact_mask].astype("<f8").tobytes()
         payload.extend(encode_varint(len(exact_values)))
         payload.extend(exact_values)
 
-        reconstruction = reassemble_blocks(
+        reconstruction = merge_field(
             recon_blocks.reshape(nbi, nbj, bs, bs), original_shape
         )
         compressed = CompressedField(
@@ -197,6 +211,7 @@ class ZFPCompressor(Compressor):
                 "negligible_block_fraction": float(negligible.mean()),
                 "exact_block_fraction": float(exact_mask.mean()),
                 "n_blocks": float(n_blocks),
+                "coefficient_stream_groups": float(len(groups)),
             },
         )
         self.check_error_bound(values, reconstruction)
@@ -204,12 +219,28 @@ class ZFPCompressor(Compressor):
 
     # ------------------------------------------------------------------
     def _reconstruct_blocks(
-        self, codes: np.ndarray, emax: np.ndarray, negligible: np.ndarray
+        self,
+        codes: np.ndarray,
+        emax: np.ndarray,
+        negligible: np.ndarray,
+        error_bound: float,
     ) -> np.ndarray:
-        step = self._coefficient_step(emax)
-        coefficients = codes.astype(np.float64) * step[:, None, None]
-        normalised = inverse_block_transform(coefficients)
-        blocks = normalised * np.exp2(emax.astype(np.float64))[:, None, None]
+        """Decode codes back to value blocks under an explicit bound.
+
+        The bound is an argument (not read from ``self``) so the
+        decompressor can apply the bound decoded from the container
+        without mutating compressor state — keeping instances reentrant
+        and thread-safe.
+        """
+
+        step = self._coefficient_step(emax, error_bound)
+        # Blocks at the extremes (inf step, emax at the float-range limit)
+        # are flagged for exact storage by the caller and their values here
+        # overwritten; suppress the transient overflow warnings they cause.
+        with np.errstate(over="ignore", invalid="ignore"):
+            coefficients = codes.astype(np.float64) * step[:, None, None]
+            normalised = inverse_block_transform(coefficients)
+            blocks = normalised * np.exp2(emax.astype(np.float64))[:, None, None]
         blocks[negligible] = 0.0
         return blocks
 
@@ -230,37 +261,60 @@ class ZFPCompressor(Compressor):
         bs = block_size
 
         flag_len, pos = decode_varint(blob, pos)
-        flags = np.frombuffer(blob[pos : pos + flag_len], dtype=np.uint8).copy()
+        flags = self.backend.decode_symbols(blob[pos : pos + flag_len])
         pos += flag_len
-        negligible = flags == 1
-        exact_mask = flags == 2
+        if flags.size != n_blocks:
+            raise CompressorError("zfp: block flag stream length mismatch")
+        negligible = flags == _FLAG_NEGLIGIBLE
+        exact_mask = flags == _FLAG_EXACT
+        active = flags == _FLAG_ACTIVE
+        n_active = int(active.sum())
 
         emax_min_shifted, pos = decode_varint(blob, pos)
-        emax_min = emax_min_shifted - 2**20
+        emax_min = emax_min_shifted - _EMAX_OFFSET
         emax_len, pos = decode_varint(blob, pos)
-        emax = self.backend.decode_symbols(blob[pos : pos + emax_len]) + emax_min
+        emax_active = self.backend.decode_symbols(blob[pos : pos + emax_len]) + emax_min
         pos += emax_len
+        if emax_active.size != n_active:
+            raise CompressorError("zfp: exponent stream length mismatch")
+        emax = np.zeros(n_blocks, dtype=np.int64)
+        emax[active] = emax_active
 
-        code_len, pos = decode_varint(blob, pos)
-        symbols = self.backend.decode_symbols(blob[pos : pos + code_len])
-        pos += code_len
-        stream = symbols.astype(np.int64) - (_CODE_RADIUS + 1)
-        ordered = stream.reshape(bs * bs, n_blocks).T
+        n_groups, pos = decode_varint(blob, pos)
+        zigzag = np.zeros((n_active, bs * bs), dtype=np.int64)
+        plane = 0
+        for _ in range(n_groups):
+            group_planes, pos = decode_varint(blob, pos)
+            width, pos = decode_varint(blob, pos)
+            if plane + group_planes > bs * bs:
+                raise CompressorError("zfp: coefficient plane groups exceed block size")
+            if width > 0:
+                group_len, pos = decode_varint(blob, pos)
+                group = self.backend.decode_symbols(blob[pos : pos + group_len])
+                pos += group_len
+                if group.size != group_planes * n_active:
+                    raise CompressorError("zfp: coefficient group length mismatch")
+                zigzag[:, plane : plane + group_planes] = group.reshape(
+                    group_planes, n_active
+                ).T
+            plane += group_planes
+        if plane != bs * bs:
+            raise CompressorError("zfp: coefficient plane groups do not cover the block")
+
+        ordered = (zigzag >> 1) ^ -(zigzag & 1)
         seq_rows, seq_cols = sequency_order(bs)
         codes = np.zeros((n_blocks, bs, bs), dtype=np.int64)
-        codes[:, seq_rows, seq_cols] = ordered
+        active_codes = np.zeros((n_active, bs, bs), dtype=np.int64)
+        active_codes[:, seq_rows, seq_cols] = ordered
+        codes[active] = active_codes
 
         exact_len, pos = decode_varint(blob, pos)
         exact_values = np.frombuffer(blob[pos : pos + exact_len], dtype="<f8")
+        if exact_values.size != int(exact_mask.sum()) * bs * bs:
+            raise CompressorError("zfp: exact-block side channel length mismatch")
 
-        # Reuse the compressor's reconstruction path with the decoded bound.
-        saved_bound = self.error_bound
-        try:
-            self.error_bound = float(error_bound)
-            blocks = self._reconstruct_blocks(codes, emax.astype(np.int64), negligible)
-        finally:
-            self.error_bound = saved_bound
+        blocks = self._reconstruct_blocks(codes, emax, negligible, float(error_bound))
         if exact_mask.any():
             blocks[exact_mask] = exact_values.reshape(-1, bs, bs)
-        field = reassemble_blocks(blocks.reshape(nbi, nbj, bs, bs), (rows, cols))
+        field = merge_field(blocks.reshape(nbi, nbj, bs, bs), (rows, cols))
         return field

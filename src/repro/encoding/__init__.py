@@ -13,8 +13,9 @@ subpackage implements that substrate from scratch:
   symbol streams (quantization codes).
 * :mod:`repro.encoding.rle` -- run-length coding of highly repetitive
   symbol streams (e.g. long runs of "exact prediction" codes).
-* :mod:`repro.encoding.lz77` -- a greedy LZ77 match finder with a hash
-  chain, the dictionary-coding half of the Zstd-like backend.
+* :mod:`repro.encoding.lz77` -- a NumPy-vectorized greedy LZ77 match
+  finder (array-built prefix chains, chunked match extension, array
+  sequence stream), the dictionary-coding half of the Zstd-like backend.
 * :mod:`repro.encoding.zstd_like` -- LZ77 followed by Huffman coding of
   literals/lengths/distances; the stand-in for Zstd used as the final
   lossless stage of the SZ-like and MGARD-like compressors.
@@ -27,7 +28,7 @@ from repro.encoding.huffman import (
     huffman_encode,
     huffman_code_lengths,
 )
-from repro.encoding.lz77 import LZ77Token, lz77_compress, lz77_decompress
+from repro.encoding.lz77 import LZ77Sequences, lz77_compress, lz77_decompress
 from repro.encoding.rle import rle_decode, rle_encode
 from repro.encoding.varint import (
     decode_signed_varint,
@@ -44,7 +45,7 @@ __all__ = [
     "huffman_encode",
     "huffman_decode",
     "huffman_code_lengths",
-    "LZ77Token",
+    "LZ77Sequences",
     "lz77_compress",
     "lz77_decompress",
     "rle_encode",

@@ -7,7 +7,8 @@ around zero.  Huffman coding of those streams is where the compression
 ratio is actually realised, so this module is a genuine (if compact)
 canonical Huffman implementation:
 
-* code lengths are derived from a standard heap-based Huffman tree and then
+* code lengths come from a two-queue Huffman tree build over the sorted
+  frequency array (O(n) after one argsort, no heap) and are then
   *length-limited* (zlib-style Kraft repair) so every codeword fits the
   decoder's lookup table,
 * codes are made *canonical* so the decoder only needs the code lengths,
@@ -25,7 +26,6 @@ varints, then the bit stream.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -50,7 +50,64 @@ _LENGTH_LIMIT = 16
 _MAX_TABLE_BITS = 20
 
 
-def _limit_lengths(lengths: Dict[int, int], limit: int) -> Dict[int, int]:
+def _code_lengths_array(counts: np.ndarray) -> np.ndarray:
+    """Huffman code lengths for a frequency array (two-queue tree build).
+
+    With the frequencies sorted once, the optimal tree is built with the
+    classic two-queue merge — leaves are consumed in sorted order and
+    internal nodes are *created* in non-decreasing weight order, so the two
+    cheapest nodes are always at one of two queue heads.  O(n) after the
+    sort, no heap operations.
+    """
+
+    n = counts.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == 1:
+        return np.ones(1, dtype=np.int64)
+    order = np.argsort(counts, kind="stable")
+    weights = counts[order].tolist()
+    n_nodes = 2 * n - 1
+    parents = [0] * n_nodes
+    internal: List[int] = []
+    append_internal = internal.append
+    leaf = 0
+    merged = 0
+    n_internal = 0
+    for node in range(n, n_nodes):
+        if leaf < n and (merged >= n_internal or weights[leaf] <= internal[merged]):
+            first = leaf
+            total = weights[leaf]
+            leaf += 1
+        else:
+            first = n + merged
+            total = internal[merged]
+            merged += 1
+        if leaf < n and (merged >= n_internal or weights[leaf] <= internal[merged]):
+            second = leaf
+            total += weights[leaf]
+            leaf += 1
+        else:
+            second = n + merged
+            total += internal[merged]
+            merged += 1
+        parents[first] = node
+        parents[second] = node
+        append_internal(total)
+        n_internal += 1
+    # Children always have smaller indices than their parent, so one
+    # root-to-leaves sweep yields every depth in O(n).
+    depths = [0] * n_nodes
+    for node in range(n_nodes - 2, -1, -1):
+        depths[node] = depths[parents[node]] + 1
+    lengths = np.empty(n, dtype=np.int64)
+    lengths[order] = depths[:n]
+    return lengths
+
+
+def _limit_lengths_array(
+    symbols: np.ndarray, lengths: np.ndarray, limit: int
+) -> np.ndarray:
     """Clamp code lengths to ``limit`` bits and repair the Kraft inequality.
 
     Standard zlib-style repair: clamping overfull depths can push the Kraft
@@ -58,15 +115,14 @@ def _limit_lengths(lengths: Dict[int, int], limit: int) -> Dict[int, int]:
     restores it while disturbing the optimal lengths as little as possible.
     """
 
-    if not lengths:
+    n = lengths.size
+    if n == 0:
         return lengths
-    limit = max(limit, max(1, (len(lengths) - 1).bit_length()))
-    if max(lengths.values()) <= limit:
+    limit = max(limit, max(1, (n - 1).bit_length()))
+    if int(lengths.max()) <= limit:
         return lengths
 
-    counts = np.zeros(limit + 1, dtype=np.int64)
-    for length in lengths.values():
-        counts[min(length, limit)] += 1
+    counts = np.bincount(np.minimum(lengths, limit), minlength=limit + 1)
     budget = 1 << limit
     kraft = int(sum(int(counts[l]) << (limit - l) for l in range(1, limit + 1)))
     while kraft > budget:
@@ -79,9 +135,37 @@ def _limit_lengths(lengths: Dict[int, int], limit: int) -> Dict[int, int]:
     # Reassign: symbols sorted by (original length, symbol) receive the new
     # lengths in non-decreasing order, so originally-short (frequent)
     # symbols keep the short codes.
-    ordered = sorted(lengths, key=lambda s: (lengths[s], s))
+    order = np.lexsort((symbols, lengths))
     new_lengths = np.repeat(np.arange(limit + 1), counts)
-    return {sym: int(new_lengths[i]) for i, sym in enumerate(ordered)}
+    out = np.empty(n, dtype=np.int64)
+    out[order] = new_lengths
+    return out
+
+
+def _canonical_codes_array(symbols: np.ndarray, lengths: np.ndarray):
+    """Canonical codewords from per-symbol lengths, as arrays.
+
+    Returns ``(order, syms, lens, codes)`` with ``syms``/``lens``/``codes``
+    in canonical (length, symbol) order and ``order`` the permutation that
+    produced them.  Equivalent to :meth:`HuffmanCode.from_lengths` without
+    per-symbol Python work: the first code of each length is the standard
+    ``(first[l-1] + count[l-1]) << 1`` recurrence (at most ``max_len``
+    iterations), and codes within a length are consecutive.
+    """
+
+    order = np.lexsort((symbols, lengths))
+    syms = symbols[order]
+    lens = lengths[order]
+    max_len = int(lens[-1])
+    bl_count = np.bincount(lens, minlength=max_len + 1)
+    first_code = np.zeros(max_len + 1, dtype=np.uint64)
+    code = 0
+    for l in range(1, max_len + 1):
+        code = (code + int(bl_count[l - 1])) << 1
+        first_code[l] = code
+    starts = (np.cumsum(bl_count) - bl_count).astype(np.uint64)
+    codes = first_code[lens] + (np.arange(syms.size, dtype=np.uint64) - starts[lens])
+    return order, syms, lens, codes
 
 
 def huffman_code_lengths(
@@ -90,41 +174,21 @@ def huffman_code_lengths(
     """Return the Huffman code length for every symbol with non-zero frequency.
 
     Lengths are limited to ``max_length`` bits (Kraft-repaired, see
-    :func:`_limit_lengths`) so the vectorised decoder's prefix table stays
-    bounded; the limit is raised automatically when the alphabet is too
-    large for it.  A single-symbol alphabet gets length 1 (a degenerate but
-    decodable code).
+    :func:`_limit_lengths_array`) so the vectorised decoder's prefix table
+    stays bounded; the limit is raised automatically when the alphabet is
+    too large for it.  A single-symbol alphabet gets length 1 (a degenerate
+    but decodable code).  Dict-interface wrapper over the array core used
+    by :func:`huffman_encode`.
     """
 
-    symbols = sorted(s for s, f in frequencies.items() if f > 0)
-    if not symbols:
+    items = sorted((s, f) for s, f in frequencies.items() if f > 0)
+    if not items:
         return {}
-    if len(symbols) == 1:
-        return {symbols[0]: 1}
-
-    # Standard heap-based tree build, but nodes are just indices into a
-    # parent array (no per-node symbol lists): depth(leaf) = number of
-    # parent hops to the root.
-    n = len(symbols)
-    parents = [0] * (2 * n - 1)
-    heap: List[Tuple[int, int]] = [(frequencies[sym], i) for i, sym in enumerate(symbols)]
-    heapq.heapify(heap)
-    next_node = n
-    while len(heap) > 1:
-        f1, n1 = heapq.heappop(heap)
-        f2, n2 = heapq.heappop(heap)
-        parents[n1] = next_node
-        parents[n2] = next_node
-        heapq.heappush(heap, (f1 + f2, next_node))
-        next_node += 1
-    # Children always have smaller indices than their parent, so one
-    # root-to-leaves sweep yields every depth in O(n).
-    root = next_node - 1
-    depths = [0] * (2 * n - 1)
-    for node in range(root - 1, -1, -1):
-        depths[node] = depths[parents[node]] + 1
-    lengths = {sym: depths[i] for i, sym in enumerate(symbols)}
-    return _limit_lengths(lengths, min(max_length, _MAX_CODE_LENGTH))
+    symbols = np.array([s for s, _ in items], dtype=np.int64)
+    counts = np.array([f for _, f in items], dtype=np.int64)
+    lengths = _code_lengths_array(counts)
+    lengths = _limit_lengths_array(symbols, lengths, min(max_length, _MAX_CODE_LENGTH))
+    return {int(s): int(l) for s, l in zip(symbols, lengths)}
 
 
 @dataclass(frozen=True)
@@ -164,12 +228,14 @@ class HuffmanCode:
         return {(l, c): s for s, c, l in zip(self.symbols, self.codes, self.lengths)}
 
 
-def _write_header(writer_bytes: bytearray, code: HuffmanCode, n_symbols: int) -> None:
+def _write_header(
+    writer_bytes: bytearray, syms: np.ndarray, lens: np.ndarray, n_symbols: int
+) -> None:
     writer_bytes.extend(encode_varint(n_symbols))
-    writer_bytes.extend(encode_varint(len(code.symbols)))
-    pairs = np.empty(2 * len(code.symbols), dtype=np.int64)
-    pairs[0::2] = code.symbols
-    pairs[1::2] = code.lengths
+    writer_bytes.extend(encode_varint(syms.size))
+    pairs = np.empty(2 * syms.size, dtype=np.int64)
+    pairs[0::2] = syms
+    pairs[1::2] = lens
     writer_bytes.extend(encode_varint_array(pairs))
 
 
@@ -204,19 +270,24 @@ def huffman_encode(symbols: Sequence[int]) -> bytes:
         return bytes(out)
 
     values, inverse, counts = _count_symbols(arr)
-    freqs = {int(v): int(c) for v, c in zip(values, counts)}
-    code = HuffmanCode.from_lengths(huffman_code_lengths(freqs))
-    _write_header(out, code, arr.size)
+    lengths = _code_lengths_array(np.asarray(counts, dtype=np.int64))
+    lengths = _limit_lengths_array(
+        np.asarray(values, dtype=np.int64), lengths, min(_LENGTH_LIMIT, _MAX_CODE_LENGTH)
+    )
+    order, syms_c, lens_c, codes_c = _canonical_codes_array(
+        np.asarray(values, dtype=np.int64), lengths
+    )
+    _write_header(out, syms_c, lens_c, arr.size)
 
     # Vectorised lookup of (code, length) per input symbol: ``inverse`` maps
-    # each symbol to its slot in the sorted alphabet (``values``), and
-    # ``argsort`` of the canonical symbols maps those slots to canonical
+    # each symbol to its slot in the sorted alphabet (``values``), and the
+    # inverse of the canonical permutation maps those slots to canonical
     # order — no per-symbol searchsorted over the input needed.
-    alphabet = np.asarray(code.symbols, dtype=np.int64)
-    order = np.argsort(alphabet)
-    index = order[inverse.ravel()]
-    codes_arr = np.asarray(code.codes, dtype=np.uint64)[index]
-    lens_arr = np.asarray(code.lengths, dtype=np.int64)[index]
+    rank = np.empty(values.size, dtype=np.int64)
+    rank[order] = np.arange(values.size)
+    index = rank[np.asarray(inverse).ravel()]
+    codes_arr = codes_c[index]
+    lens_arr = lens_c[index]
 
     # Vectorised MSB-first bit packing: expand every codeword into exactly
     # its own bits (no max_len-wide matrix) — bit k of a length-L codeword

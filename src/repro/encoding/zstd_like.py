@@ -3,33 +3,33 @@
 The real SZ and MGARD hand their quantized streams to Zstd (or Zlib).  This
 module provides a from-scratch stand-in with the same two stages:
 
-1. :func:`repro.encoding.lz77.lz77_compress` finds back-references,
-2. the resulting literals, match lengths and distances are entropy coded
-   with the canonical Huffman coder.
+1. :func:`repro.encoding.lz77.lz77_compress` finds back-references with the
+   vectorized match finder and returns an *array* sequence stream,
+2. the per-sequence arrays (literal run lengths, match lengths, split
+   distance bytes) and the literal bytes are each entropy coded with the
+   canonical Huffman coder — five array encodes, no per-token Python loop.
 
 The container layout is::
 
-    varint  n_tokens
-    blob    Huffman(flags)        # 0 = literal, 1 = match
+    varint  n_sequences
+    varint  n_literals            # all literal bytes incl. the trailing run
+    blob    Huffman(literal_lengths)
+    blob    Huffman(match_lengths - MIN_MATCH)
+    blob    Huffman(distances >> 8)
+    blob    Huffman(distances & 0xFF)
     blob    Huffman(literals)
-    blob    Huffman(lengths)      # only match tokens
-    blob    Huffman(dist_high)    # distance >> 8
-    blob    Huffman(dist_low)     # distance & 0xFF
 
-Because the LZ77 stage is pure Python it is noticeably slower than the
-NumPy-vectorised RLE+Huffman backend; the compressors therefore default to
-the latter and expose this one as the ``"zstd"`` backend option (exercised
-by the ablation benchmark and the test suite).
+Decoding rebuilds the :class:`repro.encoding.lz77.LZ77Sequences` arrays and
+hands them to :func:`repro.encoding.lz77.lz77_decompress`, which validates
+every token field before producing output.
 """
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from repro.encoding.huffman import huffman_decode, huffman_encode
-from repro.encoding.lz77 import LZ77Token, lz77_compress, lz77_decompress
+from repro.encoding.lz77 import _MIN_MATCH, LZ77Sequences, lz77_compress, lz77_decompress
 from repro.encoding.varint import decode_varint, encode_varint
 
 __all__ = ["zstd_like_compress", "zstd_like_decompress"]
@@ -51,59 +51,51 @@ def _read_blob(data: bytes, pos: int) -> tuple:
 def zstd_like_compress(data: bytes) -> bytes:
     """Compress a byte string with the LZ77+Huffman pipeline."""
 
-    tokens = lz77_compress(bytes(data))
-    flags: List[int] = []
-    literals: List[int] = []
-    lengths: List[int] = []
-    dist_high: List[int] = []
-    dist_low: List[int] = []
-    for token in tokens:
-        if token.is_literal:
-            flags.append(0)
-            literals.append(int(token.literal))  # type: ignore[arg-type]
-        else:
-            flags.append(1)
-            lengths.append(token.length)
-            dist_high.append(token.distance >> 8)
-            dist_low.append(token.distance & 0xFF)
-
+    seqs = lz77_compress(bytes(data))
     out = bytearray()
-    out.extend(encode_varint(len(tokens)))
-    _append_blob(out, huffman_encode(flags))
-    _append_blob(out, huffman_encode(literals))
-    _append_blob(out, huffman_encode(lengths))
-    _append_blob(out, huffman_encode(dist_high))
-    _append_blob(out, huffman_encode(dist_low))
+    out.extend(encode_varint(seqs.n_sequences))
+    out.extend(encode_varint(int(seqs.literals.size)))
+    _append_blob(out, huffman_encode(seqs.literal_lengths))
+    _append_blob(out, huffman_encode(seqs.match_lengths - _MIN_MATCH))
+    _append_blob(out, huffman_encode(seqs.distances >> 8))
+    _append_blob(out, huffman_encode(seqs.distances & 0xFF))
+    _append_blob(out, huffman_encode(seqs.literals))
     return bytes(out)
 
 
 def zstd_like_decompress(blob: bytes) -> bytes:
     """Inverse of :func:`zstd_like_compress`."""
 
-    n_tokens, pos = decode_varint(blob, 0)
-    flags_blob, pos = _read_blob(blob, pos)
-    literals_blob, pos = _read_blob(blob, pos)
-    lengths_blob, pos = _read_blob(blob, pos)
+    n_sequences, pos = decode_varint(blob, 0)
+    n_literals, pos = decode_varint(blob, pos)
+    lit_lens_blob, pos = _read_blob(blob, pos)
+    match_lens_blob, pos = _read_blob(blob, pos)
     dist_high_blob, pos = _read_blob(blob, pos)
     dist_low_blob, pos = _read_blob(blob, pos)
+    literals_blob, pos = _read_blob(blob, pos)
 
-    flags = huffman_decode(flags_blob)
-    literals = huffman_decode(literals_blob)
-    lengths = huffman_decode(lengths_blob)
+    literal_lengths = huffman_decode(lit_lens_blob)
+    match_lengths = huffman_decode(match_lens_blob) + _MIN_MATCH
     dist_high = huffman_decode(dist_high_blob)
     dist_low = huffman_decode(dist_low_blob)
+    literals = huffman_decode(literals_blob)
 
-    if flags.size != n_tokens:
-        raise ValueError("token count mismatch in zstd-like container")
+    if not (
+        literal_lengths.size == n_sequences
+        and match_lengths.size == n_sequences
+        and dist_high.size == n_sequences
+        and dist_low.size == n_sequences
+    ):
+        raise ValueError("sequence count mismatch in zstd-like container")
+    if literals.size != n_literals:
+        raise ValueError("literal count mismatch in zstd-like container")
+    if literals.size and (int(literals.min()) < 0 or int(literals.max()) > 0xFF):
+        raise ValueError("literal symbols outside byte range in zstd-like container")
 
-    tokens: List[LZ77Token] = []
-    lit_i = match_i = 0
-    for flag in flags:
-        if flag == 0:
-            tokens.append(LZ77Token(literal=int(literals[lit_i])))
-            lit_i += 1
-        else:
-            distance = (int(dist_high[match_i]) << 8) | int(dist_low[match_i])
-            tokens.append(LZ77Token(distance=distance, length=int(lengths[match_i])))
-            match_i += 1
-    return lz77_decompress(tokens)
+    seqs = LZ77Sequences(
+        literals=literals.astype(np.uint8),
+        literal_lengths=literal_lengths,
+        match_lengths=match_lengths,
+        distances=(dist_high << 8) | dist_low,
+    )
+    return lz77_decompress(seqs)

@@ -26,6 +26,12 @@ class TestSelectCompressor:
         result = select_compressor(smooth_field, 1e-2, seed=0)
         assert result.quantized_entropy_bits >= 0.0
 
+    def test_field_smaller_than_sampling_tile(self):
+        # The default tile (48) must clamp to the field instead of raising.
+        field = np.random.default_rng(4).normal(size=(32, 32))
+        result = select_compressor(field, 1e-3, seed=0)
+        assert result.selected in ("sz", "zfp")
+
     def test_single_candidate(self, smooth_field):
         result = select_compressor(smooth_field, 1e-3, candidates=("mgard",), seed=0)
         assert result.selected == "mgard"

@@ -9,10 +9,14 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.compressors.transform import (
+    block_exponents,
     forward_block_transform,
+    group_planes_by_width,
     inverse_block_transform,
     orthonormal_dct_matrix,
+    quantize_block_coefficients,
     sequency_order,
+    sequency_plane_widths,
 )
 
 
@@ -91,3 +95,99 @@ class TestSequencyOrder:
         rows, cols = sequency_order(8)
         totals = rows + cols
         assert np.all(np.diff(totals) >= 0)
+
+
+class TestBlockExponents:
+    def test_normalised_blocks_on_unit_scale(self):
+        blocks = np.random.default_rng(0).normal(size=(12, 4, 4)) * 100
+        emax, negligible, normalised = block_exponents(blocks, 1e-3)
+        assert not negligible.any()
+        assert np.abs(normalised).max() <= 1.0 + 1e-12
+        np.testing.assert_allclose(
+            normalised * np.exp2(emax.astype(np.float64))[:, None, None], blocks
+        )
+
+    def test_negligible_blocks_flagged_and_zeroed(self):
+        blocks = np.stack([np.full((4, 4), 1e-8), np.full((4, 4), 5.0)])
+        emax, negligible, normalised = block_exponents(blocks, 1e-3)
+        np.testing.assert_array_equal(negligible, [True, False])
+        assert np.all(normalised[0] == 0.0)
+
+    def test_zero_block_has_zero_exponent(self):
+        emax, negligible, _ = block_exponents(np.zeros((1, 4, 4)), 1e-3)
+        assert emax[0] == 0
+        assert negligible[0]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            block_exponents(np.zeros((4, 4)), 1e-3)
+
+
+class TestQuantizeBlockCoefficients:
+    def test_plain_quantization(self):
+        coeffs = np.array([[[0.5, -1.2], [0.0, 2.0]]])
+        codes, overflow = quantize_block_coefficients(
+            coeffs, np.array([0.5]), np.array([True]), 1 << 30
+        )
+        np.testing.assert_array_equal(codes, [[[1, -2], [0, 4]]])
+        assert not overflow.any()
+
+    def test_inactive_blocks_stay_zero(self):
+        coeffs = np.ones((2, 2, 2))
+        codes, overflow = quantize_block_coefficients(
+            coeffs, np.array([1.0, 1.0]), np.array([False, True]), 1 << 30
+        )
+        assert np.all(codes[0] == 0)
+        assert np.all(codes[1] == 1)
+        assert not overflow.any()
+
+    def test_non_finite_ratio_flags_overflow_without_warning(self):
+        import warnings
+
+        coeffs = np.ones((1, 2, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            codes, overflow = quantize_block_coefficients(
+                coeffs, np.array([0.0]), np.array([True]), 1 << 30
+            )
+        assert overflow[0]
+        assert np.all(codes == 0)
+
+    def test_beyond_radius_flags_overflow(self):
+        coeffs = np.full((1, 2, 2), 1e18)
+        codes, overflow = quantize_block_coefficients(
+            coeffs, np.array([1.0]), np.array([True]), 1 << 30
+        )
+        assert overflow[0]
+        assert np.all(codes == 0)
+
+
+class TestPlaneGrouping:
+    def test_widths_of_known_planes(self):
+        zig = np.array([[0, 1, 3, 4, 0], [0, 1, 2, 7, 0]], dtype=np.int64)
+        np.testing.assert_array_equal(sequency_plane_widths(zig), [0, 1, 2, 3, 0])
+
+    def test_groups_cover_all_planes_in_order(self):
+        widths = np.array([5, 5, 3, 3, 3, 0, 0])
+        groups = group_planes_by_width(widths)
+        assert groups == [(0, 2, 5), (2, 5, 3), (5, 7, 0)]
+
+    def test_empty_and_single(self):
+        assert group_planes_by_width(np.empty(0, dtype=np.int64)) == []
+        assert group_planes_by_width(np.array([4])) == [(0, 1, 4)]
+
+    def test_widths_roundtrip_with_grouping(self):
+        rng = np.random.default_rng(2)
+        zig = np.abs(rng.integers(0, 1 << 12, size=(64, 16))) >> rng.integers(
+            0, 12, size=16
+        )
+        widths = sequency_plane_widths(zig)
+        groups = group_planes_by_width(widths)
+        assert groups[0][0] == 0
+        assert groups[-1][1] == 16
+        for start, end, width in groups:
+            assert np.all(widths[start:end] == width)
+            if width == 0:
+                assert np.all(zig[:, start:end] == 0)
+            else:
+                assert int(zig[:, start:end].max()) < (1 << width)

@@ -1,38 +1,53 @@
-"""Tests for repro.encoding.lz77."""
+"""Tests for repro.encoding.lz77 (vectorized match finder, array stream)."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.encoding.lz77 import LZ77Token, lz77_compress, lz77_decompress
+from repro.encoding.lz77 import LZ77Sequences, lz77_compress, lz77_decompress
 
 
-class TestTokens:
-    def test_literal_flag(self):
-        assert LZ77Token(literal=65).is_literal
-        assert not LZ77Token(distance=3, length=5).is_literal
+def _sequences(literals=b"", lit_lens=(), match_lens=(), dists=()):
+    return LZ77Sequences(
+        literals=np.frombuffer(bytes(literals), dtype=np.uint8),
+        literal_lengths=np.asarray(lit_lens, dtype=np.int64),
+        match_lengths=np.asarray(match_lens, dtype=np.int64),
+        distances=np.asarray(dists, dtype=np.int64),
+    )
 
 
 class TestCompress:
     def test_empty_input(self):
-        assert lz77_compress(b"") == []
+        seqs = lz77_compress(b"")
+        assert seqs.n_sequences == 0
+        assert seqs.literals.size == 0
+        assert seqs.output_size == 0
 
     def test_incompressible_short_input_is_all_literals(self):
-        tokens = lz77_compress(b"abc")
-        assert all(t.is_literal for t in tokens)
+        seqs = lz77_compress(b"abc")
+        assert seqs.n_sequences == 0
+        assert seqs.literals.tobytes() == b"abc"
 
     def test_repetitive_input_produces_matches(self):
         data = b"abcd" * 100
-        tokens = lz77_compress(data)
-        assert any(not t.is_literal for t in tokens)
-        assert len(tokens) < len(data) // 2
+        seqs = lz77_compress(data)
+        assert seqs.n_sequences > 0
+        # The matches cover almost everything: few literal bytes remain.
+        assert seqs.literals.size < len(data) // 4
 
     def test_run_of_single_byte(self):
-        data = b"\x00" * 1000
-        tokens = lz77_compress(data)
-        assert len(tokens) < 20
+        seqs = lz77_compress(b"\x00" * 1000)
+        assert seqs.n_sequences < 20
+        assert seqs.output_size == 1000
+
+    def test_output_size_accounts_every_byte(self):
+        data = b"the quick brown fox " * 37 + b"tail"
+        seqs = lz77_compress(data)
+        assert seqs.output_size == len(data)
+        assert int(seqs.literal_lengths.sum()) <= seqs.literals.size
 
 
 class TestDecompress:
@@ -41,21 +56,69 @@ class TestDecompress:
         assert lz77_decompress(lz77_compress(data)) == data
 
     def test_roundtrip_binary(self):
-        import numpy as np
-
         data = np.random.default_rng(0).integers(0, 8, size=5000).astype(np.uint8).tobytes()
         assert lz77_decompress(lz77_compress(data)) == data
-
-    def test_invalid_distance_rejected(self):
-        with pytest.raises(ValueError, match="back-reference"):
-            lz77_decompress([LZ77Token(distance=5, length=3)])
 
     def test_overlapping_match_roundtrip(self):
         # 'aaaaa...' forces matches whose source overlaps the output cursor.
         data = b"a" * 300 + b"b" + b"a" * 300
         assert lz77_decompress(lz77_compress(data)) == data
 
+    def test_trailing_literals_roundtrip(self):
+        data = b"xyzw" * 50 + b"unique-tail-@#"
+        assert lz77_decompress(lz77_compress(data)) == data
+
     @given(st.binary(max_size=2000))
     @settings(max_examples=30, deadline=None)
     def test_roundtrip_property(self, data):
         assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestMalformedStreams:
+    """Token fields arrive straight from a decoded container; every field
+    must be validated so corrupt streams raise instead of emitting garbage."""
+
+    def test_distance_beyond_decoded_output_rejected(self):
+        seqs = _sequences(b"abc", lit_lens=[3], match_lens=[5], dists=[5])
+        with pytest.raises(ValueError, match="back-reference"):
+            lz77_decompress(seqs)
+
+    def test_distance_zero_rejected(self):
+        seqs = _sequences(b"abcd", lit_lens=[4], match_lens=[4], dists=[0])
+        with pytest.raises(ValueError, match="distance"):
+            lz77_decompress(seqs)
+
+    def test_oversized_distance_rejected(self):
+        seqs = _sequences(b"abcd", lit_lens=[4], match_lens=[4], dists=[1 << 20])
+        with pytest.raises(ValueError, match="distance"):
+            lz77_decompress(seqs)
+
+    def test_negative_literal_length_rejected(self):
+        seqs = _sequences(b"abcd", lit_lens=[-1], match_lens=[4], dists=[1])
+        with pytest.raises(ValueError, match="negative literal"):
+            lz77_decompress(seqs)
+
+    def test_undersized_match_length_rejected(self):
+        seqs = _sequences(b"abcd", lit_lens=[4], match_lens=[2], dists=[1])
+        with pytest.raises(ValueError, match="match length"):
+            lz77_decompress(seqs)
+
+    def test_oversized_match_length_rejected(self):
+        seqs = _sequences(b"abcd", lit_lens=[4], match_lens=[10_000], dists=[1])
+        with pytest.raises(ValueError, match="match length"):
+            lz77_decompress(seqs)
+
+    def test_literal_runs_longer_than_literal_stream_rejected(self):
+        seqs = _sequences(b"ab", lit_lens=[5], match_lens=[4], dists=[1])
+        with pytest.raises(ValueError, match="literal"):
+            lz77_decompress(seqs)
+
+    def test_mismatched_array_lengths_rejected(self):
+        seqs = _sequences(b"abcd", lit_lens=[4, 0], match_lens=[4], dists=[1])
+        with pytest.raises(ValueError, match="disagree"):
+            lz77_decompress(seqs)
+
+    def test_valid_overlapping_stream_decodes(self):
+        # Sanity check that the validator admits a legal overlapping match.
+        seqs = _sequences(b"ab", lit_lens=[2], match_lens=[6], dists=[2])
+        assert lz77_decompress(seqs) == b"ab" + b"ab" * 3
