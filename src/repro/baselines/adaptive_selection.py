@@ -86,6 +86,11 @@ def select_compressor(
 
     estimates: Dict[str, float] = {}
     for name in candidates:
+        # The per-compressor overhead correction (the estimator's default)
+        # is deliberate here: selection compares estimates *across*
+        # compressors, which is exactly where the uncorrected per-tile
+        # header bias flipped SZ-vs-ZFP calls.  It costs ~1.5x the sampled
+        # bytes of the naive form.
         estimate = estimate_cr_by_sampling(
             field,
             name,

@@ -1,13 +1,14 @@
-"""Shared NumPy-vectorized block-codec engine.
+"""Shared NumPy-vectorized, dimension-general block-codec engine.
 
 Every block-structured compressor in this package (the SZ-like predictor
 pipeline, the hyperplane regression predictor, the shared linear quantizer,
 and the MGARD-like level quantizer) is built on the primitives in this
 module.  The engine's contract is that **no stage loops over blocks or
-elements in Python**: fields are partitioned into a ``(nbi, nbj, bs, bs)``
-block tensor once, and every subsequent step — prediction, quantization,
-mode selection, unpredictable-value routing — is a whole-tensor array
-operation.
+elements in Python**: fields are partitioned into a ``(*n_blocks, *block)``
+block tensor once — ``(nbi, nbj, bs, bs)`` for a 2D field,
+``(nbi, nbj, nbk, bs, bs, bs)`` for a 3D volume — and every subsequent
+step — prediction, quantization, mode selection, unpredictable-value
+routing — is a whole-tensor array operation.
 
 Layer map
 ---------
@@ -15,9 +16,11 @@ Layer map
 * **Partition / merge** — :func:`partition_field` / :func:`merge_field`
   (edge-padded block views and the inverse crop).
 * **Prediction** — :func:`lorenzo_residuals` / :func:`lorenzo_reconstruct`
-  (first-order Lorenzo in integer-code space over all blocks at once) and
-  the hyperplane regression family (:func:`fit_block_planes`,
-  :func:`plane_predictions`, coefficient quantization).
+  (first-order N-d Lorenzo in integer-code space over all blocks at once)
+  and the hyperplane regression family (:func:`fit_block_planes`,
+  :func:`plane_predictions`, coefficient quantization) — a plane
+  ``beta0 + beta_i*i + beta_j*j`` in 2D, the trilinear-regression
+  hyperplane ``beta0 + beta_i*i + beta_j*j + beta_k*k`` in 3D.
 * **Quantization** — :func:`quantize_to_grid` (single ``np.rint`` pass onto
   the ``2*eb`` grid with overflow detection) and :func:`linear_quantize`
   (residual quantization with batched unpredictable-value handling).
@@ -38,7 +41,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.utils.blocking import block_view, pad_to_multiple, reassemble_blocks
-from repro.utils.validation import ensure_2d, ensure_positive
+from repro.utils.validation import ensure_ndim, ensure_positive
 
 __all__ = [
     "DEFAULT_CODE_RADIUS",
@@ -72,11 +75,32 @@ MODE_LORENZO = 0
 MODE_REGRESSION = 1
 
 #: Cost-model overhead charged to a regression block for storing its plane
-#: coefficients (~3 coefficients x ~16 bits).
-REGRESSION_OVERHEAD_BITS = 48.0
+#: coefficients per coefficient (~16 bits each; a 2D plane has 3, a 3D
+#: hyperplane 4).
+REGRESSION_OVERHEAD_BITS_PER_COEFF = 16.0
 
 #: Safety margin for the pre-quantization integer grid (int64).
 MAX_SAFE_CODE = float(2**62)
+
+
+def _infer_block_ndim(blocks: np.ndarray, block_ndim: Optional[int]) -> int:
+    """Number of trailing block axes of a ``(*batch, *block)`` tensor.
+
+    When ``block_ndim`` is not given the tensor is assumed to be a full
+    ``(*n_blocks, *block)`` partition, i.e. half its axes are block axes.
+    """
+
+    if block_ndim is None:
+        if blocks.ndim % 2 or blocks.ndim < 4:
+            raise ValueError(
+                f"expected a (*n_blocks, *block) tensor, got shape {blocks.shape}"
+            )
+        block_ndim = blocks.ndim // 2
+    if not 1 <= block_ndim <= blocks.ndim:
+        raise ValueError(
+            f"block_ndim={block_ndim} invalid for tensor of shape {blocks.shape}"
+        )
+    return int(block_ndim)
 
 
 # ----------------------------------------------------------------------
@@ -84,8 +108,8 @@ MAX_SAFE_CODE = float(2**62)
 # ----------------------------------------------------------------------
 def partition_field(
     field: np.ndarray, block_size: int, *, mode: str = "edge"
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Pad a 2D field and view it as a ``(nbi, nbj, bs, bs)`` block tensor.
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Pad an N-d field and view it as a ``(*n_blocks, *block)`` block tensor.
 
     Returns ``(blocks, original_shape)``; ``blocks`` is a strided view of
     the padded array (no copy) and ``original_shape`` is what
@@ -96,7 +120,7 @@ def partition_field(
     return block_view(padded, block_size), original_shape
 
 
-def merge_field(blocks: np.ndarray, original_shape: Tuple[int, int]) -> np.ndarray:
+def merge_field(blocks: np.ndarray, original_shape: Tuple[int, ...]) -> np.ndarray:
     """Inverse of :func:`partition_field`: reassemble blocks and crop."""
 
     return reassemble_blocks(blocks, original_shape)
@@ -105,73 +129,89 @@ def merge_field(blocks: np.ndarray, original_shape: Tuple[int, int]) -> np.ndarr
 # ----------------------------------------------------------------------
 # Lorenzo prediction (integer-code space, all blocks at once)
 # ----------------------------------------------------------------------
-def lorenzo_residuals(code_blocks: np.ndarray) -> np.ndarray:
-    """First-order 2D Lorenzo differences within each block.
+def lorenzo_residuals(
+    code_blocks: np.ndarray, *, block_ndim: Optional[int] = None
+) -> np.ndarray:
+    """First-order N-d Lorenzo differences within each block.
 
-    ``code_blocks`` has shape ``(nbi, nbj, bs, bs)`` (integer quantization
-    codes).  Out-of-block neighbours are treated as zero, so the first row
-    and column of every block fall back to 1D differences and the corner
-    stores the code itself.
+    ``code_blocks`` has shape ``(*batch, *block)`` (integer quantization
+    codes); the last ``block_ndim`` axes are the block axes.  The N-d
+    Lorenzo residual is the composition of the backward difference along
+    every block axis — the inclusion/exclusion corner predictor (for 3D:
+    the seven-neighbour cube-corner prediction).  Out-of-block neighbours
+    are treated as zero, so boundary faces fall back to lower-dimensional
+    differences and the corner stores the code itself.
     """
 
-    if code_blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {code_blocks.shape}")
     codes = np.asarray(code_blocks, dtype=np.int64)
-    residuals = codes.copy()
-    residuals[:, :, 1:, :] -= codes[:, :, :-1, :]
-    residuals[:, :, :, 1:] -= codes[:, :, :, :-1]
-    residuals[:, :, 1:, 1:] += codes[:, :, :-1, :-1]
+    ndim = _infer_block_ndim(codes, block_ndim)
+    residuals = codes
+    for axis in range(codes.ndim - ndim, codes.ndim):
+        head = [slice(None)] * codes.ndim
+        tail = [slice(None)] * codes.ndim
+        head[axis] = slice(1, None)
+        tail[axis] = slice(None, -1)
+        diffed = residuals.copy()
+        diffed[tuple(head)] -= residuals[tuple(tail)]
+        residuals = diffed
     return residuals
 
 
-def lorenzo_reconstruct(residual_blocks: np.ndarray) -> np.ndarray:
-    """Invert :func:`lorenzo_residuals` via double cumulative sums."""
+def lorenzo_reconstruct(
+    residual_blocks: np.ndarray, *, block_ndim: Optional[int] = None
+) -> np.ndarray:
+    """Invert :func:`lorenzo_residuals` via cumulative sums per block axis."""
 
-    if residual_blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {residual_blocks.shape}")
     residuals = np.asarray(residual_blocks, dtype=np.int64)
-    return np.cumsum(np.cumsum(residuals, axis=2), axis=3)
+    ndim = _infer_block_ndim(residuals, block_ndim)
+    codes = residuals
+    for axis in range(residuals.ndim - ndim, residuals.ndim):
+        codes = np.cumsum(codes, axis=axis)
+    return codes
 
 
 # ----------------------------------------------------------------------
 # hyperplane regression prediction (SZ's second predictor)
 # ----------------------------------------------------------------------
-def plane_design_matrix(block_size: int) -> np.ndarray:
-    """Design matrix ``[1, i, j]`` for every cell of a ``block_size`` block."""
+def plane_design_matrix(block_size: int, ndim: int = 2) -> np.ndarray:
+    """Design matrix ``[1, i, j, ...]`` for every cell of an N-d block."""
 
     ensure_positive(block_size, "block_size")
-    ii, jj = np.meshgrid(np.arange(block_size), np.arange(block_size), indexing="ij")
-    return np.column_stack(
-        [
-            np.ones(block_size * block_size),
-            ii.ravel().astype(np.float64),
-            jj.ravel().astype(np.float64),
-        ]
-    )
+    ensure_positive(ndim, "ndim")
+    coords = np.indices((block_size,) * ndim).reshape(ndim, -1)
+    columns = [np.ones(block_size**ndim)]
+    columns.extend(coords.astype(np.float64))
+    return np.column_stack(columns)
 
 
-def fit_block_planes(blocks: np.ndarray) -> np.ndarray:
-    """Least-squares plane coefficients for every block.
+def fit_block_planes(
+    blocks: np.ndarray, *, block_ndim: Optional[int] = None
+) -> np.ndarray:
+    """Least-squares hyperplane coefficients for every block.
 
-    ``blocks`` has shape ``(nbi, nbj, bs, bs)``; the result has shape
-    ``(nbi, nbj, 3)`` holding ``(beta0, beta_i, beta_j)`` per block.  The
-    design matrix is identical for every block, so one precomputed
-    pseudo-inverse applied with a single ``einsum`` fits them all.
+    ``blocks`` has shape ``(*batch, *block)``; the result has shape
+    ``(*batch, 1 + block_ndim)`` holding ``(beta0, beta_i, beta_j, ...)``
+    per block.  The design matrix is identical for every block, so one
+    precomputed pseudo-inverse applied with a single ``einsum`` fits them
+    all.
     """
 
-    if blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {blocks.shape}")
-    nbi, nbj, bs, bs2 = blocks.shape
-    if bs != bs2:
+    blocks = np.asarray(blocks)
+    ndim = _infer_block_ndim(blocks, block_ndim)
+    edges = blocks.shape[blocks.ndim - ndim :]
+    if len(set(edges)) != 1:
         raise ValueError("blocks must be square")
-    design = plane_design_matrix(bs)
-    pseudo_inverse = np.linalg.pinv(design)  # (3, bs*bs)
-    flat = blocks.reshape(nbi, nbj, bs * bs).astype(np.float64)
-    return np.einsum("kp,ijp->ijk", pseudo_inverse, flat)
+    bs = edges[0]
+    design = plane_design_matrix(bs, ndim)
+    pseudo_inverse = np.linalg.pinv(design)  # (1 + ndim, bs**ndim)
+    flat = blocks.reshape(blocks.shape[: blocks.ndim - ndim] + (bs**ndim,))
+    return np.einsum("kp,...p->...k", pseudo_inverse, flat.astype(np.float64))
 
 
-def coefficient_precisions(error_bound: float, block_size: int) -> np.ndarray:
-    """Quantization step for (intercept, slope_i, slope_j) coefficients.
+def coefficient_precisions(
+    error_bound: float, block_size: int, ndim: int = 2
+) -> np.ndarray:
+    """Quantization step for (intercept, slope...) hyperplane coefficients.
 
     Following SZ's choice, the intercept is stored to within the error
     bound itself, while slope coefficients are stored to within
@@ -181,46 +221,53 @@ def coefficient_precisions(error_bound: float, block_size: int) -> np.ndarray:
 
     ensure_positive(error_bound, "error_bound")
     ensure_positive(block_size, "block_size")
+    ensure_positive(ndim, "ndim")
     return np.array(
-        [error_bound, error_bound / block_size, error_bound / block_size], dtype=np.float64
+        [error_bound] + [error_bound / block_size] * ndim, dtype=np.float64
     )
 
 
 def quantize_plane_coefficients(
-    coefficients: np.ndarray, error_bound: float, block_size: int
+    coefficients: np.ndarray, error_bound: float, block_size: int, ndim: int = 2
 ) -> np.ndarray:
-    """Quantize plane coefficients to integer codes (per-coefficient precision)."""
+    """Quantize hyperplane coefficients to integer codes (per-coefficient precision)."""
 
-    precisions = coefficient_precisions(error_bound, block_size)
+    precisions = coefficient_precisions(error_bound, block_size, ndim)
     coeffs = np.asarray(coefficients, dtype=np.float64)
     return np.rint(coeffs / precisions).astype(np.int64)
 
 
 def dequantize_plane_coefficients(
-    codes: np.ndarray, error_bound: float, block_size: int
+    codes: np.ndarray, error_bound: float, block_size: int, ndim: int = 2
 ) -> np.ndarray:
     """Inverse of :func:`quantize_plane_coefficients`."""
 
-    precisions = coefficient_precisions(error_bound, block_size)
+    precisions = coefficient_precisions(error_bound, block_size, ndim)
     return np.asarray(codes, dtype=np.float64) * precisions
 
 
 def plane_predictions(coefficients: np.ndarray, block_size: int) -> np.ndarray:
-    """Evaluate plane predictions for every block.
+    """Evaluate hyperplane predictions for every block.
 
-    ``coefficients`` has shape ``(nbi, nbj, 3)``; the result has shape
-    ``(nbi, nbj, bs, bs)``.
+    ``coefficients`` has shape ``(*batch, 1 + ndim)``; the result has shape
+    ``(*batch, bs, ..., bs)`` with ``ndim`` trailing block axes.
     """
 
     coeffs = np.asarray(coefficients, dtype=np.float64)
-    if coeffs.ndim != 3 or coeffs.shape[-1] != 3:
-        raise ValueError(f"expected (nbi, nbj, 3) coefficients, got {coeffs.shape}")
-    ii, jj = np.meshgrid(np.arange(block_size), np.arange(block_size), indexing="ij")
-    return (
-        coeffs[:, :, 0, None, None]
-        + coeffs[:, :, 1, None, None] * ii[None, None, :, :]
-        + coeffs[:, :, 2, None, None] * jj[None, None, :, :]
-    )
+    if coeffs.ndim < 1 or coeffs.shape[-1] < 2:
+        raise ValueError(
+            f"expected (*batch, 1 + ndim) coefficients, got {coeffs.shape}"
+        )
+    ndim = coeffs.shape[-1] - 1
+    coords = np.indices((block_size,) * ndim).astype(np.float64)
+    batch = coeffs.shape[:-1]
+    expand = (...,) + (None,) * ndim
+    predictions = np.broadcast_to(
+        coeffs[..., 0][expand], batch + (block_size,) * ndim
+    ).copy()
+    for axis in range(ndim):
+        predictions += coeffs[..., axis + 1][expand] * coords[axis]
+    return predictions
 
 
 # ----------------------------------------------------------------------
@@ -236,7 +283,11 @@ def quantize_to_grid(
     or too large for the integer grid (callers fall back to raw storage).
     """
 
-    scaled = np.asarray(values, dtype=np.float64) / step
+    # The ratio legitimately overflows to inf when the data magnitude dwarfs
+    # the step (extreme value / tiny bound); the isfinite check below routes
+    # exactly those cases to the caller's raw fallback.
+    with np.errstate(over="ignore"):
+        scaled = np.asarray(values, dtype=np.float64) / step
     if not np.all(np.isfinite(scaled)):
         return None
     codes = np.rint(scaled)
@@ -291,12 +342,13 @@ def linear_quantize(
 def select_block_modes(
     candidates: Dict[str, np.ndarray],
     *,
-    regression_overhead_bits: float = REGRESSION_OVERHEAD_BITS,
+    block_ndim: Optional[int] = None,
+    regression_overhead_bits: Optional[float] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Pick the cheaper predictor per block.
 
     ``candidates`` maps predictor name (``"lorenzo"`` / ``"regression"``)
-    to its ``(nbi, nbj, bs, bs)`` residual-code tensor.  The coding cost
+    to its ``(*n_blocks, *block)`` residual-code tensor.  The coding cost
     proxy is the total number of significant bits of the residual codes (a
     cheap stand-in for the Huffman-coded size), with a fixed overhead added
     for the coefficients a regression block must store.  Returns
@@ -304,21 +356,25 @@ def select_block_modes(
     """
 
     names = list(candidates)
+    first = candidates[names[0]]
+    ndim = _infer_block_ndim(np.asarray(first), block_ndim)
+    lead = first.ndim - ndim
     if len(names) == 1:
         residuals = candidates[names[0]]
-        nbi, nbj = residuals.shape[:2]
         mode = MODE_LORENZO if names[0] == "lorenzo" else MODE_REGRESSION
-        return np.full((nbi, nbj), mode, dtype=np.int64), residuals
+        return np.full(residuals.shape[:lead], mode, dtype=np.int64), residuals
 
+    if regression_overhead_bits is None:
+        regression_overhead_bits = REGRESSION_OVERHEAD_BITS_PER_COEFF * (1 + ndim)
+    block_axes = tuple(range(lead, first.ndim))
     lorenzo = candidates["lorenzo"]
     regression = candidates["regression"]
-    cost_lorenzo = np.log2(np.abs(lorenzo) + 1.0).sum(axis=(2, 3))
-    cost_regression = np.log2(np.abs(regression) + 1.0).sum(axis=(2, 3))
+    cost_lorenzo = np.log2(np.abs(lorenzo) + 1.0).sum(axis=block_axes)
+    cost_regression = np.log2(np.abs(regression) + 1.0).sum(axis=block_axes)
     cost_regression = cost_regression + regression_overhead_bits
     modes = np.where(cost_regression < cost_lorenzo, MODE_REGRESSION, MODE_LORENZO)
-    residuals = np.where(
-        (modes == MODE_REGRESSION)[:, :, None, None], regression, lorenzo
-    )
+    expand = (...,) + (None,) * ndim
+    residuals = np.where((modes == MODE_REGRESSION)[expand], regression, lorenzo)
     return modes.astype(np.int64), residuals
 
 
@@ -363,14 +419,25 @@ class BlockEncoding:
     decoder-identical reconstruction computed as an encode by-product.
     """
 
-    original_shape: Tuple[int, int]
-    nbi: int
-    nbj: int
-    modes: np.ndarray  # (nbi, nbj) in {MODE_LORENZO, MODE_REGRESSION}
-    symbols: np.ndarray  # (nbi*nbj, bs*bs) non-negative, 0 = outlier marker
+    original_shape: Tuple[int, ...]
+    n_blocks: Tuple[int, ...]  # blocks per dimension
+    modes: np.ndarray  # (*n_blocks,) in {MODE_LORENZO, MODE_REGRESSION}
+    symbols: np.ndarray  # (prod(n_blocks), bs**ndim) non-negative, 0 = outlier
     outliers: np.ndarray  # exact residual codes beyond the radius, scan order
-    coeff_codes: Optional[np.ndarray]  # (n_regression_blocks, 3) or None
+    coeff_codes: Optional[np.ndarray]  # (n_regression_blocks, 1 + ndim) or None
     reconstruction: np.ndarray
+
+    @property
+    def ndim(self) -> int:
+        return len(self.n_blocks)
+
+    @property
+    def nbi(self) -> int:
+        return self.n_blocks[0]
+
+    @property
+    def nbj(self) -> int:
+        return self.n_blocks[1]
 
     @property
     def unpredictable_fraction(self) -> float:
@@ -395,6 +462,10 @@ class BlockCodec:
     from codes is then identical to prediction from reconstructed values,
     the point-wise error bound holds by construction, and both predictors
     reduce to pure NumPy operations over all blocks at once.
+
+    The codec is dimension-general: 2D fields use 2D Lorenzo + plane
+    regression, 3D volumes use the cube-corner Lorenzo predictor + the
+    trilinear regression hyperplane, through the same code path.
     """
 
     def __init__(
@@ -426,9 +497,10 @@ class BlockCodec:
 
     # ------------------------------------------------------------------
     def encode(self, values: np.ndarray) -> Optional[BlockEncoding]:
-        """Encode a 2D float field; ``None`` when the integer grid overflows."""
+        """Encode a 2D/3D float field; ``None`` when the integer grid overflows."""
 
-        values = ensure_2d(values, "values")
+        values = ensure_ndim(values, (2, 3), "values")
+        ndim = values.ndim
         padded, original_shape = pad_to_multiple(values, self.block_size)
         q = quantize_to_grid(padded, self.step)
         if q is None:
@@ -436,39 +508,38 @@ class BlockCodec:
 
         code_blocks = block_view(q, self.block_size)
         value_blocks = block_view(padded, self.block_size)
-        nbi, nbj, bs, _ = code_blocks.shape
+        n_blocks = code_blocks.shape[:ndim]
+        bs = self.block_size
 
         candidates: Dict[str, np.ndarray] = {}
         reg_coeff_codes = None
         if "lorenzo" in self.predictors:
-            candidates["lorenzo"] = lorenzo_residuals(code_blocks)
+            candidates["lorenzo"] = lorenzo_residuals(code_blocks, block_ndim=ndim)
         if "regression" in self.predictors:
-            coefficients = fit_block_planes(value_blocks)
+            coefficients = fit_block_planes(value_blocks, block_ndim=ndim)
             reg_coeff_codes = quantize_plane_coefficients(
-                coefficients, self.error_bound, self.block_size
+                coefficients, self.error_bound, bs, ndim
             )
             quantized_coeffs = dequantize_plane_coefficients(
-                reg_coeff_codes, self.error_bound, self.block_size
+                reg_coeff_codes, self.error_bound, bs, ndim
             )
-            predictions = plane_predictions(quantized_coeffs, self.block_size)
+            predictions = plane_predictions(quantized_coeffs, bs)
             predicted_codes = np.rint(predictions / self.step).astype(np.int64)
             candidates["regression"] = code_blocks - predicted_codes
 
-        modes, residual_blocks = select_block_modes(candidates)
-        flat = residual_blocks.reshape(nbi * nbj, bs * bs)
+        modes, residual_blocks = select_block_modes(candidates, block_ndim=ndim)
+        flat = residual_blocks.reshape(int(np.prod(n_blocks)), bs**ndim)
         symbols, outliers = split_unpredictable(flat, self.code_radius)
 
         coeff_codes = None
         if reg_coeff_codes is not None:
             coeff_codes = reg_coeff_codes[modes == MODE_REGRESSION]
 
-        reconstruction = (q.astype(np.float64) * self.step)[
-            : original_shape[0], : original_shape[1]
-        ]
+        crop = tuple(slice(0, s) for s in original_shape)
+        reconstruction = (q.astype(np.float64) * self.step)[crop]
         return BlockEncoding(
             original_shape=original_shape,
-            nbi=nbi,
-            nbj=nbj,
+            n_blocks=n_blocks,
             modes=modes,
             symbols=symbols,
             outliers=outliers,
@@ -483,34 +554,39 @@ class BlockCodec:
         symbols: np.ndarray,
         outliers: np.ndarray,
         coeff_codes: Optional[np.ndarray],
-        original_shape: Tuple[int, int],
+        original_shape: Tuple[int, ...],
     ) -> np.ndarray:
         """Reconstruct the field from the arrays produced by :meth:`encode`."""
 
         bs = self.block_size
-        nbi, nbj = modes.shape
+        ndim = len(original_shape)
+        n_blocks = modes.shape
+        if len(n_blocks) != ndim:
+            raise ValueError(
+                f"modes shape {modes.shape} does not match a {ndim}D field"
+            )
         residuals = merge_unpredictable(symbols, outliers, self.code_radius)
-        residual_blocks = residuals.reshape(nbi, nbj, bs, bs)
+        residual_blocks = residuals.reshape(n_blocks + (bs,) * ndim)
 
         code_blocks = np.empty_like(residual_blocks)
         lorenzo_mask = modes == MODE_LORENZO
         if lorenzo_mask.any():
             code_blocks[lorenzo_mask] = lorenzo_reconstruct(
-                residual_blocks[lorenzo_mask].reshape(-1, 1, bs, bs)
-            ).reshape(-1, bs, bs)
+                residual_blocks[lorenzo_mask], block_ndim=ndim
+            )
         regression_mask = modes == MODE_REGRESSION
         if regression_mask.any():
             if coeff_codes is None:
                 raise ValueError("regression blocks present but no coefficients given")
             quantized_coeffs = dequantize_plane_coefficients(
-                coeff_codes, self.error_bound, bs
-            ).reshape(-1, 1, 3)
-            predictions = plane_predictions(quantized_coeffs, bs).reshape(-1, bs, bs)
+                coeff_codes, self.error_bound, bs, ndim
+            ).reshape(-1, 1 + ndim)
+            predictions = plane_predictions(quantized_coeffs, bs)
             predicted_codes = np.rint(predictions / self.step).astype(np.int64)
             code_blocks[regression_mask] = (
                 residual_blocks[regression_mask] + predicted_codes
             )
 
-        q = merge_field(code_blocks, (nbi * bs, nbj * bs))
+        q = merge_field(code_blocks, tuple(n * bs for n in n_blocks))
         field = q.astype(np.float64) * self.step
-        return field[: original_shape[0], : original_shape[1]]
+        return field[tuple(slice(0, s) for s in original_shape)]

@@ -2,12 +2,23 @@
 
 Mirrors the structure the paper attributes to MGARD: the field is
 decomposed into **multilevel coefficients** on a dyadic grid hierarchy
-(:mod:`repro.compressors.multigrid`), the coefficients are quantized level
-by level, and the quantized stream is handed to a lossless backend.
-Because coarse levels summarise the entire field, the compressor "sees"
-global structure in a way the block-local SZ and ZFP cannot — which is
-exactly why the paper finds MGARD's compression ratio to be less sensitive
-to the (local) correlation-range statistics.
+(:mod:`repro.compressors.multigrid`, dimension-general: 2D planes and 3D
+volumes share one code path), the coefficients are quantized level by
+level, and the quantized stream is handed to a lossless backend.  Because
+coarse levels summarise the entire field, the compressor "sees" global
+structure in a way the block-local SZ and ZFP cannot — which is exactly
+why the paper finds MGARD's compression ratio to be less sensitive to the
+(local) correlation-range statistics.
+
+The quantized level streams are entropy coded with the same
+**bit-width-grouped** layout the ZFP-like container uses for sequency
+planes (:func:`repro.compressors.transform.group_planes_by_width`): each
+level's codes are zigzag-mapped, consecutive levels whose codes share a
+bit width form one short-alphabet backend stream, and all-zero groups
+cost no stream at all.  Fine-detail levels (near-zero codes for smooth
+data) therefore no longer share a Huffman alphabet with the huge coarse
+codes — the regrouping both shrinks the stream and removes the wide-
+alphabet Huffman build that dominated the old compress path.
 
 Error-budget argument
 ---------------------
@@ -31,23 +42,27 @@ import numpy as np
 from repro.compressors.base import CompressedField, Compressor, CompressorError, LosslessBackend
 from repro.compressors.blocks import quantize_to_grid
 from repro.compressors.multigrid import (
-    MultigridDecomposition,
     decompose,
     detail_mask,
     max_levels,
     prolong,
 )
+from repro.compressors.transform import (
+    group_planes_by_width,
+    zigzag_decode,
+    zigzag_encode,
+)
 from repro.encoding.varint import decode_varint, encode_varint
-from repro.utils.validation import ensure_2d, ensure_float_array
+from repro.utils.validation import ensure_float_array, ensure_ndim
 
 __all__ = ["MGARDCompressor"]
 
-_MAGIC = b"MGR1"
+_MAGIC = b"MGR2"
 _CODE_RADIUS = 1 << 40
 
 
 class MGARDCompressor(Compressor):
-    """MGARD-like multilevel error-bounded compressor.
+    """MGARD-like multilevel error-bounded compressor (2D + 3D).
 
     Parameters
     ----------
@@ -55,7 +70,7 @@ class MGARDCompressor(Compressor):
         Absolute error bound.
     levels:
         Number of coarsening steps; ``None`` uses as many as the field
-        admits (down to a 4x4 coarsest grid).
+        admits (down to a 4x4(x4) coarsest grid).
     backend:
         Lossless backend for the quantized coefficient stream.
     budget_ratio:
@@ -94,7 +109,7 @@ class MGARDCompressor(Compressor):
 
     # ------------------------------------------------------------------
     def compress(self, field: np.ndarray) -> CompressedField:
-        original = ensure_2d(field, "field")
+        original = ensure_ndim(field, (2, 3), "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
         if not np.all(np.isfinite(values)):
@@ -137,25 +152,39 @@ class MGARDCompressor(Compressor):
         payload = bytearray()
         payload.extend(_MAGIC)
         payload.extend(encode_varint(0))
-        payload.extend(encode_varint(values.shape[0]))
-        payload.extend(encode_varint(values.shape[1]))
+        payload.extend(encode_varint(values.ndim))
+        for length in values.shape:
+            payload.extend(encode_varint(length))
         payload.extend(struct.pack("<d", self.error_bound))
         payload.extend(struct.pack("<d", self.budget_ratio))
         payload.extend(encode_varint(decomposition.n_levels))
 
-        # Level-major symbol stream: coarse grid first, then details from
-        # coarsest to finest — the coarse part is tiny and the fine details
-        # (mostly near zero for smooth data) dominate, giving the RLE +
-        # Huffman backend long runs to exploit.
-        stream_parts = [coarse_codes.ravel()]
+        # Level-major parts: coarse grid first, then details from coarsest
+        # to finest — the coarse part is tiny and the fine details (mostly
+        # near zero for smooth data) dominate.  Each part's codes are
+        # zigzag-mapped; consecutive parts of equal bit width form one
+        # backend stream with a short alphabet (the multilevel analogue of
+        # ZFP's sequency-plane grouping).
+        parts = [zigzag_encode(coarse_codes.ravel())]
         for detail in reversed(detail_codes):
-            stream_parts.append(detail.ravel())
-        stream = np.concatenate(stream_parts)
-        offset = int(stream.min()) if stream.size else 0
-        payload.extend(encode_varint(offset + 2**40))
-        symbol_blob = self.backend.encode_symbols(stream - offset)
-        payload.extend(encode_varint(len(symbol_blob)))
-        payload.extend(symbol_blob)
+            parts.append(zigzag_encode(detail.ravel()))
+        widths = np.array(
+            [
+                int(part.max()).bit_length() if part.size and part.max() > 0 else 0
+                for part in parts
+            ],
+            dtype=np.int64,
+        )
+        groups = group_planes_by_width(widths)
+        payload.extend(encode_varint(len(groups)))
+        for start, end, width in groups:
+            payload.extend(encode_varint(end - start))
+            payload.extend(encode_varint(width))
+            if width > 0:
+                stream = np.concatenate(parts[start:end])
+                group_blob = self.backend.encode_symbols(stream)
+                payload.extend(encode_varint(len(group_blob)))
+                payload.extend(group_blob)
 
         compressed = CompressedField(
             data=bytes(payload),
@@ -167,6 +196,7 @@ class MGARDCompressor(Compressor):
             extras={
                 "n_levels": float(decomposition.n_levels),
                 "max_error": max_error,
+                "level_stream_groups": float(len(groups)),
             },
         )
         self.check_error_bound(values, reconstruction)
@@ -177,7 +207,7 @@ class MGARDCompressor(Compressor):
         self,
         coarse_codes: np.ndarray,
         detail_codes: List[np.ndarray],
-        shapes: List[Tuple[int, int]],
+        shapes: List[Tuple[int, ...]],
         budgets: np.ndarray,
     ) -> np.ndarray:
         current = coarse_codes.astype(np.float64) * (2.0 * budgets[-1])
@@ -187,7 +217,7 @@ class MGARDCompressor(Compressor):
             mask = detail_mask(fine_shape)
             fine = predicted.copy()
             fine[mask] += detail_codes[level].astype(np.float64) * (2.0 * budgets[level])
-            fine[::2, ::2] = current
+            fine[(slice(None, None, 2),) * len(fine_shape)] = current
             current = fine
         return current
 
@@ -195,8 +225,9 @@ class MGARDCompressor(Compressor):
         payload = bytearray()
         payload.extend(_MAGIC)
         payload.extend(encode_varint(1))
-        payload.extend(encode_varint(values.shape[0]))
-        payload.extend(encode_varint(values.shape[1]))
+        payload.extend(encode_varint(values.ndim))
+        for length in values.shape:
+            payload.extend(encode_varint(length))
         payload.extend(struct.pack("<d", self.error_bound))
         payload.extend(values.astype("<f8").tobytes())
         return CompressedField(
@@ -216,12 +247,19 @@ class MGARDCompressor(Compressor):
             raise CompressorError("not an MGARD-like container")
         pos = 4
         raw_flag, pos = decode_varint(blob, pos)
-        rows, pos = decode_varint(blob, pos)
-        cols, pos = decode_varint(blob, pos)
+        ndim, pos = decode_varint(blob, pos)
+        if ndim not in (2, 3):
+            raise CompressorError(f"mgard: unsupported dimensionality {ndim}")
+        dims = []
+        for _ in range(ndim):
+            length, pos = decode_varint(blob, pos)
+            dims.append(length)
+        original_shape = tuple(dims)
         if raw_flag == 1:
             pos += 8
-            values = np.frombuffer(blob, dtype="<f8", count=rows * cols, offset=pos)
-            return values.reshape(rows, cols).astype(np.float64)
+            count = int(np.prod(original_shape))
+            values = np.frombuffer(blob, dtype="<f8", count=count, offset=pos)
+            return values.reshape(original_shape).astype(np.float64)
 
         (error_bound,) = struct.unpack_from("<d", blob, pos)
         pos += 8
@@ -229,30 +267,48 @@ class MGARDCompressor(Compressor):
         pos += 8
         n_levels, pos = decode_varint(blob, pos)
 
-        offset_shifted, pos = decode_varint(blob, pos)
-        offset = offset_shifted - 2**40
-        symbol_len, pos = decode_varint(blob, pos)
-        stream = self.backend.decode_symbols(blob[pos : pos + symbol_len]) + offset
-
         # Rebuild the level shapes from the stored field shape.
-        shapes: List[Tuple[int, int]] = [(rows, cols)]
+        shapes: List[Tuple[int, ...]] = [original_shape]
         for _ in range(n_levels):
-            prev = shapes[-1]
-            shapes.append(((prev[0] + 1) // 2, (prev[1] + 1) // 2))
+            shapes.append(tuple((d + 1) // 2 for d in shapes[-1]))
+
+        # Part sizes in stream order: coarse grid, then details from
+        # coarsest to finest.
+        part_sizes = [int(np.prod(shapes[-1]))]
+        for level in range(n_levels - 1, -1, -1):
+            part_sizes.append(int(detail_mask(shapes[level]).sum()))
+
+        n_parts = n_levels + 1
+        n_groups, pos = decode_varint(blob, pos)
+        parts: List[np.ndarray] = []
+        for _ in range(n_groups):
+            group_parts, pos = decode_varint(blob, pos)
+            width, pos = decode_varint(blob, pos)
+            if len(parts) + group_parts > n_parts:
+                raise CompressorError("mgard: level groups exceed the level count")
+            sizes = part_sizes[len(parts) : len(parts) + group_parts]
+            if width == 0:
+                parts.extend(np.zeros(size, dtype=np.int64) for size in sizes)
+                continue
+            group_len, pos = decode_varint(blob, pos)
+            stream = self.backend.decode_symbols(blob[pos : pos + group_len])
+            pos += group_len
+            if stream.size != sum(sizes):
+                raise CompressorError("mgard: level group length mismatch")
+            offsets = np.cumsum([0] + sizes)
+            parts.extend(
+                zigzag_decode(stream[offsets[k] : offsets[k + 1]])
+                for k in range(group_parts)
+            )
+        if len(parts) != n_parts:
+            raise CompressorError("mgard: level groups do not cover all levels")
 
         weights = budget_ratio ** np.arange(n_levels + 1, dtype=np.float64)
         weights /= weights.sum()
         budgets = error_bound * weights
 
-        coarse_shape = shapes[-1]
-        coarse_count = coarse_shape[0] * coarse_shape[1]
-        coarse_codes = stream[:coarse_count].reshape(coarse_shape)
-        cursor = coarse_count
+        coarse_codes = parts[0].reshape(shapes[-1])
         detail_codes: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * n_levels
-        for level in range(n_levels - 1, -1, -1):
-            count = int(detail_mask(shapes[level]).sum())
-            detail_codes[level] = stream[cursor : cursor + count]
-            cursor += count
-        if cursor != stream.size:
-            raise CompressorError("mgard coefficient stream length mismatch")
+        for k, level in enumerate(range(n_levels - 1, -1, -1)):
+            detail_codes[level] = parts[1 + k]
         return self._reconstruct(coarse_codes, detail_codes, shapes, budgets)

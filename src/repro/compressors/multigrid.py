@@ -1,11 +1,11 @@
 """Dyadic multigrid decomposition used by the MGARD-like compressor.
 
 MGARD decomposes a field into multilevel coefficients defined on a
-hierarchy of nested grids.  This module implements a 2D version of that
-machinery:
+hierarchy of nested grids.  This module implements a dimension-general
+(2D + 3D) version of that machinery:
 
 * the hierarchy is built by **injection** (taking every other grid point in
-  both dimensions), level 0 being the original grid;
+  every dimension), level 0 being the original grid;
 * the **prolongation** operator maps a coarse-level array back to the next
   finer level by separable linear interpolation;
 * the **detail coefficients** of a level are the differences between the
@@ -27,7 +27,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.utils.validation import ensure_2d, ensure_positive
+from repro.utils.validation import ensure_ndim, ensure_positive
 
 __all__ = [
     "max_levels",
@@ -40,52 +40,74 @@ __all__ = [
     "reconstruct",
 ]
 
+#: Dimensionalities the decomposition supports.
+SUPPORTED_NDIMS = (2, 3)
 
-def max_levels(shape: Tuple[int, int], min_size: int = 4) -> int:
+
+def max_levels(shape: Tuple[int, ...], min_size: int = 4) -> int:
     """Number of coarsening steps possible before a dimension drops below ``min_size``."""
 
     ensure_positive(min_size, "min_size")
     levels = 0
-    rows, cols = shape
-    while (rows + 1) // 2 >= min_size and (cols + 1) // 2 >= min_size:
-        rows = (rows + 1) // 2
-        cols = (cols + 1) // 2
+    dims = tuple(shape)
+    while all((d + 1) // 2 >= min_size for d in dims):
+        dims = tuple((d + 1) // 2 for d in dims)
         levels += 1
     return levels
 
 
-def coarsen_shape(shape: Tuple[int, int]) -> Tuple[int, int]:
+def coarsen_shape(shape: Tuple[int, ...]) -> Tuple[int, ...]:
     """Shape of the grid obtained by keeping every other point (indices 0, 2, ...)."""
 
-    return ((shape[0] + 1) // 2, (shape[1] + 1) // 2)
+    return tuple((d + 1) // 2 for d in shape)
+
+
+def _even_slices(ndim: int) -> Tuple[slice, ...]:
+    return (slice(None, None, 2),) * ndim
 
 
 def restrict(field: np.ndarray) -> np.ndarray:
     """Injection restriction: keep grid points with even indices."""
 
-    field = ensure_2d(field, "field")
-    return np.ascontiguousarray(field[::2, ::2])
+    field = ensure_ndim(field, SUPPORTED_NDIMS, "field")
+    return np.ascontiguousarray(field[_even_slices(field.ndim)])
 
 
-def prolong(coarse: np.ndarray, fine_shape: Tuple[int, int]) -> np.ndarray:
+def prolong(coarse: np.ndarray, fine_shape: Tuple[int, ...]) -> np.ndarray:
     """Separable linear interpolation of a coarse grid onto ``fine_shape``.
 
     The coarse grid is assumed to sit at even indices of the fine grid
     (the injection convention of :func:`restrict`).
     """
 
-    coarse = ensure_2d(coarse, "coarse")
-    rows, cols = fine_shape
-    # Vectorised separable interpolation: rows first, then columns.
-    coarse_rows = coarse.shape[0]
-    row_positions = np.arange(rows, dtype=np.float64)
-    coarse_row_positions = np.arange(coarse_rows, dtype=np.float64) * 2.0
-    # np.interp is 1D; build weights once and apply with matrix products.
-    row_weights = _interp_matrix(row_positions, coarse_row_positions)
-    col_positions = np.arange(cols, dtype=np.float64)
-    coarse_col_positions = np.arange(coarse.shape[1], dtype=np.float64) * 2.0
-    col_weights = _interp_matrix(col_positions, coarse_col_positions)
-    return row_weights @ coarse @ col_weights.T
+    coarse = ensure_ndim(coarse, SUPPORTED_NDIMS, "coarse")
+    if len(fine_shape) != coarse.ndim:
+        raise ValueError(
+            f"fine_shape {fine_shape} does not match a {coarse.ndim}D coarse grid"
+        )
+    if coarse.ndim == 2:
+        # Matrix-product fast path (also pins the historical 2D float
+        # behaviour bit for bit).
+        rows, cols = fine_shape
+        row_weights = _interp_matrix(
+            np.arange(rows, dtype=np.float64),
+            np.arange(coarse.shape[0], dtype=np.float64) * 2.0,
+        )
+        col_weights = _interp_matrix(
+            np.arange(cols, dtype=np.float64),
+            np.arange(coarse.shape[1], dtype=np.float64) * 2.0,
+        )
+        return row_weights @ coarse @ col_weights.T
+    current = np.asarray(coarse, dtype=np.float64)
+    for axis, length in enumerate(fine_shape):
+        weights = _interp_matrix(
+            np.arange(length, dtype=np.float64),
+            np.arange(current.shape[axis], dtype=np.float64) * 2.0,
+        )
+        current = np.moveaxis(
+            np.tensordot(weights, current, axes=(1, axis)), 0, axis
+        )
+    return current
 
 
 def _interp_matrix(fine_positions: np.ndarray, coarse_positions: np.ndarray) -> np.ndarray:
@@ -115,12 +137,11 @@ def _interp_matrix(fine_positions: np.ndarray, coarse_positions: np.ndarray) -> 
     return weights
 
 
-def detail_mask(shape: Tuple[int, int]) -> np.ndarray:
+def detail_mask(shape: Tuple[int, ...]) -> np.ndarray:
     """Boolean mask of fine-grid positions *not* on the coarse grid."""
 
-    rows, cols = shape
-    mask = np.ones((rows, cols), dtype=bool)
-    mask[::2, ::2] = False
+    mask = np.ones(tuple(shape), dtype=bool)
+    mask[_even_slices(len(shape))] = False
     return mask
 
 
@@ -142,7 +163,7 @@ class MultigridDecomposition:
 
     coarse: np.ndarray
     details: List[np.ndarray]
-    shapes: List[Tuple[int, int]]
+    shapes: List[Tuple[int, ...]]
 
     @property
     def n_levels(self) -> int:
@@ -152,12 +173,12 @@ class MultigridDecomposition:
 def decompose(field: np.ndarray, levels: int) -> MultigridDecomposition:
     """Multilevel decomposition of ``field`` with ``levels`` coarsening steps."""
 
-    field = ensure_2d(field, "field").astype(np.float64)
+    field = ensure_ndim(field, SUPPORTED_NDIMS, "field").astype(np.float64)
     if levels < 0:
         raise ValueError("levels must be >= 0")
     available = max_levels(field.shape)
     levels = min(levels, available)
-    shapes: List[Tuple[int, int]] = [field.shape]
+    shapes: List[Tuple[int, ...]] = [field.shape]
     details: List[np.ndarray] = []
     current = field
     for _ in range(levels):
@@ -182,6 +203,6 @@ def reconstruct(decomposition: MultigridDecomposition) -> np.ndarray:
         fine = predicted.copy()
         fine[mask] += decomposition.details[level]
         # Injection points are exact copies of the coarse values.
-        fine[::2, ::2] = current
+        fine[_even_slices(len(fine_shape))] = current
         current = fine
     return current

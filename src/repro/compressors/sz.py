@@ -3,7 +3,8 @@
 Follows the algorithmic pipeline of SZ 2.x as described in the paper's
 Section II-A:
 
-1. the field is scanned block by block (16x16 for 2D data);
+1. the field is scanned block by block (16x16 for 2D data, 8x8x8 for 3D
+   volumes);
 2. every block is predicted with *both* the Lorenzo predictor and the
    hyperplane regression predictor, and the cheaper of the two (in
    estimated coding cost) is selected per block;
@@ -13,12 +14,16 @@ Section II-A:
 4. the quantization-code stream is entropy coded (run-length + canonical
    Huffman by default, optionally the LZ77+Huffman Zstd-like backend).
 
-Steps 1-3 are the shared, fully vectorized block-codec engine
-(:class:`repro.compressors.blocks.BlockCodec`); this module owns only the
-container format: serializing the engine's arrays (modes, symbols,
-regression coefficients, exact outliers) into a self-describing byte blob
-and back.  The coefficient and outlier side channels use the array varint
-codecs, so neither direction loops over elements in Python.
+Steps 1-3 are the shared, fully vectorized dimension-general block-codec
+engine (:class:`repro.compressors.blocks.BlockCodec`); this module owns
+only the container formats: serializing the engine's arrays (modes,
+symbols, regression coefficients, exact outliers) into a self-describing
+byte blob and back.  The coefficient and outlier side channels use the
+array varint codecs, so neither direction loops over elements in Python.
+
+Two container formats exist: the legacy 2D layout (``SZR1``, unchanged
+bytes for 2D fields) and the dimension-general volume layout (``SZV1``)
+used for 3D inputs, which stores the dimensionality explicitly.
 
 See the engine's docstring for why predicting in pre-quantized integer-code
 space is equivalent to the reference feedback formulation; the scalar
@@ -46,22 +51,27 @@ from repro.encoding.varint import (
     encode_signed_varint_array,
     encode_varint,
 )
-from repro.utils.validation import ensure_2d, ensure_float_array
+from repro.utils.validation import ensure_float_array, ensure_ndim
 
 __all__ = ["SZCompressor"]
 
 _MAGIC = b"SZR1"
+_MAGIC_VOLUME = b"SZV1"
 
 
 class SZCompressor(Compressor):
-    """SZ-like prediction-based error-bounded compressor.
+    """SZ-like prediction-based error-bounded compressor (2D + 3D).
 
     Parameters
     ----------
     error_bound:
         Absolute error bound.
     block_size:
-        Edge length of the prediction blocks (16 in SZ for 2D data).
+        Edge length of the prediction blocks for 2D fields (16 in SZ).
+    block_size_3d:
+        Edge length of the cubic prediction blocks for 3D volumes (SZ uses
+        small cubes — 6^3 in the reference; 8^3 here keeps the block tensor
+        power-of-two friendly).
     predictors:
         Subset of ``{"lorenzo", "regression"}``; the default enables both
         with per-block selection, matching SZ.  Restricting to a single
@@ -80,6 +90,7 @@ class SZCompressor(Compressor):
         error_bound: float = 1e-3,
         *,
         block_size: int = 16,
+        block_size_3d: int = 8,
         predictors: Tuple[str, ...] = ("lorenzo", "regression"),
         backend: str = "huffman",
         code_radius: int = DEFAULT_CODE_RADIUS,
@@ -91,11 +102,21 @@ class SZCompressor(Compressor):
             predictors=predictors,
             code_radius=code_radius,
         )
+        self._codec_3d = BlockCodec(
+            error_bound,
+            block_size=block_size_3d,
+            predictors=predictors,
+            code_radius=code_radius,
+        )
         self.backend = LosslessBackend(backend)
 
     @property
     def block_size(self) -> int:
         return self._codec.block_size
+
+    @property
+    def block_size_3d(self) -> int:
+        return self._codec_3d.block_size
 
     @property
     def predictors(self) -> Tuple[str, ...]:
@@ -105,15 +126,19 @@ class SZCompressor(Compressor):
     def code_radius(self) -> int:
         return self._codec.code_radius
 
+    def _codec_for(self, ndim: int) -> BlockCodec:
+        return self._codec if ndim == 2 else self._codec_3d
+
     # ------------------------------------------------------------------
     # compression
     # ------------------------------------------------------------------
     def compress(self, field: np.ndarray) -> CompressedField:
-        original = ensure_2d(field, "field")
+        original = ensure_ndim(field, (2, 3), "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
+        codec = self._codec_for(values.ndim)
 
-        encoding = self._codec.encode(values)
+        encoding = codec.encode(values)
         if encoding is None:
             # Error bound too small relative to the data magnitude for the
             # integer grid: fall back to verbatim storage (CR ~= 1).
@@ -127,15 +152,20 @@ class SZCompressor(Compressor):
             return self._compress_raw(values, original_dtype)
 
         payload = bytearray()
-        payload.extend(_MAGIC)
-        payload.extend(encode_varint(0))  # container version / raw flag = 0
-        payload.extend(encode_varint(encoding.original_shape[0]))
-        payload.extend(encode_varint(encoding.original_shape[1]))
-        payload.extend(encode_varint(self.block_size))
+        if values.ndim == 2:
+            payload.extend(_MAGIC)
+            payload.extend(encode_varint(0))  # container version / raw flag = 0
+        else:
+            payload.extend(_MAGIC_VOLUME)
+            payload.extend(encode_varint(0))
+            payload.extend(encode_varint(values.ndim))
+        for length in encoding.original_shape:
+            payload.extend(encode_varint(length))
+        payload.extend(encode_varint(codec.block_size))
         payload.extend(struct.pack("<d", self.error_bound))
         payload.extend(encode_varint(self.code_radius))
-        payload.extend(encode_varint(encoding.nbi))
-        payload.extend(encode_varint(encoding.nbj))
+        for count in encoding.n_blocks:
+            payload.extend(encode_varint(count))
 
         mode_bits = np.packbits(encoding.modes.astype(np.uint8).ravel())
         payload.extend(encode_varint(len(mode_bits)))
@@ -166,7 +196,7 @@ class SZCompressor(Compressor):
             extras={
                 "unpredictable_fraction": encoding.unpredictable_fraction,
                 "regression_block_fraction": encoding.regression_fraction,
-                "n_blocks": float(encoding.nbi * encoding.nbj),
+                "n_blocks": float(int(np.prod(encoding.n_blocks))),
             },
         )
         self.check_error_bound(values, encoding.reconstruction)
@@ -174,10 +204,15 @@ class SZCompressor(Compressor):
 
     def _compress_raw(self, values: np.ndarray, original_dtype: np.dtype) -> CompressedField:
         payload = bytearray()
-        payload.extend(_MAGIC)
-        payload.extend(encode_varint(1))  # raw flag
-        payload.extend(encode_varint(values.shape[0]))
-        payload.extend(encode_varint(values.shape[1]))
+        if values.ndim == 2:
+            payload.extend(_MAGIC)
+            payload.extend(encode_varint(1))  # raw flag
+        else:
+            payload.extend(_MAGIC_VOLUME)
+            payload.extend(encode_varint(1))
+            payload.extend(encode_varint(values.ndim))
+        for length in values.shape:
+            payload.extend(encode_varint(length))
         payload.extend(struct.pack("<d", self.error_bound))
         payload.extend(values.astype("<f8").tobytes())
         return CompressedField(
@@ -195,37 +230,56 @@ class SZCompressor(Compressor):
     # ------------------------------------------------------------------
     def decompress(self, compressed: CompressedField) -> np.ndarray:
         blob = compressed.data
-        if blob[:4] != _MAGIC:
+        magic = blob[:4]
+        if magic not in (_MAGIC, _MAGIC_VOLUME):
             raise CompressorError("not an SZ-like container")
         pos = 4
         raw_flag, pos = decode_varint(blob, pos)
-        rows, pos = decode_varint(blob, pos)
-        cols, pos = decode_varint(blob, pos)
+        if magic == _MAGIC:
+            ndim = 2
+        else:
+            ndim, pos = decode_varint(blob, pos)
+            if ndim != 3:
+                raise CompressorError(f"sz: unsupported volume dimensionality {ndim}")
+        shape = []
+        for _ in range(ndim):
+            length, pos = decode_varint(blob, pos)
+            shape.append(length)
+        original_shape = tuple(shape)
         if raw_flag == 1:
             (error_bound,) = struct.unpack_from("<d", blob, pos)
             pos += 8
-            values = np.frombuffer(blob, dtype="<f8", count=rows * cols, offset=pos)
-            return values.reshape(rows, cols).astype(np.float64)
+            count = int(np.prod(original_shape))
+            values = np.frombuffer(blob, dtype="<f8", count=count, offset=pos)
+            return values.reshape(original_shape).astype(np.float64)
 
         block_size, pos = decode_varint(blob, pos)
         (error_bound,) = struct.unpack_from("<d", blob, pos)
         pos += 8
         code_radius, pos = decode_varint(blob, pos)
-        nbi, pos = decode_varint(blob, pos)
-        nbj, pos = decode_varint(blob, pos)
+        n_blocks = []
+        for _ in range(ndim):
+            count, pos = decode_varint(blob, pos)
+            n_blocks.append(count)
+        total_blocks = int(np.prod(n_blocks))
 
         mode_bytes_len, pos = decode_varint(blob, pos)
         mode_bits = np.frombuffer(blob[pos : pos + mode_bytes_len], dtype=np.uint8)
         pos += mode_bytes_len
-        modes = np.unpackbits(mode_bits)[: nbi * nbj].reshape(nbi, nbj).astype(np.int64)
+        modes = (
+            np.unpackbits(mode_bits)[:total_blocks].reshape(n_blocks).astype(np.int64)
+        )
 
         coeff_len, pos = decode_varint(blob, pos)
         coeff_end = pos + coeff_len
         n_regression = int((modes == MODE_REGRESSION).sum())
+        n_coeffs = 1 + ndim
         coeff_codes = None
         if n_regression:
-            flat_coeffs, pos = decode_signed_varint_array(blob, n_regression * 3, pos)
-            coeff_codes = flat_coeffs.reshape(n_regression, 3)
+            flat_coeffs, pos = decode_signed_varint_array(
+                blob, n_regression * n_coeffs, pos
+            )
+            coeff_codes = flat_coeffs.reshape(n_regression, n_coeffs)
         if pos != coeff_end:
             raise CompressorError("regression coefficient stream length mismatch")
 
@@ -244,8 +298,8 @@ class SZCompressor(Compressor):
         )
         return codec.decode(
             modes,
-            symbols.reshape(nbi * nbj, block_size * block_size),
+            symbols.reshape(total_blocks, block_size**ndim),
             outliers,
             coeff_codes,
-            (rows, cols),
+            original_shape,
         )

@@ -52,11 +52,36 @@ __all__ = [
     "forward_block_transform",
     "inverse_block_transform",
     "sequency_order",
+    "sequency_order_nd",
     "block_exponents",
     "quantize_block_coefficients",
     "sequency_plane_widths",
     "group_planes_by_width",
+    "zigzag_encode",
+    "zigzag_decode",
 ]
+
+
+def zigzag_encode(codes: np.ndarray) -> np.ndarray:
+    """Map signed int64 codes to the non-negative zigzag alphabet."""
+
+    codes = np.asarray(codes, dtype=np.int64)
+    return (codes << 1) ^ (codes >> 63)
+
+
+def zigzag_decode(symbols: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+
+    symbols = np.asarray(symbols, dtype=np.int64)
+    return (symbols >> 1) ^ -(symbols & 1)
+
+
+def _check_block_stack(blocks: np.ndarray, what: str) -> int:
+    """Validate a ``(n_blocks, bs, bs[, bs])`` stack; returns the block ndim."""
+
+    if blocks.ndim not in (3, 4) or len(set(blocks.shape[1:])) != 1:
+        raise ValueError(f"expected (n_blocks, bs, bs[, bs]) {what}, got {blocks.shape}")
+    return blocks.ndim - 1
 
 
 @lru_cache(maxsize=None)
@@ -80,26 +105,31 @@ def orthonormal_dct_matrix(size: int) -> np.ndarray:
 def forward_block_transform(blocks: np.ndarray) -> np.ndarray:
     """Apply the separable orthonormal transform to a stack of square blocks.
 
-    ``blocks`` has shape ``(n_blocks, bs, bs)``; the result has the same
-    shape and contains the transform coefficients (DC in the top-left
-    corner of each block).
+    ``blocks`` has shape ``(n_blocks, bs, bs)`` (2D blocks) or
+    ``(n_blocks, bs, bs, bs)`` (3D blocks); the result has the same shape
+    and contains the transform coefficients (DC in the low-index corner of
+    each block).
     """
 
     blocks = np.asarray(blocks, dtype=np.float64)
-    if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
-        raise ValueError(f"expected (n_blocks, bs, bs) stack, got {blocks.shape}")
+    ndim = _check_block_stack(blocks, "stack")
     basis = orthonormal_dct_matrix(blocks.shape[1])
-    return np.einsum("ab,nbc,dc->nad", basis, blocks, basis, optimize=True)
+    if ndim == 2:
+        return np.einsum("ab,nbc,dc->nad", basis, blocks, basis, optimize=True)
+    return np.einsum("ab,cd,ef,nbdf->nace", basis, basis, basis, blocks, optimize=True)
 
 
 def inverse_block_transform(coefficients: np.ndarray) -> np.ndarray:
     """Inverse of :func:`forward_block_transform`."""
 
     coefficients = np.asarray(coefficients, dtype=np.float64)
-    if coefficients.ndim != 3 or coefficients.shape[1] != coefficients.shape[2]:
-        raise ValueError(f"expected (n_blocks, bs, bs) stack, got {coefficients.shape}")
+    ndim = _check_block_stack(coefficients, "stack")
     basis = orthonormal_dct_matrix(coefficients.shape[1])
-    return np.einsum("ba,nbc,cd->nad", basis, coefficients, basis, optimize=True)
+    if ndim == 2:
+        return np.einsum("ba,nbc,cd->nad", basis, coefficients, basis, optimize=True)
+    return np.einsum(
+        "ba,dc,fe,nbdf->nace", basis, basis, basis, coefficients, optimize=True
+    )
 
 
 @lru_cache(maxsize=None)
@@ -122,13 +152,41 @@ def sequency_order(size: int) -> Tuple[np.ndarray, np.ndarray]:
     return rows, cols
 
 
+@lru_cache(maxsize=None)
+def sequency_order_nd(size: int, ndim: int) -> Tuple[np.ndarray, ...]:
+    """Sequency (low total frequency first) ordering of an N-d block.
+
+    Returns ``ndim`` index arrays such that
+    ``coefficients[..., idx[0], idx[1], ...]`` lists the ``size**ndim``
+    coefficients from lowest to highest total frequency.  For ``ndim=2``
+    this is exactly :func:`sequency_order` (the classic zig-zag); for
+    ``ndim=3`` cells are ordered by anti-diagonal plane ``i+j+k`` with a
+    deterministic lexicographic tie-break — plane grouping only needs the
+    magnitude-decay property, not a particular path within a plane.
+    """
+
+    ensure_positive(size, "size")
+    ensure_positive(ndim, "ndim")
+    if ndim == 2:
+        return sequency_order(size)
+    n = int(size)
+    cells = [
+        tuple(idx) for idx in np.ndindex(*((n,) * ndim))
+    ]
+    cells.sort(key=lambda idx: (sum(idx),) + idx)
+    return tuple(
+        np.array([cell[axis] for cell in cells], dtype=np.int64)
+        for axis in range(ndim)
+    )
+
+
 # ----------------------------------------------------------------------
 # array-engine stages of the ZFP-like pipeline
 # ----------------------------------------------------------------------
 def block_exponents(
     blocks: np.ndarray, error_bound: float
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Block-floating-point normalisation of a ``(n_blocks, bs, bs)`` stack.
+    """Block-floating-point normalisation of a ``(n_blocks, bs, bs[, bs])`` stack.
 
     Returns ``(emax, negligible, normalised)``: the per-block power-of-two
     exponent (smallest power of two >= max |value|), the mask of blocks
@@ -139,10 +197,10 @@ def block_exponents(
     """
 
     blocks = np.asarray(blocks, dtype=np.float64)
-    if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
-        raise ValueError(f"expected (n_blocks, bs, bs) stack, got {blocks.shape}")
+    ndim = _check_block_stack(blocks, "stack")
     ensure_positive(error_bound, "error_bound")
-    block_max = np.abs(blocks).max(axis=(1, 2))
+    block_axes = tuple(range(1, ndim + 1))
+    block_max = np.abs(blocks).max(axis=block_axes)
     emax = np.zeros(blocks.shape[0], dtype=np.int64)
     nonzero = block_max > 0
     emax[nonzero] = np.ceil(np.log2(block_max[nonzero])).astype(np.int64)
@@ -152,7 +210,8 @@ def block_exponents(
     # ldexp scales by 2^-emax through exponent arithmetic: unlike
     # ``blocks * exp2(-emax)`` it cannot overflow for subnormal-magnitude
     # blocks (|blocks| <= 2^emax, so the result is always <= 1).
-    normalised[active] = np.ldexp(blocks[active], -emax[active, None, None])
+    expand = (slice(None),) + (None,) * ndim
+    normalised[active] = np.ldexp(blocks[active], -emax[active][expand])
     return emax, negligible, normalised
 
 
@@ -175,6 +234,7 @@ def quantize_block_coefficients(
     """
 
     coefficients = np.asarray(coefficients, dtype=np.float64)
+    ndim = _check_block_stack(coefficients, "stack")
     active = np.asarray(active, dtype=bool)
     step = np.asarray(step, dtype=np.float64)
     ensure_positive(code_radius, "code_radius")
@@ -182,13 +242,16 @@ def quantize_block_coefficients(
     overflow = np.zeros(coefficients.shape[0], dtype=bool)
     if not active.any():
         return codes, overflow
+    expand = (slice(None),) + (None,) * ndim
     with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
-        scaled = np.rint(coefficients[active] / step[active, None, None])
+        scaled = np.rint(coefficients[active] / step[active][expand])
     safe = np.isfinite(scaled) & (np.abs(scaled) <= code_radius)
     # A non-finite step (the per-block step itself can overflow at extreme
     # magnitude/bound combinations) silently yields in-range ratios; such
     # blocks must be stored exactly too.
-    overflow[active] = ~safe.all(axis=(1, 2)) | ~np.isfinite(step[active])
+    overflow[active] = ~safe.all(axis=tuple(range(1, ndim + 1))) | ~np.isfinite(
+        step[active]
+    )
     codes[active] = np.where(safe, scaled, 0.0).astype(np.int64)
     codes[overflow] = 0
     return codes, overflow

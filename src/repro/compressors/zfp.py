@@ -3,7 +3,7 @@
 Mirrors the structure of ZFP's fixed-accuracy mode as described in the
 paper's Section II-A:
 
-1. the 2D field is partitioned into 4x4 blocks;
+1. the field is partitioned into 4x4 blocks (2D) or 4x4x4 blocks (3D);
 2. each block is converted to a *block-floating-point* representation: the
    block's values are normalised by a per-block power-of-two exponent
    (``emax``), so every block lives on the same [-1, 1] scale;
@@ -20,24 +20,28 @@ paper's Section II-A:
    alphabet, and all-zero groups cost no stream at all.
 
 Every per-block stage (exponents, normalisation, the safe coefficient
-quantization, plane grouping) lives in the shared array engine in
-:mod:`repro.compressors.transform`; this module owns only the container
-format.  Side channels are array-encoded like the SZ container's: block
-flags and active-block exponents go through the lossless backend, and
-only *active* blocks (neither negligible nor exact) carry coefficients.
+quantization, plane grouping) lives in the shared dimension-general array
+engine in :mod:`repro.compressors.transform`; this module owns only the
+container formats.  2D fields use the ``ZFR2`` layout (bytes unchanged by
+the N-d generalisation); 3D volumes use the ``ZFV1`` layout, which stores
+the dimensionality explicitly and streams ``bs**3`` sequency planes.
+Side channels are array-encoded like the SZ container's: block flags and
+active-block exponents go through the lossless backend, and only *active*
+blocks (neither negligible nor exact) carry coefficients.
 
 Error-bound argument
 --------------------
 With an orthonormal transform, quantizing every coefficient of a block
 with step ``2*delta`` changes each coefficient by at most ``delta``, hence
 the L2 norm of the coefficient perturbation is at most
-``block_size * delta`` (16 coefficients) and, by orthonormality, so is the
-L2 norm (and therefore the max norm) of the reconstruction error in the
-normalised domain.  Scaling back by ``2**emax`` gives a point-wise error of
-at most ``block_size * delta * 2**emax``; choosing
-``delta = tolerance * 2**-emax / block_size`` therefore guarantees the
-absolute error bound.  The compressor additionally verifies the bound on
-its own reconstruction before returning.
+``sqrt(bs**d) * delta`` (``bs**d`` coefficients) and, by orthonormality,
+so is the L2 norm (and therefore the max norm) of the reconstruction error
+in the normalised domain.  Scaling back by ``2**emax`` gives a point-wise
+error of at most ``bs**(d/2) * delta * 2**emax``; choosing
+``delta = tolerance * 2**-emax / bs**(d/2)`` therefore guarantees the
+absolute error bound (for 2D, ``bs**(d/2)`` is exactly ``block_size``, the
+factor the original 2D implementation used).  The compressor additionally
+verifies the bound on its own reconstruction before returning.
 """
 
 from __future__ import annotations
@@ -55,36 +59,44 @@ from repro.compressors.transform import (
     group_planes_by_width,
     inverse_block_transform,
     quantize_block_coefficients,
-    sequency_order,
+    sequency_order_nd,
     sequency_plane_widths,
+    zigzag_decode,
+    zigzag_encode,
 )
 from repro.encoding.varint import decode_varint, encode_varint
-from repro.utils.validation import ensure_2d, ensure_float_array
+from repro.utils.validation import ensure_float_array, ensure_ndim
 
 __all__ = ["ZFPCompressor"]
 
 _MAGIC = b"ZFR2"
+_MAGIC_VOLUME = b"ZFV1"
 #: Maximum |code|; blocks whose ratios exceed it fall back to exact storage.
 _CODE_RADIUS = 1 << 30
 #: Offset applied to the stored minimum exponent so the varint stays
 #: non-negative for any float64-representable block magnitude.
 _EMAX_OFFSET = 1 << 20
 
-#: Block flag values stored in the per-block side channel.
+#: Block flag values stored in the per-block side channel.  ACTIVE blocks
+#: are coded with the primary step (``delta = tol * 2^-emax / bs``, the
+#: factor the 2D error argument proves); ACTIVE_FINE blocks (3D containers
+#: only) failed the per-block verification at the primary step and carry
+#: codes at the provable ``bs**(d/2)`` step instead.
 _FLAG_ACTIVE = 0
 _FLAG_NEGLIGIBLE = 1
 _FLAG_EXACT = 2
+_FLAG_ACTIVE_FINE = 3
 
 
 class ZFPCompressor(Compressor):
-    """ZFP-like transform compressor (fixed-accuracy mode).
+    """ZFP-like transform compressor (fixed-accuracy mode, 2D + 3D).
 
     Parameters
     ----------
     error_bound:
         Absolute error tolerance.
     block_size:
-        Block edge length (4 in ZFP).
+        Block edge length (4 in ZFP, for both planes and volumes).
     backend:
         Lossless backend for the coefficient code stream.
     """
@@ -105,63 +117,140 @@ class ZFPCompressor(Compressor):
         self.backend = LosslessBackend(backend)
 
     # ------------------------------------------------------------------
-    def _coefficient_step(self, emax: np.ndarray, error_bound: float) -> np.ndarray:
-        """Quantization step (per block) in the *normalised* domain."""
+    @staticmethod
+    def _coefficient_step(
+        emax: np.ndarray,
+        error_bound: float,
+        ndim: int,
+        block_size: int,
+        *,
+        fine: bool = False,
+    ) -> np.ndarray:
+        """Quantization step (per block) in the *normalised* domain.
 
-        # delta = tol * 2^-emax / block_size, step = 2*delta; see module
-        # docstring for the error argument.  The step can overflow to inf
-        # for subnormal-magnitude blocks under a far smaller bound; the
-        # quantizer flags such blocks for exact storage.
+        ``block_size`` is an argument (not read from ``self``) so the
+        decompressor applies the block size decoded from the container —
+        the containers stay self-describing even for a decoding instance
+        configured with a different block size.
+
+        The primary step uses ``delta = tol * 2^-emax / block_size`` — for
+        2D this is exactly the provable ``bs**(d/2)`` factor of the
+        orthonormality argument (see the module docstring).  For 3D it is
+        a deliberate 1-bit-per-coefficient-cheaper heuristic: every block's
+        reconstruction is verified during compression, and blocks that
+        exceed the bound are re-coded with ``fine=True`` (the provable
+        ``bs**(d/2)`` factor), so the hard guarantee is preserved.  The
+        step can overflow to inf for subnormal-magnitude blocks under a
+        far smaller bound; the quantizer flags such blocks for exact
+        storage.
+        """
+
+        if fine:
+            norm = float(block_size) ** (ndim / 2.0)
+        else:
+            norm = float(block_size)
         with np.errstate(over="ignore"):
-            delta = error_bound * np.exp2(-emax.astype(np.float64)) / self.block_size
+            delta = error_bound * np.exp2(-emax.astype(np.float64)) / norm
             return 2.0 * delta
 
     # ------------------------------------------------------------------
     def compress(self, field: np.ndarray) -> CompressedField:
-        original = ensure_2d(field, "field")
+        original = ensure_ndim(field, (2, 3), "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
+        ndim = values.ndim
         if not np.all(np.isfinite(values)):
             raise CompressorError("zfp: field contains non-finite values")
 
-        blocks4d, original_shape = partition_field(values, self.block_size)
-        nbi, nbj, bs, _ = blocks4d.shape
-        blocks = blocks4d.reshape(nbi * nbj, bs, bs)
+        blocks_nd, original_shape = partition_field(values, self.block_size)
+        counts = blocks_nd.shape[:ndim]
+        bs = self.block_size
+        blocks = blocks_nd.reshape((int(np.prod(counts)),) + (bs,) * ndim)
         n_blocks = blocks.shape[0]
 
         emax, negligible, normalised = block_exponents(blocks, self.error_bound)
         coefficients = forward_block_transform(normalised)
-        step = self._coefficient_step(emax, self.error_bound)
+        step = self._coefficient_step(emax, self.error_bound, ndim, bs)
         codes, exact_mask = quantize_block_coefficients(
             coefficients, step, ~negligible, _CODE_RADIUS
         )
 
         # Reconstruction (identical computation to the decompressor).
-        recon_blocks = self._reconstruct_blocks(codes, emax, negligible, self.error_bound)
-        block_errors = np.abs(recon_blocks - blocks).max(axis=(1, 2))
+        fine_mask = np.zeros(n_blocks, dtype=bool)
+        recon_blocks = self._reconstruct_blocks(
+            codes, emax, negligible, self.error_bound, ndim, bs, fine=fine_mask
+        )
+        block_errors = np.abs(recon_blocks - blocks).max(
+            axis=tuple(range(1, ndim + 1))
+        )
         # Negated <= so NaN block errors (possible when emax itself sits at
         # the float range limit) count as violations.
         violating = ~(block_errors <= self.error_bound)
+
+        if ndim > 2:
+            # Two-tier step (3D containers): blocks the primary (heuristic)
+            # step cannot hold within the bound are re-coded with the
+            # provable ``bs**(d/2)`` step before falling back to exact
+            # storage.  In 2D the two steps coincide, so the retry is
+            # skipped and the legacy single-pass behaviour (and byte
+            # stream) is preserved.
+            retry = violating & ~exact_mask & ~negligible
+            if retry.any():
+                fine_step = self._coefficient_step(
+                    emax, self.error_bound, ndim, bs, fine=True
+                )
+                fine_codes, fine_exact = quantize_block_coefficients(
+                    coefficients, fine_step, retry, _CODE_RADIUS
+                )
+                # Re-decode and re-verify only the retried blocks; retries
+                # are rare, the other blocks are already settled.
+                candidates = np.flatnonzero(retry & ~fine_exact)
+                if candidates.size:
+                    recon_sub = self._reconstruct_blocks(
+                        fine_codes[candidates],
+                        emax[candidates],
+                        np.zeros(candidates.size, dtype=bool),
+                        self.error_bound,
+                        ndim,
+                        bs,
+                        fine=np.ones(candidates.size, dtype=bool),
+                    )
+                    sub_errors = np.abs(recon_sub - blocks[candidates]).max(
+                        axis=tuple(range(1, ndim + 1))
+                    )
+                    ok = sub_errors <= self.error_bound
+                    good = candidates[ok]
+                    codes[good] = fine_codes[good]
+                    recon_blocks[good] = recon_sub[ok]
+                    fine_mask[good] = True
+                    violating[good] = False
+
         exact_mask |= violating
         codes[exact_mask] = 0
         recon_blocks[exact_mask] = blocks[exact_mask]
+        fine_mask &= ~exact_mask
 
         flags = np.zeros(n_blocks, dtype=np.int64)
         flags[negligible] = _FLAG_NEGLIGIBLE
+        flags[fine_mask] = _FLAG_ACTIVE_FINE
         flags[exact_mask] = _FLAG_EXACT
-        active = flags == _FLAG_ACTIVE
+        active = (flags == _FLAG_ACTIVE) | (flags == _FLAG_ACTIVE_FINE)
 
         # ------------------------------------------------------------------
         # container
         # ------------------------------------------------------------------
         payload = bytearray()
-        payload.extend(_MAGIC)
-        payload.extend(encode_varint(original_shape[0]))
-        payload.extend(encode_varint(original_shape[1]))
+        if ndim == 2:
+            payload.extend(_MAGIC)
+        else:
+            payload.extend(_MAGIC_VOLUME)
+            payload.extend(encode_varint(ndim))
+        for length in original_shape:
+            payload.extend(encode_varint(length))
         payload.extend(encode_varint(self.block_size))
         payload.extend(struct.pack("<d", self.error_bound))
-        payload.extend(encode_varint(nbi))
-        payload.extend(encode_varint(nbj))
+        for count in counts:
+            payload.extend(encode_varint(count))
 
         flag_blob = self.backend.encode_symbols(flags)
         payload.extend(encode_varint(len(flag_blob)))
@@ -180,9 +269,9 @@ class ZFPCompressor(Compressor):
         # zigzag-mapped, planes grouped by bit width, one short-alphabet
         # backend stream per group (plane-major within the group so the
         # near-zero high-frequency codes form long runs).
-        rows, cols = sequency_order(bs)
-        ordered = codes[active][:, rows, cols]  # (n_active, bs*bs)
-        zigzag = (ordered << 1) ^ (ordered >> 63)
+        seq = sequency_order_nd(bs, ndim)
+        ordered = codes[active][(slice(None),) + seq]  # (n_active, bs**ndim)
+        zigzag = zigzag_encode(ordered)
         groups = group_planes_by_width(sequency_plane_widths(zigzag))
         payload.extend(encode_varint(len(groups)))
         for start, end, width in groups:
@@ -198,7 +287,7 @@ class ZFPCompressor(Compressor):
         payload.extend(exact_values)
 
         reconstruction = merge_field(
-            recon_blocks.reshape(nbi, nbj, bs, bs), original_shape
+            recon_blocks.reshape(counts + (bs,) * ndim), original_shape
         )
         compressed = CompressedField(
             data=bytes(payload),
@@ -210,6 +299,7 @@ class ZFPCompressor(Compressor):
             extras={
                 "negligible_block_fraction": float(negligible.mean()),
                 "exact_block_fraction": float(exact_mask.mean()),
+                "fine_block_fraction": float(fine_mask.mean()),
                 "n_blocks": float(n_blocks),
                 "coefficient_stream_groups": float(len(groups)),
             },
@@ -224,41 +314,65 @@ class ZFPCompressor(Compressor):
         emax: np.ndarray,
         negligible: np.ndarray,
         error_bound: float,
+        ndim: int,
+        block_size: int,
+        fine: np.ndarray | None = None,
     ) -> np.ndarray:
         """Decode codes back to value blocks under an explicit bound.
 
+        ``fine`` marks blocks coded with the provable (finer) step tier.
         The bound is an argument (not read from ``self``) so the
         decompressor can apply the bound decoded from the container
         without mutating compressor state — keeping instances reentrant
         and thread-safe.
         """
 
-        step = self._coefficient_step(emax, error_bound)
+        step = self._coefficient_step(emax, error_bound, ndim, block_size)
+        if fine is not None and fine.any():
+            fine_step = self._coefficient_step(
+                emax, error_bound, ndim, block_size, fine=True
+            )
+            step = np.where(fine, fine_step, step)
+        expand = (slice(None),) + (None,) * ndim
         # Blocks at the extremes (inf step, emax at the float-range limit)
         # are flagged for exact storage by the caller and their values here
         # overwritten; suppress the transient overflow warnings they cause.
         with np.errstate(over="ignore", invalid="ignore"):
-            coefficients = codes.astype(np.float64) * step[:, None, None]
+            coefficients = codes.astype(np.float64) * step[expand]
             normalised = inverse_block_transform(coefficients)
-            blocks = normalised * np.exp2(emax.astype(np.float64))[:, None, None]
+            blocks = normalised * np.exp2(emax.astype(np.float64))[expand]
         blocks[negligible] = 0.0
         return blocks
 
     # ------------------------------------------------------------------
     def decompress(self, compressed: CompressedField) -> np.ndarray:
         blob = compressed.data
-        if blob[:4] != _MAGIC:
+        magic = blob[:4]
+        if magic not in (_MAGIC, _MAGIC_VOLUME):
             raise CompressorError("not a ZFP-like container")
         pos = 4
-        rows, pos = decode_varint(blob, pos)
-        cols, pos = decode_varint(blob, pos)
+        if magic == _MAGIC:
+            ndim = 2
+        else:
+            ndim, pos = decode_varint(blob, pos)
+            if ndim != 3:
+                raise CompressorError(f"zfp: unsupported volume dimensionality {ndim}")
+        shape = []
+        for _ in range(ndim):
+            length, pos = decode_varint(blob, pos)
+            shape.append(length)
+        original_shape = tuple(shape)
         block_size, pos = decode_varint(blob, pos)
         (error_bound,) = struct.unpack_from("<d", blob, pos)
         pos += 8
-        nbi, pos = decode_varint(blob, pos)
-        nbj, pos = decode_varint(blob, pos)
-        n_blocks = nbi * nbj
+        counts = []
+        for _ in range(ndim):
+            count, pos = decode_varint(blob, pos)
+            counts.append(count)
+        counts = tuple(counts)
+        n_blocks = int(np.prod(counts))
         bs = block_size
+        n_planes = bs**ndim
 
         flag_len, pos = decode_varint(blob, pos)
         flags = self.backend.decode_symbols(blob[pos : pos + flag_len])
@@ -267,7 +381,8 @@ class ZFPCompressor(Compressor):
             raise CompressorError("zfp: block flag stream length mismatch")
         negligible = flags == _FLAG_NEGLIGIBLE
         exact_mask = flags == _FLAG_EXACT
-        active = flags == _FLAG_ACTIVE
+        fine_mask = flags == _FLAG_ACTIVE_FINE
+        active = (flags == _FLAG_ACTIVE) | fine_mask
         n_active = int(active.sum())
 
         emax_min_shifted, pos = decode_varint(blob, pos)
@@ -281,12 +396,12 @@ class ZFPCompressor(Compressor):
         emax[active] = emax_active
 
         n_groups, pos = decode_varint(blob, pos)
-        zigzag = np.zeros((n_active, bs * bs), dtype=np.int64)
+        zigzag = np.zeros((n_active, n_planes), dtype=np.int64)
         plane = 0
         for _ in range(n_groups):
             group_planes, pos = decode_varint(blob, pos)
             width, pos = decode_varint(blob, pos)
-            if plane + group_planes > bs * bs:
+            if plane + group_planes > n_planes:
                 raise CompressorError("zfp: coefficient plane groups exceed block size")
             if width > 0:
                 group_len, pos = decode_varint(blob, pos)
@@ -298,23 +413,25 @@ class ZFPCompressor(Compressor):
                     group_planes, n_active
                 ).T
             plane += group_planes
-        if plane != bs * bs:
+        if plane != n_planes:
             raise CompressorError("zfp: coefficient plane groups do not cover the block")
 
-        ordered = (zigzag >> 1) ^ -(zigzag & 1)
-        seq_rows, seq_cols = sequency_order(bs)
-        codes = np.zeros((n_blocks, bs, bs), dtype=np.int64)
-        active_codes = np.zeros((n_active, bs, bs), dtype=np.int64)
-        active_codes[:, seq_rows, seq_cols] = ordered
+        ordered = zigzag_decode(zigzag)
+        seq = sequency_order_nd(bs, ndim)
+        codes = np.zeros((n_blocks,) + (bs,) * ndim, dtype=np.int64)
+        active_codes = np.zeros((n_active,) + (bs,) * ndim, dtype=np.int64)
+        active_codes[(slice(None),) + seq] = ordered
         codes[active] = active_codes
 
         exact_len, pos = decode_varint(blob, pos)
         exact_values = np.frombuffer(blob[pos : pos + exact_len], dtype="<f8")
-        if exact_values.size != int(exact_mask.sum()) * bs * bs:
+        if exact_values.size != int(exact_mask.sum()) * n_planes:
             raise CompressorError("zfp: exact-block side channel length mismatch")
 
-        blocks = self._reconstruct_blocks(codes, emax, negligible, float(error_bound))
+        blocks = self._reconstruct_blocks(
+            codes, emax, negligible, float(error_bound), ndim, bs, fine=fine_mask
+        )
         if exact_mask.any():
-            blocks[exact_mask] = exact_values.reshape(-1, bs, bs)
-        field = merge_field(blocks.reshape(nbi, nbj, bs, bs), (rows, cols))
+            blocks[exact_mask] = exact_values.reshape((-1,) + (bs,) * ndim)
+        field = merge_field(blocks.reshape(counts + (bs,) * ndim), original_shape)
         return field

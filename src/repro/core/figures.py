@@ -176,7 +176,9 @@ def figure2_dataset_gallery(
     gallery: Dict[str, List[Dict[str, float]]] = {}
     for name in registry.names():
         fields = registry.create(name, seed=seed)
-        gallery[name] = [
+        # Figure 2 shows 2D imagery; volume workloads (3D fields, e.g.
+        # "miranda-volume") belong to the volumes pipeline, not the gallery.
+        entries = [
             {
                 "label": label,
                 "rows": field.shape[0],
@@ -187,7 +189,10 @@ def figure2_dataset_gallery(
                 "std": float(field.std()),
             }
             for label, field in fields
+            if np.asarray(field).ndim == 2
         ]
+        if entries:
+            gallery[name] = entries
     return gallery
 
 

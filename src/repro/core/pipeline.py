@@ -143,9 +143,20 @@ class ExperimentResult:
 
 
 def _measure_one(task) -> List[CompressionRecord]:
-    """Top-level helper so the work item pickles for process pools."""
+    """Top-level helper so the work item pickles for process pools.
+
+    3D fields route through the tiled volume pipeline (native volumetric
+    compression, 3D variogram statistic); 2D fields take the paper's
+    per-slice measurement path.
+    """
 
     dataset, label, field, config = task
+    if np.asarray(field).ndim == 3:
+        from repro.volumes.pipeline import measure_volume_field
+
+        return measure_volume_field(
+            field, dataset=dataset, field_label=label, config=config
+        )
     return measure_field(field, dataset=dataset, field_label=label, config=config)
 
 

@@ -136,15 +136,34 @@ def _miranda_factory(
     return factory
 
 
+def _miranda_volume_factory(
+    shape: Tuple[int, int, int] = (64, 64, 64)
+) -> DatasetFactory:
+    """The Miranda workload as a native 3D volume (no slicing).
+
+    The returned field is 3D; the experiment pipeline routes it through
+    the tiled volume compression path (:mod:`repro.volumes.pipeline`).
+    """
+
+    def factory(seed: SeedLike = None) -> List[Tuple[str, np.ndarray]]:
+        surrogate = MirandaSurrogate(MirandaConfig(shape=shape))
+        return [("miranda-velocityx-volume", surrogate.generate(seed))]
+
+    return factory
+
+
 def default_registry(
     gaussian_shape: Tuple[int, int] = (128, 128),
     miranda_shape: Tuple[int, int, int] = (32, 128, 128),
+    miranda_volume_shape: Tuple[int, int, int] = (64, 64, 64),
 ) -> DatasetRegistry:
     """Registry pre-populated with the paper's workloads.
 
     ``gaussian-single``, ``gaussian-multi`` and ``miranda`` are the paper's
     three evaluation datasets; ``gaussian-nonstationary`` adds the
-    future-work item (ii) workload (spatially varying correlation range).
+    future-work item (ii) workload (spatially varying correlation range),
+    and ``miranda-volume`` exposes the Miranda surrogate as a native 3D
+    volume for the volumetric compression path.
     """
 
     registry = DatasetRegistry()
@@ -154,4 +173,7 @@ def default_registry(
         "gaussian-nonstationary", _nonstationary_factory(shape=gaussian_shape)
     )
     registry.register("miranda", _miranda_factory(shape=miranda_shape))
+    registry.register(
+        "miranda-volume", _miranda_volume_factory(shape=miranda_volume_shape)
+    )
     return registry

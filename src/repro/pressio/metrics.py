@@ -17,7 +17,7 @@ import numpy as np
 from repro.compressors.base import CompressedField
 from repro.utils.validation import ensure_float_array
 
-__all__ = ["CompressionMetrics", "evaluate_metrics"]
+__all__ = ["CompressionMetrics", "error_statistics", "evaluate_metrics"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,27 @@ class CompressionMetrics:
         return asdict(self)
 
 
+def error_statistics(original: np.ndarray, reconstruction: np.ndarray):
+    """Shared reconstruction-error statistics (any dimensionality).
+
+    Returns ``(max_abs_error, rmse, value_range, psnr)``; the single
+    definition serves both the 2D metrics here and the tiled volume
+    metrics in :mod:`repro.volumes.pipeline`.
+    """
+
+    error = reconstruction - original
+    max_abs_error = float(np.abs(error).max()) if error.size else 0.0
+    rmse = float(np.sqrt(np.mean(error**2))) if error.size else 0.0
+    value_range = float(original.max() - original.min()) if original.size else 0.0
+    if rmse == 0.0:
+        psnr = float("inf")
+    elif value_range == 0.0:
+        psnr = float("-inf") if rmse > 0 else float("inf")
+    else:
+        psnr = float(20.0 * np.log10(value_range) - 20.0 * np.log10(rmse))
+    return max_abs_error, rmse, value_range, psnr
+
+
 def evaluate_metrics(
     original: np.ndarray,
     compressed: CompressedField,
@@ -87,16 +108,9 @@ def evaluate_metrics(
             f"reconstruction shape {reconstruction.shape} != original shape {original.shape}"
         )
 
-    error = reconstruction - original
-    max_abs_error = float(np.abs(error).max()) if error.size else 0.0
-    rmse = float(np.sqrt(np.mean(error**2))) if error.size else 0.0
-    value_range = float(original.max() - original.min()) if original.size else 0.0
-    if rmse == 0.0:
-        psnr = float("inf")
-    elif value_range == 0.0:
-        psnr = float("-inf") if rmse > 0 else float("inf")
-    else:
-        psnr = float(20.0 * np.log10(value_range) - 20.0 * np.log10(rmse))
+    max_abs_error, rmse, value_range, psnr = error_statistics(
+        original, reconstruction
+    )
 
     n_values = int(np.prod(compressed.original_shape))
     bit_rate = 8.0 * compressed.compressed_nbytes / n_values if n_values else 0.0

@@ -1,14 +1,17 @@
-"""Block and window utilities for 2D arrays.
+"""Block and window utilities for N-dimensional arrays.
 
 The compressors in :mod:`repro.compressors` operate on fixed-size blocks
-(16x16 for the SZ-like compressor, 4x4 for the ZFP-like compressor) and the
-local correlation statistics in :mod:`repro.stats.local` operate on tiled
-windows (32x32 by default).  This module centralises the padding, viewing
-and reassembly logic so that every consumer treats edges identically.
+(16x16 for the SZ-like compressor on planes, 4x4x4 for the ZFP-like
+compressor on volumes) and the local correlation statistics in
+:mod:`repro.stats.local` operate on tiled windows (32x32 by default).
+This module centralises the padding, viewing and reassembly logic so that
+every consumer treats edges identically.
 
-All functions are vectorised: :func:`block_view` returns a strided view of
-shape ``(n_blocks_i, n_blocks_j, bs, bs)`` without copying when the array
-dimensions are exact multiples of the block size.
+All functions are dimension-general and vectorised: :func:`block_view`
+returns a strided view of shape ``(*n_blocks, *block)`` — e.g.
+``(nbi, nbj, bs, bs)`` for a 2D field or ``(nbi, nbj, nbk, bs, bs, bs)``
+for a 3D volume — without copying when the array dimensions are exact
+multiples of the block size.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
-from repro.utils.validation import ensure_2d, ensure_positive
+from repro.utils.validation import ensure_2d, ensure_ndim, ensure_positive
 
 __all__ = [
     "pad_to_multiple",
@@ -28,18 +31,21 @@ __all__ = [
     "block_count",
 ]
 
+#: Dimensionalities the blocked compressors support.
+SUPPORTED_NDIMS = (2, 3)
+
 
 def pad_to_multiple(
     field: np.ndarray, block_size: int, mode: str = "edge"
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Pad a 2D array so both dimensions are multiples of ``block_size``.
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Pad an N-d array so every dimension is a multiple of ``block_size``.
 
     Parameters
     ----------
     field:
-        2D input array.
+        2D or 3D input array.
     block_size:
-        Target multiple for both dimensions.
+        Target multiple for every dimension.
     mode:
         Padding mode forwarded to :func:`numpy.pad`.  ``"edge"`` replicates
         the border values, which keeps padded blocks statistically similar
@@ -49,54 +55,46 @@ def pad_to_multiple(
     Returns
     -------
     padded, original_shape:
-        The padded array and the original ``(rows, cols)`` shape, needed by
+        The padded array and the original shape, needed by
         :func:`reassemble_blocks` to crop the reconstruction.
     """
 
-    field = ensure_2d(field, "field")
+    field = ensure_ndim(field, SUPPORTED_NDIMS, "field")
     ensure_positive(block_size, "block_size")
-    rows, cols = field.shape
-    pad_r = (-rows) % block_size
-    pad_c = (-cols) % block_size
-    if pad_r == 0 and pad_c == 0:
-        return field, (rows, cols)
-    padded = np.pad(field, ((0, pad_r), (0, pad_c)), mode=mode)
-    return padded, (rows, cols)
+    original_shape = field.shape
+    pads = tuple((0, (-s) % block_size) for s in original_shape)
+    if all(p[1] == 0 for p in pads):
+        return field, original_shape
+    padded = np.pad(field, pads, mode=mode)
+    return padded, original_shape
 
 
 def block_view(field: np.ndarray, block_size: int) -> np.ndarray:
-    """Return a ``(nbi, nbj, bs, bs)`` view of a 2D array tiled into blocks.
+    """Return a ``(*n_blocks, *block)`` view of an N-d array tiled into blocks.
 
     The array dimensions must be exact multiples of ``block_size``; call
     :func:`pad_to_multiple` first otherwise.  The result is a view (no copy)
     so writing to it mutates ``field``.
     """
 
-    field = ensure_2d(field, "field")
+    field = ensure_ndim(field, SUPPORTED_NDIMS, "field")
     ensure_positive(block_size, "block_size")
-    rows, cols = field.shape
-    if rows % block_size or cols % block_size:
-        raise ValueError(
-            f"field shape {field.shape} is not a multiple of block_size={block_size}; "
-            "use pad_to_multiple() first"
-        )
-    nbi = rows // block_size
-    nbj = cols // block_size
-    shape = (nbi, nbj, block_size, block_size)
-    strides = (
-        field.strides[0] * block_size,
-        field.strides[1] * block_size,
-        field.strides[0],
-        field.strides[1],
-    )
+    for length in field.shape:
+        if length % block_size:
+            raise ValueError(
+                f"field shape {field.shape} is not a multiple of block_size={block_size}; "
+                "use pad_to_multiple() first"
+            )
+    counts = tuple(length // block_size for length in field.shape)
+    shape = counts + (block_size,) * field.ndim
+    strides = tuple(s * block_size for s in field.strides) + field.strides
     return np.lib.stride_tricks.as_strided(field, shape=shape, strides=strides)
 
 
-def block_count(shape: Tuple[int, int], block_size: int) -> Tuple[int, int]:
+def block_count(shape: Tuple[int, ...], block_size: int) -> Tuple[int, ...]:
     """Number of blocks along each dimension after padding to a multiple."""
 
-    rows, cols = shape
-    return (-(-rows // block_size), -(-cols // block_size))
+    return tuple(-(-length // block_size) for length in shape)
 
 
 def iter_blocks(
@@ -120,21 +118,28 @@ def iter_blocks(
 
 
 def reassemble_blocks(
-    blocks: np.ndarray, original_shape: Tuple[int, int]
+    blocks: np.ndarray, original_shape: Tuple[int, ...]
 ) -> np.ndarray:
     """Inverse of :func:`block_view` followed by a crop to ``original_shape``.
 
-    ``blocks`` must have shape ``(nbi, nbj, bs, bs)``.
+    ``blocks`` must have shape ``(*n_blocks, *block)`` with equal block
+    edges (``(nbi, nbj, bs, bs)`` in 2D, ``(nbi, nbj, nbk, bs, bs, bs)``
+    in 3D).
     """
 
-    if blocks.ndim != 4:
-        raise ValueError(f"expected 4D block array, got shape {blocks.shape}")
-    nbi, nbj, bs, bs2 = blocks.shape
-    if bs != bs2:
+    ndim = blocks.ndim // 2
+    if blocks.ndim != 2 * ndim or ndim not in SUPPORTED_NDIMS:
+        raise ValueError(f"expected 4D or 6D block array, got shape {blocks.shape}")
+    counts = blocks.shape[:ndim]
+    edges = blocks.shape[ndim:]
+    if len(set(edges)) != 1:
         raise ValueError("blocks must be square")
-    full = blocks.transpose(0, 2, 1, 3).reshape(nbi * bs, nbj * bs)
-    rows, cols = original_shape
-    return np.ascontiguousarray(full[:rows, :cols])
+    bs = edges[0]
+    # Interleave (n_0, b_0, n_1, b_1, ...) then collapse each pair.
+    order = tuple(i for pair in zip(range(ndim), range(ndim, 2 * ndim)) for i in pair)
+    full = blocks.transpose(order).reshape(tuple(n * bs for n in counts))
+    crop = tuple(slice(0, s) for s in original_shape)
+    return np.ascontiguousarray(full[crop])
 
 
 def window_starts(length: int, window: int, *, include_partial: bool = False) -> List[int]:

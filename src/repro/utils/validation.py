@@ -6,7 +6,14 @@ from typing import Iterable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["ensure_2d", "ensure_positive", "ensure_float_array", "ensure_in", "ensure_odd"]
+__all__ = [
+    "ensure_2d",
+    "ensure_ndim",
+    "ensure_positive",
+    "ensure_float_array",
+    "ensure_in",
+    "ensure_odd",
+]
 
 T = TypeVar("T")
 
@@ -17,6 +24,21 @@ def ensure_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
     arr = np.asarray(array)
     if arr.ndim != 2:
         raise ValueError(f"{name} must be 2D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+def ensure_ndim(
+    array: np.ndarray, ndims: Iterable[int], name: str = "array"
+) -> np.ndarray:
+    """Return ``array`` as a non-empty ndarray whose ndim is in ``ndims``."""
+
+    allowed = tuple(ndims)
+    arr = np.asarray(array)
+    if arr.ndim not in allowed:
+        dims = "/".join(f"{d}D" for d in allowed)
+        raise ValueError(f"{name} must be {dims}, got shape {arr.shape}")
     if arr.size == 0:
         raise ValueError(f"{name} must be non-empty")
     return arr

@@ -1,0 +1,27 @@
+"""Native 3D volume compression pipeline (tiling, parallel workers, metrics)."""
+
+from repro.volumes.pipeline import (
+    CompressedVolume,
+    VolumeTile,
+    compress_volume,
+    decompress_volume,
+    default_volume_cache,
+    measure_volume_field,
+    shard_volume,
+    slice_baseline,
+    tile_offsets,
+    volume_metrics,
+)
+
+__all__ = [
+    "CompressedVolume",
+    "VolumeTile",
+    "compress_volume",
+    "decompress_volume",
+    "default_volume_cache",
+    "measure_volume_field",
+    "shard_volume",
+    "slice_baseline",
+    "tile_offsets",
+    "volume_metrics",
+]

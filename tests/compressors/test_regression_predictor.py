@@ -102,5 +102,7 @@ class TestPlanePredictions:
         np.testing.assert_allclose(pred[0, 0], 1.0 + 2.0 * ii - 1.0 * jj)
 
     def test_rejects_bad_coefficient_shape(self):
+        # A trailing axis below 2 cannot hold (intercept, slope...) for any
+        # dimensionality; a flat (n, 3) batch is now valid (N-d engine).
         with pytest.raises(ValueError):
-            plane_predictions(np.zeros((2, 3)), 4)
+            plane_predictions(np.zeros((2, 2, 1)), 4)

@@ -67,6 +67,32 @@ class TestCompressCommand:
         code = main(["compress", str(path), "--error-bound", "1e-2"])
         assert code == 0
 
+    def test_compress_3d_volume_natively(self, tmp_path, capsys):
+        volume = np.random.default_rng(3).normal(size=(8, 20, 20))
+        path = tmp_path / "vol.npy"
+        save_field(path, volume)
+        code = main(
+            [
+                "compress",
+                str(path),
+                "--volume",
+                "--tile",
+                "16",
+                "--error-bound",
+                "1e-2",
+                "--baseline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "volume shape" in out and "8x20x20" in out
+        assert "tiles" in out
+        assert "slice-by-slice baseline CR" in out
+
+    def test_compress_volume_flag_rejects_2d(self, field_npy):
+        with pytest.raises(SystemExit):
+            main(["compress", str(field_npy), "--volume"])
+
 
 class TestStatsCommand:
     def test_stats_output(self, field_npy, capsys):

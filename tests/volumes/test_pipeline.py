@@ -1,0 +1,164 @@
+"""Tests for repro.volumes.pipeline (tiled volume compression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.pipeline import ExperimentCache, run_experiment
+from repro.datasets.miranda import generate_miranda_like_volume
+from repro.utils.parallel import ParallelConfig
+from repro.volumes.pipeline import (
+    compress_volume,
+    decompress_volume,
+    measure_volume_field,
+    shard_volume,
+    slice_baseline,
+    tile_offsets,
+    volume_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return generate_miranda_like_volume((24, 32, 28), seed=9)
+
+
+class TestSharding:
+    def test_tile_offsets_cover_shape(self):
+        offsets = tile_offsets((10, 8, 5), (4, 4, 4))
+        assert offsets[0] == (0, 0, 0)
+        assert (8, 4, 4) in offsets
+        assert len(offsets) == 3 * 2 * 2
+
+    def test_shard_and_reassemble_losslessly(self, volume):
+        shards = shard_volume(volume, (16, 16, 16))
+        out = np.zeros_like(volume)
+        for offset, tile in shards:
+            region = tuple(
+                slice(start, start + edge) for start, edge in zip(offset, tile.shape)
+            )
+            out[region] = tile
+        np.testing.assert_array_equal(out, volume)
+
+    def test_edge_tiles_are_partial(self, volume):
+        shards = dict(shard_volume(volume, (16, 16, 16)))
+        assert shards[(16, 16, 16)].shape == (8, 16, 12)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            shard_volume(np.zeros((4, 4)), (2, 2, 2))
+        with pytest.raises(ValueError):
+            compress_volume(np.zeros((4, 4)), "sz", 1e-3)
+
+    def test_rejects_bad_tile_shape(self, volume):
+        with pytest.raises(ValueError):
+            shard_volume(volume, (0, 4, 4))
+        with pytest.raises(ValueError):
+            shard_volume(volume, (4, 4))
+
+
+class TestCompressVolume:
+    @pytest.mark.parametrize("name", ["sz", "zfp", "mgard"])
+    def test_roundtrip_within_bound(self, volume, name):
+        bound = 1e-3
+        compressed = compress_volume(
+            volume, name, bound, tile_shape=(16, 16, 16), cache=False
+        )
+        reconstruction = decompress_volume(compressed)
+        assert reconstruction.shape == volume.shape
+        assert np.abs(reconstruction - volume).max() <= bound * (1 + 1e-9)
+        assert compressed.n_tiles == 8
+        assert compressed.compression_ratio > 1.0
+
+    def test_metrics_report_bound_and_sizes(self, volume):
+        compressed = compress_volume(volume, "sz", 1e-3, cache=False)
+        metrics = volume_metrics(volume, compressed)
+        assert metrics.bound_satisfied
+        assert metrics.compression_ratio == pytest.approx(
+            compressed.compression_ratio
+        )
+        assert metrics.max_abs_error <= 1e-3 * (1 + 1e-9)
+        assert compressed.original_nbytes == volume.nbytes
+
+    def test_cache_hits_on_repeat(self, volume):
+        cache = ExperimentCache(max_entries=64)
+        compress_volume(volume, "sz", 1e-3, tile_shape=(16, 16, 16), cache=cache)
+        assert cache.hits == 0 and cache.misses == 8
+        compress_volume(volume, "sz", 1e-3, tile_shape=(16, 16, 16), cache=cache)
+        assert cache.hits == 8
+        # A different bound must not hit.
+        compress_volume(volume, "sz", 1e-2, tile_shape=(16, 16, 16), cache=cache)
+        assert cache.hits == 8 and cache.misses == 16
+
+    def test_constant_tiles_deduplicate(self):
+        cache = ExperimentCache(max_entries=64)
+        constant = np.zeros((16, 32, 32))
+        compressed = compress_volume(
+            constant, "sz", 1e-3, tile_shape=(16, 16, 16), cache=cache
+        )
+        # 4 identical tiles: one compression, three in-call duplicates.
+        assert cache.misses == 1 and len(cache) == 1
+        blobs = {tile.compressed.data for tile in compressed.tiles}
+        assert len(blobs) == 1
+
+    def test_duplicates_survive_cache_eviction(self):
+        # The duplicate of tile 0 must resolve even when the tiny cache has
+        # already evicted tile 0's entry by the time the call finishes.
+        cache = ExperimentCache(max_entries=1)
+        volume = np.random.default_rng(11).normal(size=(48, 8, 8))
+        volume[32:48] = volume[0:16]  # last tile duplicates the first
+        compressed = compress_volume(
+            volume, "sz", 1e-3, tile_shape=(16, 8, 8), cache=cache
+        )
+        reconstruction = decompress_volume(compressed)
+        assert np.abs(reconstruction - volume).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_parallel_workers_match_serial(self, volume):
+        serial = compress_volume(volume, "sz", 1e-3, tile_shape=(16, 16, 16), cache=False)
+        parallel = compress_volume(
+            volume,
+            "sz",
+            1e-3,
+            tile_shape=(16, 16, 16),
+            cache=False,
+            parallel=ParallelConfig(workers=2, use_processes=False),
+        )
+        assert [t.compressed.data for t in serial.tiles] == [
+            t.compressed.data for t in parallel.tiles
+        ]
+
+    def test_beats_slice_baseline_on_miranda(self):
+        volume = generate_miranda_like_volume((64, 64, 64), seed=0)
+        bound = 1e-3
+        for name in ("sz", "zfp", "mgard"):
+            tiled = compress_volume(volume, name, bound, cache=False)
+            baseline = slice_baseline(volume, name, bound)
+            assert tiled.compression_ratio > baseline, name
+
+
+class TestMeasureVolumeField:
+    def test_records_have_3d_statistics(self, volume):
+        config = ExperimentConfig(
+            compressors=("sz", "zfp"), error_bounds=(1e-3,), window=4
+        )
+        records = measure_volume_field(
+            volume, dataset="test", field_label="vol", config=config
+        )
+        assert {r.compressor for r in records} == {"sz", "zfp"}
+        for record in records:
+            assert record.metrics.bound_satisfied
+            assert np.isfinite(record.statistics.global_variogram_range)
+            assert np.isnan(record.statistics.std_local_variogram_range)
+
+    def test_run_experiment_routes_volume_datasets(self):
+        config = ExperimentConfig(compressors=("sz",), error_bounds=(1e-3,))
+        result = run_experiment(
+            "miranda-volume", config=config, seed=2, cache=False
+        )
+        assert len(result.records) == 1
+        record = result.records[0]
+        assert record.field_label == "miranda-velocityx-volume"
+        assert record.compression_ratio > 1.0
+        assert record.metrics.bound_satisfied
