@@ -24,7 +24,7 @@ from repro.baselines.sampling_estimator import estimate_cr_by_sampling
 from repro.compressors.registry import make_compressor
 from repro.stats.entropy import quantized_entropy
 from repro.utils.rng import SeedLike
-from repro.utils.validation import ensure_2d, ensure_positive
+from repro.utils.validation import ensure_ndim, ensure_positive
 
 __all__ = ["AdaptiveSelectionResult", "select_compressor"]
 
@@ -74,15 +74,19 @@ def select_compressor(
     seed: SeedLike = None,
     verify: bool = False,
 ) -> AdaptiveSelectionResult:
-    """Choose the candidate compressor with the larger estimated CR."""
+    """Choose the candidate compressor with the larger estimated CR.
 
-    field = ensure_2d(field, "field")
+    ``field`` may be a 2D plane or a 3D volume (the chunked array store's
+    adaptive codec policy runs this loop per chunk in both cases).
+    """
+
+    field = ensure_ndim(field, (2, 3), "field")
     ensure_positive(error_bound, "error_bound")
     if not candidates:
         raise ValueError("at least one candidate compressor is required")
     # Fields smaller than the sampling tile are sampled whole rather than
     # rejected (the estimator raises on tiles larger than the field).
-    block_size = min(int(block_size), field.shape[0], field.shape[1])
+    block_size = min(int(block_size), *field.shape)
 
     estimates: Dict[str, float] = {}
     for name in candidates:

@@ -11,6 +11,11 @@ writing any Python:
   ``gaussian-multi``, ``miranda``) and write the records to CSV.
 * ``figure``     — regenerate one of the paper's figures (3-7) and print
   the fitted-series table (optionally as Markdown).
+* ``store``      — the chunked compressed array store: ``put`` a field
+  file or registry dataset into a store directory (``--codec adaptive``
+  selects the per-chunk codec by the sampling estimator), ``get`` a
+  region back out (only intersecting chunks are decoded), ``info`` /
+  ``ls`` for summaries and the per-chunk index.
 
 The CLI intentionally exposes only the high-level entry points; everything
 it does is a thin wrapper over the public API, so scripts can always drop
@@ -126,6 +131,61 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--skip-local-stats", action="store_true", help="compute only the global variogram range"
     )
+
+    # ---- store ---------------------------------------------------------
+    store = subparsers.add_parser("store", help="chunked compressed array store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    put = store_sub.add_parser("put", help="compress an array into a store directory")
+    put.add_argument("store", help="store directory (created if missing)")
+    source = put.add_mutually_exclusive_group(required=True)
+    source.add_argument("--field", help="path to a .npy file or an SDRBench raw binary")
+    source.add_argument(
+        "--dataset",
+        help="registry dataset name (e.g. miranda-volume); the field selected "
+        "by --label (default: the first field)",
+    )
+    put.add_argument("--label", default=None, help="field label within --dataset")
+    put.add_argument("--seed", type=int, default=0, help="dataset realisation seed")
+    put.add_argument(
+        "--raw-shape", type=int, nargs="+", default=None,
+        help="shape of a raw binary --field (omit for .npy files)",
+    )
+    put.add_argument("--raw-dtype", default="float32", choices=("float32", "float64"))
+    put.add_argument(
+        "--codec",
+        default="sz",
+        help="codec policy: a registry name (sz/zfp/mgard), 'adaptive[:a+b]' "
+        "(per-chunk sampling-estimator selection) or 'best[:a+b]' (exhaustive)",
+    )
+    put.add_argument("--error-bound", type=float, default=1e-3)
+    put.add_argument(
+        "--chunk", type=int, default=None,
+        help="chunk edge length (default: 128 for 2D, 64 for 3D)",
+    )
+    put.add_argument("--workers", type=int, default=1, help="parallel chunk workers")
+    put.add_argument(
+        "--no-chunk-stats", action="store_true",
+        help="skip the per-chunk correlation statistics",
+    )
+    put.add_argument(
+        "--overwrite", action="store_true", help="replace an existing store"
+    )
+
+    get = store_sub.add_parser("get", help="read a region from a store")
+    get.add_argument("store", help="store directory")
+    get.add_argument(
+        "--region", default=None,
+        help="comma-separated per-axis slices, e.g. '0:32,0:32,16:48' "
+        "(omitted axes read fully; bare integers drop the axis)",
+    )
+    get.add_argument("--output", default=None, help="write the region to this .npy file")
+
+    info = store_sub.add_parser("info", help="summarise a store")
+    info.add_argument("store", help="store directory")
+
+    ls = store_sub.add_parser("ls", help="per-chunk listing of a store")
+    ls.add_argument("store", help="store directory")
 
     # ---- figure --------------------------------------------------------
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures (3-7)")
@@ -286,6 +346,158 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_region(text: Optional[str]):
+    """Parse ``'0:32,5,16:'`` into a tuple of slices/ints (None for all)."""
+
+    if text is None or text.strip() == "":
+        return None
+    region = []
+    for part in text.split(","):
+        part = part.strip()
+        if ":" in part:
+            pieces = part.split(":")
+            if len(pieces) != 2:
+                raise SystemExit(f"bad region component {part!r} (use start:stop)")
+            start = int(pieces[0]) if pieces[0] else None
+            stop = int(pieces[1]) if pieces[1] else None
+            region.append(slice(start, stop))
+        else:
+            region.append(int(part))
+    return tuple(region)
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.store import ArrayStore
+
+    handlers = {
+        "put": _command_store_put,
+        "get": _command_store_get,
+        "info": _command_store_info,
+        "ls": _command_store_ls,
+    }
+    return handlers[args.store_command](args, ArrayStore)
+
+
+def _command_store_put(args: argparse.Namespace, ArrayStore) -> int:
+    if args.field is not None:
+        array = _load_any_field(args)
+    else:
+        fields = default_registry().create(args.dataset, seed=args.seed)
+        labels = [label for label, _ in fields]
+        if args.label is None:
+            label, array = fields[0]
+        else:
+            matches = [f for f in fields if f[0] == args.label]
+            if not matches:
+                raise SystemExit(
+                    f"label {args.label!r} not in dataset {args.dataset!r}; "
+                    f"available: {labels}"
+                )
+            label, array = matches[0]
+        print(f"dataset field: {label}")
+    if array.ndim not in (2, 3):
+        raise SystemExit(f"store arrays must be 2D or 3D, got shape {array.shape}")
+
+    store = ArrayStore.create(
+        args.store,
+        chunk_shape=args.chunk,
+        error_bound=args.error_bound,
+        codec=args.codec,
+        chunk_stats=not args.no_chunk_stats,
+        overwrite=args.overwrite,
+    )
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
+    store.write(array, parallel=parallel)
+    return _print_store_info(store)
+
+
+def _command_store_get(args: argparse.Namespace, ArrayStore) -> int:
+    store = ArrayStore.open(args.store)
+    region = _parse_region(args.region)
+    values = store.read(region)
+    report = store.last_read
+    print(
+        f"read {values.shape} from {store.shape}: decoded "
+        f"{report.chunks_decoded}/{report.chunks_total} chunks "
+        f"({report.chunks_intersecting} intersecting)"
+    )
+    if args.output:
+        np.save(args.output, values)
+        print(f"wrote {args.output}")
+    else:
+        print(
+            f"min={values.min():.6g} max={values.max():.6g} "
+            f"mean={values.mean():.6g} std={values.std():.6g}"
+        )
+    return 0
+
+
+def _print_store_info(store) -> int:
+    info = store.info()
+    if info["shape"] is None:
+        print(f"store {info['path']} holds no data yet (codec policy "
+              f"{info['codec_policy']}, error bound {info['error_bound']:g})")
+        return 0
+    rows = [
+        ("shape", "x".join(str(s) for s in info["shape"])),
+        ("chunk shape", "x".join(str(s) for s in info["chunk_shape"])),
+        ("chunks", str(info["n_chunks"])),
+        ("codec policy", info["codec_policy"]),
+        ("error bound", f"{info['error_bound']:g}"),
+        ("compression ratio", f"{info['compression_ratio']:.3f}"),
+        ("compressed bytes", str(info["compressed_nbytes"])),
+        ("stored bytes (dedup)", str(info["stored_nbytes"])),
+        ("codec histogram", ", ".join(f"{k}:{v}" for k, v in sorted(info["codec_histogram"].items()))),
+    ]
+    if "estimate_rel_error_mean" in info:
+        rows.append(
+            (
+                "adaptive estimate rel. error",
+                f"mean {info['estimate_rel_error_mean']:.3f} "
+                f"max {info['estimate_rel_error_max']:.3f}",
+            )
+        )
+    if info["cache_counters"]:
+        counters = info["cache_counters"]
+        rows.append(
+            (
+                "chunk cache (last write)",
+                ", ".join(f"{k}:{v}" for k, v in sorted(counters.items())),
+            )
+        )
+    print(format_table(("quantity", "value"), rows))
+    return 0
+
+
+def _command_store_info(args: argparse.Namespace, ArrayStore) -> int:
+    return _print_store_info(ArrayStore.open(args.store))
+
+
+def _command_store_ls(args: argparse.Namespace, ArrayStore) -> int:
+    store = ArrayStore.open(args.store)
+    rows = []
+    for record in store.chunk_records():
+        est = f"{record.estimated_cr:.2f}" if np.isfinite(record.estimated_cr) else "-"
+        vrange = record.stats.get("variogram_range", float("nan"))
+        rows.append(
+            (
+                ",".join(str(i) for i in record.grid_index),
+                "x".join(str(s) for s in record.shape),
+                record.codec,
+                str(record.nbytes),
+                f"{record.compression_ratio:.2f}",
+                est,
+                f"{vrange:.2f}" if np.isfinite(vrange) else "-",
+            )
+        )
+    print(
+        format_table(
+            ("chunk", "shape", "codec", "bytes", "CR", "est CR", "vrange"), rows
+        )
+    )
+    return 0
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     registry = default_registry(gaussian_shape=(args.size, args.size))
     parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
@@ -327,6 +539,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _command_stats,
         "experiment": _command_experiment,
         "figure": _command_figure,
+        "store": _command_store,
     }
     return handlers[args.command](args)
 

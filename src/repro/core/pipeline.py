@@ -35,6 +35,7 @@ __all__ = [
     "ExperimentResult",
     "default_cache",
     "clear_default_cache",
+    "memoized_map",
     "run_experiment",
     "run_experiment_on_fields",
     "records_to_table",
@@ -45,12 +46,22 @@ class ExperimentCache:
     """LRU memo of per-field measurement results.
 
     Keys combine the dataset name, field label, a SHA-1 of the field's raw
-    bytes (plus shape/dtype) and the repr of the frozen
+    bytes (plus ndim/shape/dtype) and the repr of the frozen
     :class:`~repro.core.experiment.ExperimentConfig`, so a hit is only
     possible for a byte-identical field measured under an identical sweep
-    configuration.  Values are the tuples of records produced by
+    configuration.  Every key component is length-prefixed before hashing,
+    which makes the key injective in its parts: two entries can only
+    collide if every component matches, never because adjacent components
+    happen to concatenate identically.  In particular a 2D field and a 3D
+    volume with the same raw bytes (e.g. a ``(64, 64)`` plane and a
+    ``(16, 16, 16)`` cube of zeros) always key differently.
+
+    Values are the tuples of records produced by
     :func:`repro.core.experiment.measure_field` (frozen dataclasses, safe
-    to share between callers).
+    to share between callers).  ``hits`` / ``misses`` / ``evictions``
+    count lookups that were served, lookups that were not, and entries
+    dropped by the LRU bound; :meth:`counters` snapshots all three for the
+    pipelines that report cache effectiveness.
     """
 
     def __init__(self, max_entries: int = 512) -> None:
@@ -60,15 +71,28 @@ class ExperimentCache:
         self._entries: "OrderedDict[str, Tuple[CompressionRecord, ...]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key(
         dataset: str, label: str, field: np.ndarray, config: ExperimentConfig
     ) -> str:
         field = np.ascontiguousarray(field)
-        digest = hashlib.sha1(field.tobytes())
-        digest.update(repr((field.shape, str(field.dtype), dataset, label)).encode())
-        digest.update(repr(config).encode())
+        digest = hashlib.sha1()
+        parts = (
+            str(field.ndim),
+            repr(field.shape),
+            str(field.dtype),
+            str(dataset),
+            str(label),
+            repr(config),
+        )
+        for part in parts:
+            raw = part.encode()
+            digest.update(len(raw).to_bytes(8, "little"))
+            digest.update(raw)
+        digest.update(field.nbytes.to_bytes(8, "little"))
+        digest.update(field.tobytes())
         return digest.hexdigest()
 
     def get(self, key: str) -> Optional[Tuple[CompressionRecord, ...]]:
@@ -85,14 +109,83 @@ class ExperimentCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the hit/miss/eviction counters plus current size."""
+
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def memoized_map(items, key_fn, compute_many, cache: Optional[ExperimentCache]):
+    """Bulk map through an :class:`ExperimentCache`, with in-call dedup.
+
+    The shared memoization protocol of the tiled volume pipeline and the
+    chunked array store: every item is keyed (``key_fn(item) -> str``),
+    served from ``cache`` on a hit, and computed otherwise —
+    ``compute_many(pending_items)`` returns results aligned with its
+    argument, so the caller decides how the batch runs (e.g. a process
+    pool).  Items repeating a key *within the call* are computed once and
+    resolved from the in-call owner, not the cache: LRU eviction may
+    already have dropped the owner's entry when the call finishes.
+
+    Returns ``(results, counters)``; ``counters`` is ``None`` when
+    ``cache`` is ``None``, and the per-call hit/miss/eviction deltas plus
+    the in-call duplicate count otherwise.  Cached values are wrapped in
+    1-tuples.
+    """
+
+    if cache is None:
+        fresh = compute_many(list(items))
+        return list(fresh), None
+
+    counters_before = cache.counters()
+    keys = [key_fn(item) for item in items]
+    results = [None] * len(keys)
+    first_with_key: Dict[str, int] = {}
+    duplicates: List[int] = []
+    pending: List[int] = []
+    for idx, key in enumerate(keys):
+        if key in first_with_key:
+            # An earlier item of this very call owns the key; the cache
+            # cannot have it yet, so skip the (counted) lookup.
+            duplicates.append(idx)
+            continue
+        hit = cache.get(key)
+        if hit is not None:
+            results[idx] = hit[0]
+        else:
+            first_with_key[key] = idx
+            pending.append(idx)
+    if pending:
+        fresh = compute_many([items[idx] for idx in pending])
+        for idx, value in zip(pending, fresh):
+            results[idx] = value
+            cache.put(keys[idx], (value,))
+    for idx in duplicates:
+        results[idx] = results[first_with_key[keys[idx]]]
+
+    after = cache.counters()
+    counters = {
+        name: after[name] - counters_before[name]
+        for name in ("hits", "misses", "evictions")
+    }
+    counters["in_call_duplicates"] = len(duplicates)
+    return results, counters
 
 
 _DEFAULT_CACHE = ExperimentCache()

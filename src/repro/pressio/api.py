@@ -18,7 +18,7 @@ from repro.compressors.base import CompressedField, Compressor
 from repro.compressors.registry import available_compressors, make_compressor
 from repro.pressio.metrics import CompressionMetrics, evaluate_metrics
 from repro.pressio.options import CompressorOptions
-from repro.utils.validation import ensure_2d
+from repro.utils.validation import ensure_ndim
 
 __all__ = ["PressioCompressor", "compress_and_measure"]
 
@@ -51,9 +51,14 @@ class PressioCompressor:
         return make_compressor(self.compressor_id, bound, **self.options.extra)
 
     def compress(self, field: np.ndarray) -> Tuple[CompressedField, CompressionMetrics]:
-        """Compress ``field`` and evaluate the standard metric set."""
+        """Compress a 2D or 3D ``field`` and evaluate the standard metric set.
 
-        field = ensure_2d(field, "field")
+        The registry compressors are dimension-general, so the facade
+        accepts volumes as well as planes; the chunked array store drives
+        its per-chunk codecs through this path.
+        """
+
+        field = ensure_ndim(field, (2, 3), "field")
         compressor = self._instantiate(field)
         compressed = compressor.compress(field)
         metrics = evaluate_metrics(field, compressed)

@@ -36,6 +36,8 @@ __all__ = [
     "anisotropy_ratio",
     "empirical_variogram_3d",
     "estimate_variogram_range_3d",
+    "local_variogram_ranges_3d",
+    "std_local_variogram_range_3d",
 ]
 
 
@@ -160,3 +162,68 @@ def estimate_variogram_range_3d(
 
     variogram = empirical_variogram_3d(volume, config=config)
     return fit_variogram(variogram, model=model).range
+
+
+def local_variogram_ranges_3d(
+    volume: np.ndarray,
+    window: int = 32,
+    *,
+    model: str = "gaussian",
+    config: Optional[VariogramConfig] = None,
+):
+    """Variogram range inside every complete ``window^3`` cube of a volume.
+
+    The volumetric analogue of :func:`repro.stats.local.local_variogram_ranges`
+    (the paper's Fig. 7 windowed analysis, H = 32): the volume is tiled
+    into non-overlapping complete ``window^3`` cubes and the 3D variogram
+    range is fitted inside each.  Degenerate (numerically constant) or
+    unfittable windows yield NaN and are excluded from the summary
+    statistics.  Returns a
+    :class:`repro.stats.local.LocalVariogramResult` whose ``ranges``
+    array is 3D (one entry per window-grid cell).
+    """
+
+    from repro.stats.local import LocalVariogramResult
+    from repro.utils.blocking import window_starts
+
+    volume = np.asarray(volume, dtype=np.float64)
+    if volume.ndim != 3:
+        raise ValueError(f"volume must be 3D, got shape {volume.shape}")
+    ensure_positive(window, "window")
+    grid = tuple(length // window for length in volume.shape)
+    if min(grid) == 0:
+        raise ValueError(
+            f"volume shape {volume.shape} has no complete {window}^3 windows"
+        )
+    if config is None:
+        # Same convention as the 2D local statistic: half-window max lag
+        # keeps enough pairs per bin for a stable fit in small windows.
+        config = VariogramConfig(max_lag=window / 2.0, bin_width=1.0)
+
+    starts = [window_starts(length, window) for length in volume.shape]
+    ranges = np.full(grid, np.nan)
+    for wi, i in enumerate(starts[0]):
+        for wj, j in enumerate(starts[1]):
+            for wk, k in enumerate(starts[2]):
+                cube = volume[i : i + window, j : j + window, k : k + window]
+                if float(cube.std()) < 1e-15:
+                    continue
+                try:
+                    ranges[wi, wj, wk] = estimate_variogram_range_3d(
+                        cube, model=model, config=config
+                    )
+                except (ValueError, RuntimeError):
+                    continue
+    return LocalVariogramResult(window=window, ranges=ranges)
+
+
+def std_local_variogram_range_3d(
+    volume: np.ndarray,
+    window: int = 32,
+    *,
+    model: str = "gaussian",
+    config: Optional[VariogramConfig] = None,
+) -> float:
+    """Std of the windowed 3D variogram ranges (Fig. 7's statistic for volumes)."""
+
+    return local_variogram_ranges_3d(volume, window, model=model, config=config).std

@@ -1,0 +1,73 @@
+"""Chunked compressed array store (zarr-style persistence layer).
+
+The rest of the repository measures compression in one-shot experiments:
+compress a field, record the ratio, throw the bytes away.  This package
+keeps the bytes — an N-d float array is sharded into fixed-size chunks,
+each chunk is compressed independently with any registry codec, and the
+result is persisted as a small directory:
+
+```
+store/
+  meta.json    # shape, dtype, chunk shape, bound, policy, per-chunk stats
+  index.bin    # binary chunk index: offset / length / codec / checksum
+  chunks.bin   # concatenated compressed chunk payloads
+```
+
+Random-access partial reads decode **only** the chunks intersecting the
+requested region, and the per-chunk codec can be chosen adaptively by the
+paper's statistics (block-sampling CR estimation), turning the selection
+loop of :mod:`repro.baselines.adaptive_selection` into infrastructure.
+
+Public API: :class:`ArrayStore` (create / open / write / read / append /
+info), the codec policies (:func:`fixed`, :func:`adaptive`, :func:`best`,
+:func:`make_policy`) and the index format helpers in
+:mod:`repro.store.format`.
+"""
+
+from repro.store.array_store import (
+    ArrayStore,
+    ChunkRecord,
+    ReadReport,
+    default_store_cache,
+)
+from repro.store.format import (
+    INDEX_VERSION,
+    IndexRecord,
+    StoreCorruptionError,
+    StoreFormatError,
+    pack_index,
+    unpack_index,
+)
+from repro.store.policy import (
+    AdaptivePolicy,
+    BestPolicy,
+    CodecChoice,
+    CodecPolicy,
+    FixedPolicy,
+    adaptive,
+    best,
+    fixed,
+    make_policy,
+)
+
+__all__ = [
+    "ArrayStore",
+    "ChunkRecord",
+    "ReadReport",
+    "default_store_cache",
+    "IndexRecord",
+    "INDEX_VERSION",
+    "StoreFormatError",
+    "StoreCorruptionError",
+    "pack_index",
+    "unpack_index",
+    "CodecPolicy",
+    "CodecChoice",
+    "FixedPolicy",
+    "AdaptivePolicy",
+    "BestPolicy",
+    "fixed",
+    "adaptive",
+    "best",
+    "make_policy",
+]

@@ -1,0 +1,917 @@
+"""The chunked compressed array store.
+
+An :class:`ArrayStore` persists one N-d float array (2D plane or 3D
+volume) as a directory of three files — ``meta.json``, ``index.bin`` and
+``chunks.bin`` (see :mod:`repro.store.format` for the binary layout).
+The array is sharded into fixed-size chunks on a grid anchored at the
+origin (``128^2`` for planes, ``64^3`` for volumes by default; edge
+chunks are smaller), and every chunk is compressed independently through
+the pressio facade (:class:`repro.pressio.api.PressioCompressor`) with
+the codec its policy selects.
+
+Design points:
+
+* **Random-access partial reads** — :meth:`ArrayStore.read` decodes only
+  the chunks intersecting the requested region and assembles the
+  subarray; :attr:`ArrayStore.last_read` reports exactly how many chunk
+  payloads were decoded (the partial-read benchmark asserts on it).
+* **Content dedup** — chunk compression results are memoized in the
+  shared :class:`~repro.core.pipeline.ExperimentCache` (keyed by chunk
+  bytes + shape + policy configuration), and byte-identical payloads are
+  stored once in ``chunks.bin`` with index records sharing the byte
+  range.  Payload SHA-1s are persisted in ``meta.json`` so appends dedup
+  against existing chunks too.
+* **Adaptive codec selection** — with the ``adaptive`` policy each
+  chunk records the estimator's per-candidate CR estimates next to the
+  realised CR, so a written store doubles as an estimated-vs-actual
+  evaluation corpus (:meth:`ArrayStore.info` summarises the estimate
+  error).
+* **Append** — :meth:`ArrayStore.append` grows the array along axis 0.
+  When the current extent is not chunk-aligned the trailing partial
+  chunks are re-compressed from their decoded content plus the new data;
+  their old payloads stay as unreferenced bytes in ``chunks.bin`` (a
+  compaction pass would reclaim them — deliberate, append stays O(new
+  data)).
+
+Integrity: every payload read is CRC-checked against the index record;
+truncated files, bad magic and checksum mismatches raise
+:class:`~repro.store.format.StoreCorruptionError` /
+:class:`~repro.store.format.StoreFormatError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import zlib
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.compressors.base import CompressedField
+from repro.core.pipeline import ExperimentCache, memoized_map
+from repro.pressio.api import PressioCompressor
+from repro.pressio.options import CompressorOptions
+from repro.store.format import (
+    IndexRecord,
+    StoreCorruptionError,
+    StoreFormatError,
+    pack_index,
+    unpack_index,
+)
+from repro.store.policy import CodecPolicy, make_policy
+from repro.utils.blocking import grid_offsets
+from repro.utils.parallel import ParallelConfig, parallel_map
+from repro.utils.validation import ensure_positive
+
+__all__ = [
+    "ArrayStore",
+    "ChunkRecord",
+    "ReadReport",
+    "default_store_cache",
+    "DEFAULT_CHUNK_EDGES",
+]
+
+META_NAME = "meta.json"
+INDEX_NAME = "index.bin"
+DATA_NAME = "chunks.bin"
+META_FORMAT = "repro-store"
+META_VERSION = 1
+
+#: Default chunk edge per dimensionality (the ISSUE's 128^2 / 64^3).
+DEFAULT_CHUNK_EDGES = {2: 128, 3: 64}
+
+_STORE_CACHE = ExperimentCache(max_entries=256)
+
+
+def default_store_cache() -> ExperimentCache:
+    """The process-wide chunk-compression memo used when none is passed."""
+
+    return _STORE_CACHE
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Merged per-chunk view: index entry + recorded statistics."""
+
+    grid_index: Tuple[int, ...]
+    offset: Tuple[int, ...]
+    shape: Tuple[int, ...]
+    codec: str
+    nbytes: int
+    compression_ratio: float
+    estimated_cr: float
+    stats: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class ReadReport:
+    """What one :meth:`ArrayStore.read` call actually did."""
+
+    region: Tuple[Tuple[int, int], ...]
+    chunks_total: int
+    chunks_intersecting: int
+    chunks_decoded: int
+
+
+@dataclass(frozen=True)
+class _ChunkResult:
+    """Worker output for one compressed chunk (cached and persisted)."""
+
+    codec: str
+    payload: bytes
+    compression_ratio: float
+    estimated_cr: float
+    estimated_crs: Dict[str, float]
+    stats: Dict[str, float]
+
+
+def _chunk_statistics(chunk: np.ndarray) -> Dict[str, float]:
+    """Cheap moments plus the chunk's (2D or 3D) variogram range.
+
+    Each chunk is one window of the paper's windowed analysis, so the
+    per-chunk variogram range is the store-scale version of the local
+    correlation statistics (Fig. 7); NaN where the fit is impossible
+    (constant or too-small chunks).
+    """
+
+    stats = {
+        "mean": float(chunk.mean()),
+        "std": float(chunk.std()),
+        "variogram_range": float("nan"),
+    }
+    if float(chunk.std()) > 1e-15 and min(chunk.shape) >= 8:
+        try:
+            if chunk.ndim == 2:
+                from repro.stats.variogram_models import estimate_variogram_range
+
+                stats["variogram_range"] = float(estimate_variogram_range(chunk))
+            else:
+                from repro.stats.variogram3d import estimate_variogram_range_3d
+
+                stats["variogram_range"] = float(estimate_variogram_range_3d(chunk))
+        except (ValueError, RuntimeError):
+            pass
+    return stats
+
+
+#: Codec tag of chunks stored as exact little-endian float64 bytes (used
+#: when a rewritten chunk cannot reproduce its previously-stored rows
+#: exactly — see :meth:`ArrayStore.append`).
+RAW_CODEC = "raw"
+
+
+def _raw_result(chunk: np.ndarray, with_stats: bool) -> _ChunkResult:
+    """Exact (uncompressed) chunk result."""
+
+    payload = np.ascontiguousarray(chunk, dtype="<f8").tobytes()
+    stats = _chunk_statistics(chunk) if with_stats else {}
+    stats["max_abs_error"] = 0.0
+    return _ChunkResult(
+        codec=RAW_CODEC,
+        payload=payload,
+        compression_ratio=1.0,
+        estimated_cr=float("nan"),
+        estimated_crs={},
+        stats=stats,
+    )
+
+
+def _compress_chunk(task) -> _ChunkResult:
+    """Top-level worker so chunk jobs pickle for process pools.
+
+    ``exact_rows`` marks leading axis-0 rows that hold previously-stored
+    (already once-lossy) data: the chosen codec's reconstruction must
+    reproduce them bit-for-bit, otherwise the chunk falls back to the
+    exact raw codec — the store's error bound is relative to the data as
+    first written, and a second lossy pass over those rows would let the
+    error drift up to twice the bound.
+    """
+
+    chunk, error_bound, policy, options, with_stats, exact_rows = task
+    choice = policy.choose(chunk, error_bound)
+    best_name = None
+    best_compressed = None
+    best_metrics = None
+    for name in choice.candidates:
+        codec = PressioCompressor(
+            name,
+            CompressorOptions(error_bound=error_bound, extra=dict(options.get(name, {}))),
+        )
+        compressed, metrics = codec.compress(chunk)
+        if (
+            best_compressed is None
+            or compressed.compressed_nbytes < best_compressed.compressed_nbytes
+        ):
+            best_name, best_compressed, best_metrics = name, compressed, metrics
+    if exact_rows:
+        reconstruction = best_compressed.reconstruction
+        if reconstruction is None or not np.array_equal(
+            reconstruction[:exact_rows], chunk[:exact_rows]
+        ):
+            return _raw_result(chunk, with_stats)
+    stats = _chunk_statistics(chunk) if with_stats else {}
+    stats["max_abs_error"] = float(best_metrics.max_abs_error)
+    return _ChunkResult(
+        codec=best_name,
+        payload=best_compressed.data,
+        compression_ratio=float(best_metrics.compression_ratio),
+        estimated_cr=float(choice.estimated_crs.get(best_name, float("nan"))),
+        estimated_crs={k: float(v) for k, v in choice.estimated_crs.items()},
+        stats=stats,
+    )
+
+
+def _json_sanitize(obj):
+    """Replace non-finite floats with ``null`` so ``meta.json`` stays
+    strictly valid JSON (bare ``NaN`` tokens are a Python extension that
+    jq / JavaScript / strict parsers reject)."""
+
+    if isinstance(obj, dict):
+        return {key: _json_sanitize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_sanitize(value) for value in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    return obj
+
+
+def _meta_float(value) -> float:
+    """Read back a sanitized float (``null`` round-trips to NaN)."""
+
+    return float("nan") if value is None else float(value)
+
+
+def _normalize_chunk_shape(
+    chunk_shape: Union[int, Sequence[int], None], ndim: int
+) -> Tuple[int, ...]:
+    if chunk_shape is None:
+        if ndim not in DEFAULT_CHUNK_EDGES:
+            raise ValueError(f"no default chunk shape for {ndim}D arrays")
+        return (DEFAULT_CHUNK_EDGES[ndim],) * ndim
+    if np.isscalar(chunk_shape):
+        shape = (int(chunk_shape),) * ndim
+    else:
+        shape = tuple(int(c) for c in chunk_shape)
+    if len(shape) != ndim:
+        raise ValueError(
+            f"chunk_shape {shape} does not match array dimensionality {ndim}"
+        )
+    for edge in shape:
+        ensure_positive(edge, "chunk edge")
+    return shape
+
+
+class ArrayStore:
+    """A persistent chunked compressed N-d float array.
+
+    Create with :meth:`create` (configuration only; :meth:`write` or
+    :meth:`append` supplies data) and reattach with :meth:`open`.
+    """
+
+    def __init__(self, path: str, meta: Dict, index: List[IndexRecord]) -> None:
+        self.path = str(path)
+        self._meta = meta
+        self._index = index
+        # Policy object when this instance created it (keeps non-spec
+        # attributes like a custom AdaptivePolicy seed); opened stores
+        # rebuild from the persisted spec.
+        self._policy: Optional[CodecPolicy] = None
+        #: Report of the most recent :meth:`read` call (None before any).
+        self.last_read: Optional[ReadReport] = None
+        #: Cache-counter deltas of the most recent write/append call.
+        self.last_write_cache_counters: Optional[Dict[str, int]] = None
+        #: Cumulative chunk payload decodes performed by this instance.
+        self.chunks_decoded_total = 0
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        *,
+        chunk_shape: Union[int, Sequence[int], None] = None,
+        error_bound: float = 1e-3,
+        codec: Union[str, CodecPolicy] = "sz",
+        compressor_options: Optional[Dict[str, Dict]] = None,
+        chunk_stats: bool = True,
+        overwrite: bool = False,
+    ) -> "ArrayStore":
+        """Create an empty store directory holding only its configuration.
+
+        ``codec`` is a policy spec (``"sz"``, ``"adaptive"``, ``"best"``,
+        …) or a :class:`~repro.store.policy.CodecPolicy`;
+        ``compressor_options`` maps codec names to extra factory kwargs.
+        ``chunk_shape`` may be an int (cubic chunks), a full tuple, or
+        None for the per-ndim default (128^2 / 64^3) resolved at first
+        write.
+        """
+
+        ensure_positive(error_bound, "error_bound")
+        policy = make_policy(codec)
+        if os.path.exists(path):
+            entries = os.listdir(path) if os.path.isdir(path) else None
+            if entries is None:
+                raise StoreFormatError(f"store path {path!r} exists and is not a directory")
+            if entries and not overwrite:
+                raise StoreFormatError(
+                    f"store path {path!r} is not empty (pass overwrite=True to replace)"
+                )
+        os.makedirs(path, exist_ok=True)
+        if chunk_shape is not None and not np.isscalar(chunk_shape):
+            chunk_shape = tuple(int(c) for c in chunk_shape)
+        elif chunk_shape is not None:
+            chunk_shape = int(chunk_shape)
+        meta = {
+            "format": META_FORMAT,
+            "format_version": META_VERSION,
+            "shape": None,
+            "dtype": "float64",
+            "chunk_shape": chunk_shape,
+            "error_bound": float(error_bound),
+            "codec": policy.spec,
+            "compressor_options": {
+                str(k): dict(v) for k, v in (compressor_options or {}).items()
+            },
+            "chunk_stats": bool(chunk_stats),
+            "chunks": [],
+        }
+        store = cls(path, meta, [])
+        store._policy = policy
+        store._flush(data=b"", truncate=True)
+        return store
+
+    @classmethod
+    def open(cls, path: str) -> "ArrayStore":
+        """Attach to an existing store directory, validating its metadata."""
+
+        meta_path = os.path.join(path, META_NAME)
+        if not os.path.isfile(meta_path):
+            raise StoreFormatError(f"{path!r} is not a store (missing {META_NAME})")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            try:
+                meta = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StoreFormatError(f"corrupt {META_NAME}: {exc}") from exc
+        if meta.get("format") != META_FORMAT:
+            raise StoreFormatError(f"not a {META_FORMAT} store: {meta.get('format')!r}")
+        if meta.get("format_version") != META_VERSION:
+            raise StoreFormatError(
+                f"unsupported store version {meta.get('format_version')!r}"
+            )
+        index_path = os.path.join(path, INDEX_NAME)
+        with open(index_path, "rb") as handle:
+            index = unpack_index(handle.read())
+        if len(index) != len(meta.get("chunks", [])):
+            raise StoreCorruptionError(
+                f"index has {len(index)} records but meta lists "
+                f"{len(meta.get('chunks', []))} chunks"
+            )
+        if meta["shape"] is not None:
+            expected = len(
+                grid_offsets(tuple(meta["shape"]), tuple(meta["chunk_shape"]))
+            )
+            if len(index) != expected:
+                raise StoreCorruptionError(
+                    f"index has {len(index)} records but the chunk grid of shape "
+                    f"{tuple(meta['shape'])} needs {expected}"
+                )
+        return cls(path, meta, index)
+
+    # -- basic properties ----------------------------------------------
+    @property
+    def shape(self) -> Optional[Tuple[int, ...]]:
+        return tuple(self._meta["shape"]) if self._meta["shape"] is not None else None
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self._meta["dtype"])
+
+    @property
+    def chunk_shape(self) -> Optional[Tuple[int, ...]]:
+        chunk = self._meta["chunk_shape"]
+        if chunk is None:
+            return None
+        if np.isscalar(chunk):
+            return None  # unresolved scalar: fixed at first write
+        return tuple(chunk)
+
+    @property
+    def error_bound(self) -> float:
+        return float(self._meta["error_bound"])
+
+    @property
+    def codec_policy(self) -> str:
+        return str(self._meta["codec"])
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._index)
+
+    @property
+    def original_nbytes(self) -> int:
+        shape = self.shape
+        if shape is None:
+            return 0
+        return int(np.prod(shape)) * self.dtype.itemsize
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Logical compressed size: sum of the per-chunk payload lengths."""
+
+        return sum(record.length for record in self._index)
+
+    @property
+    def stored_nbytes(self) -> int:
+        """Bytes actually referenced in ``chunks.bin`` (dedup collapses)."""
+
+        return sum(
+            length
+            for (offset, length) in {(r.offset, r.length) for r in self._index}
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        compressed = self.compressed_nbytes
+        return self.original_nbytes / compressed if compressed else float("inf")
+
+    # -- write / append -------------------------------------------------
+    def _config_key(self) -> str:
+        options = self._meta["compressor_options"]
+        return (
+            f"{self.codec_policy}:{self.error_bound!r}:"
+            f"{sorted((k, sorted(v.items())) for k, v in options.items())!r}:"
+            f"stats={self._meta['chunk_stats']}"
+        )
+
+    def _compress_chunks(
+        self,
+        chunks: List[np.ndarray],
+        parallel: Optional[ParallelConfig],
+        cache: Union[ExperimentCache, bool, None],
+        exact_rows: Optional[List[int]] = None,
+    ) -> List[_ChunkResult]:
+        """Compress chunk arrays with memoization + in-call dedup.
+
+        The shared :func:`repro.core.pipeline.memoized_map` protocol, as
+        in :func:`repro.volumes.pipeline.compress_volume`: ``None`` /
+        ``True`` selects the process-wide store cache, ``False`` disables
+        memoization.
+        """
+
+        if cache is None or cache is True:
+            cache = _STORE_CACHE
+        elif cache is False:
+            cache = None
+        policy = self._policy if self._policy is not None else make_policy(self.codec_policy)
+        options = {k: dict(v) for k, v in self._meta["compressor_options"].items()}
+        with_stats = bool(self._meta["chunk_stats"])
+        config_key = self._config_key()
+        if exact_rows is None:
+            exact_rows = [0] * len(chunks)
+        items = list(zip(chunks, exact_rows))
+
+        def key_fn(item) -> str:
+            chunk, rows = item
+            return ExperimentCache.key(
+                "store-chunk", f"{config_key}:exact={rows}", chunk, ""
+            )
+
+        def compute_many(pending) -> List[_ChunkResult]:
+            tasks = [
+                (chunk, self.error_bound, policy, options, with_stats, rows)
+                for chunk, rows in pending
+            ]
+            return parallel_map(_compress_chunk, tasks, parallel)
+
+        results, self.last_write_cache_counters = memoized_map(
+            items, key_fn, compute_many, cache
+        )
+        return results
+
+    def _check_array(self, array: np.ndarray) -> np.ndarray:
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim not in (2, 3):
+            raise ValueError(f"store arrays must be 2D or 3D, got shape {array.shape}")
+        if array.size == 0:
+            raise ValueError("store arrays must be non-empty")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("store arrays must be finite")
+        return array
+
+    def write(
+        self,
+        array: np.ndarray,
+        *,
+        parallel: Optional[ParallelConfig] = None,
+        cache: Union[ExperimentCache, bool, None] = None,
+    ) -> "ArrayStore":
+        """(Re)write the full array, replacing any existing content."""
+
+        array = self._check_array(array)
+        chunk_shape = _normalize_chunk_shape(self._meta["chunk_shape"], array.ndim)
+        offsets = grid_offsets(array.shape, chunk_shape)
+        chunks = [
+            np.ascontiguousarray(
+                array[tuple(slice(o, o + e) for o, e in zip(offset, chunk_shape))]
+            )
+            for offset in offsets
+        ]
+        results = self._compress_chunks(chunks, parallel, cache)
+
+        self._meta["shape"] = [int(s) for s in array.shape]
+        self._meta["chunk_shape"] = [int(c) for c in chunk_shape]
+        index, chunk_meta, data = self._layout_payloads(
+            offsets, chunks, results, base_offset=0, existing_digests={}
+        )
+        self._index = index
+        self._meta["chunks"] = chunk_meta
+        self._flush(data=data, truncate=True)
+        return self
+
+    def append(
+        self,
+        array: np.ndarray,
+        *,
+        parallel: Optional[ParallelConfig] = None,
+        cache: Union[ExperimentCache, bool, None] = None,
+    ) -> "ArrayStore":
+        """Grow the stored array along axis 0 by ``array``.
+
+        On an empty store this is :meth:`write`.  When the current extent
+        is not a multiple of the chunk edge, the trailing partial chunks
+        are decoded, merged with the new rows and re-compressed; their old
+        payloads become unreferenced bytes in ``chunks.bin``.
+
+        The store's error bound stays relative to the data as *first*
+        written: rewritten chunks must reproduce the decoded rows
+        bit-for-bit (codec blocks spanning the old/new seam usually
+        cannot), and fall back to the exact ``raw`` codec otherwise — so
+        repeated appends never let the error accumulate past the bound.
+        """
+
+        if self.shape is None:
+            return self.write(array, parallel=parallel, cache=cache)
+        array = self._check_array(array)
+        shape = self.shape
+        chunk_shape = self.chunk_shape
+        if array.ndim != len(shape) or tuple(array.shape[1:]) != shape[1:]:
+            raise ValueError(
+                f"append expects shape (*, {', '.join(str(s) for s in shape[1:])}), "
+                f"got {array.shape}"
+            )
+        edge0 = chunk_shape[0]
+        remainder = shape[0] % edge0
+        base_row = shape[0] - remainder
+        if remainder:
+            tail = self.read((slice(base_row, shape[0]),))
+            block = np.concatenate([tail, array], axis=0)
+            # Drop the trailing partial-slab records; C scan order puts
+            # them (and only them) at the end of the index.
+            n_keep = len(
+                grid_offsets((base_row,) + shape[1:], chunk_shape)
+            )
+            self._index = self._index[:n_keep]
+            self._meta["chunks"] = self._meta["chunks"][:n_keep]
+        else:
+            block = array
+
+        local_offsets = grid_offsets(block.shape, chunk_shape)
+        offsets = [(local[0] + base_row,) + tuple(local[1:]) for local in local_offsets]
+        chunks = [
+            np.ascontiguousarray(
+                block[tuple(slice(o, o + e) for o, e in zip(local, chunk_shape))]
+            )
+            for local in local_offsets
+        ]
+        # Chunks of the first slab carry `remainder` previously-stored
+        # (already once-lossy) rows that must reproduce exactly.
+        exact_rows = [remainder if local[0] == 0 else 0 for local in local_offsets]
+        results = self._compress_chunks(chunks, parallel, cache, exact_rows=exact_rows)
+
+        data_path = os.path.join(self.path, DATA_NAME)
+        base_offset = os.path.getsize(data_path) if os.path.exists(data_path) else 0
+        existing_digests = {
+            entry["payload_sha1"]: (record.offset, record.length)
+            for entry, record in zip(self._meta["chunks"], self._index)
+            if "payload_sha1" in entry
+        }
+        index, chunk_meta, data = self._layout_payloads(
+            offsets,
+            chunks,
+            results,
+            base_offset=base_offset,
+            existing_digests=existing_digests,
+        )
+        self._index.extend(index)
+        self._meta["chunks"].extend(chunk_meta)
+        self._meta["shape"][0] = int(shape[0] + array.shape[0])
+        self._flush(data=data, truncate=False)
+        return self
+
+    def _layout_payloads(
+        self,
+        offsets: List[Tuple[int, ...]],
+        chunks: List[np.ndarray],
+        results: List[_ChunkResult],
+        *,
+        base_offset: int,
+        existing_digests: Dict[str, Tuple[int, int]],
+    ):
+        """Lay compressed payloads into a byte stream with content dedup."""
+
+        digests = dict(existing_digests)
+        data = bytearray()
+        index: List[IndexRecord] = []
+        chunk_meta: List[Dict] = []
+        for offset, chunk, result in zip(offsets, chunks, results):
+            digest = hashlib.sha1(result.payload).hexdigest()
+            if digest in digests:
+                payload_offset, payload_length = digests[digest]
+            else:
+                payload_offset = base_offset + len(data)
+                payload_length = len(result.payload)
+                data.extend(result.payload)
+                digests[digest] = (payload_offset, payload_length)
+            index.append(
+                IndexRecord(
+                    offset=payload_offset,
+                    length=payload_length,
+                    codec=result.codec,
+                    checksum=zlib.crc32(result.payload),
+                )
+            )
+            entry = {
+                "offset": [int(o) for o in offset],
+                "shape": [int(s) for s in chunk.shape],
+                "codec": result.codec,
+                "nbytes": payload_length,
+                "cr": result.compression_ratio,
+                "payload_sha1": digest,
+                "stats": result.stats,
+            }
+            if result.estimated_crs:
+                entry["estimated_cr"] = result.estimated_cr
+                entry["estimated_crs"] = result.estimated_crs
+            chunk_meta.append(entry)
+        return index, chunk_meta, bytes(data)
+
+    def _flush(self, *, data: bytes, truncate: bool) -> None:
+        """Persist index + meta (atomically) and data (truncate or append)."""
+
+        data_path = os.path.join(self.path, DATA_NAME)
+        with open(data_path, "wb" if truncate else "ab") as handle:
+            handle.write(data)
+        for name, payload in (
+            (INDEX_NAME, pack_index(self._index)),
+            (
+                META_NAME,
+                json.dumps(
+                    _json_sanitize(self._meta), indent=1, allow_nan=False
+                ).encode("utf-8"),
+            ),
+        ):
+            target = os.path.join(self.path, name)
+            tmp = target + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, target)
+
+    # -- read ------------------------------------------------------------
+    def _normalize_region(
+        self, region
+    ) -> Tuple[List[Tuple[int, int]], List[int]]:
+        """Region → per-axis (start, stop) plus the axes to drop (ints)."""
+
+        shape = self.shape
+        if region is None:
+            region = ()
+        if not isinstance(region, tuple):
+            region = (region,)
+        if len(region) > len(shape):
+            raise ValueError(
+                f"region has {len(region)} axes but the array is {len(shape)}D"
+            )
+        bounds: List[Tuple[int, int]] = []
+        drop_axes: List[int] = []
+        for axis, length in enumerate(shape):
+            if axis >= len(region):
+                bounds.append((0, length))
+                continue
+            spec = region[axis]
+            if isinstance(spec, (int, np.integer)):
+                idx = int(spec)
+                if idx < 0:
+                    idx += length
+                if not 0 <= idx < length:
+                    raise IndexError(
+                        f"index {spec} out of bounds for axis {axis} of length {length}"
+                    )
+                bounds.append((idx, idx + 1))
+                drop_axes.append(axis)
+            elif isinstance(spec, slice):
+                if spec.step not in (None, 1):
+                    raise ValueError("store reads support step-1 slices only")
+                start, stop, _ = spec.indices(length)
+                if stop <= start:
+                    raise ValueError(
+                        f"empty region on axis {axis}: {spec!r} over length {length}"
+                    )
+                bounds.append((start, stop))
+            else:
+                raise TypeError(
+                    f"region entries must be int or slice, got {type(spec).__name__}"
+                )
+        return bounds, drop_axes
+
+    def read(self, region=None) -> np.ndarray:
+        """Read a subarray, decoding only the chunks the region intersects.
+
+        ``region`` follows NumPy basic indexing restricted to step-1
+        slices and integers (integers drop their axis); ``None`` reads
+        the full array.  :attr:`last_read` records how many chunks were
+        visited and how many payload decodes were actually performed
+        (shared payloads decode once).
+        """
+
+        if self.shape is None:
+            raise StoreFormatError("store holds no data yet (write an array first)")
+        bounds, drop_axes = self._normalize_region(region)
+        shape = self.shape
+        chunk_shape = self.chunk_shape
+        grid = tuple(-(-s // e) for s, e in zip(shape, chunk_shape))
+
+        out = np.empty(
+            tuple(stop - start for start, stop in bounds), dtype=self.dtype
+        )
+        chunk_ranges = [
+            range(start // edge, -(-stop // edge))
+            for (start, stop), edge in zip(bounds, chunk_shape)
+        ]
+        grid_strides = []
+        stride = 1
+        for count in reversed(grid):
+            grid_strides.append(stride)
+            stride *= count
+        grid_strides = list(reversed(grid_strides))
+
+        decoded: Dict[Tuple[int, int, str, Tuple[int, ...]], np.ndarray] = {}
+        decodes = 0
+        visited = 0
+        data_path = os.path.join(self.path, DATA_NAME)
+        with open(data_path, "rb") as handle:
+            # Same C scan order as grid_offsets — the linear index into
+            # self._index depends on it.
+            grid_indices = list(product(*chunk_ranges))
+            for grid_index in grid_indices:
+                visited += 1
+                linear = sum(i * s for i, s in zip(grid_index, grid_strides))
+                record = self._index[linear]
+                chunk_offset = tuple(
+                    i * e for i, e in zip(grid_index, chunk_shape)
+                )
+                chunk_extent = tuple(
+                    min(e, s - o)
+                    for e, s, o in zip(chunk_shape, shape, chunk_offset)
+                )
+                key = (record.offset, record.length, record.codec, chunk_extent)
+                values = decoded.get(key)
+                if values is None:
+                    values = self._decode_chunk(handle, record, chunk_extent)
+                    decoded[key] = values
+                    decodes += 1
+                # Intersection of the chunk box with the requested region,
+                # in chunk-local and output coordinates.
+                src = []
+                dst = []
+                for (start, stop), o, extent in zip(bounds, chunk_offset, chunk_extent):
+                    lo = max(start, o)
+                    hi = min(stop, o + extent)
+                    src.append(slice(lo - o, hi - o))
+                    dst.append(slice(lo - start, hi - start))
+                out[tuple(dst)] = values[tuple(src)]
+
+        self.last_read = ReadReport(
+            region=tuple(bounds),
+            chunks_total=len(self._index),
+            chunks_intersecting=len(grid_indices),
+            chunks_decoded=decodes,
+        )
+        self.chunks_decoded_total += decodes
+        if drop_axes:
+            out = out.reshape(
+                tuple(
+                    s
+                    for axis, s in enumerate(out.shape)
+                    if axis not in drop_axes
+                )
+            )
+        return out
+
+    def _decode_chunk(
+        self, handle, record: IndexRecord, chunk_extent: Tuple[int, ...]
+    ) -> np.ndarray:
+        handle.seek(record.offset)
+        payload = handle.read(record.length)
+        if len(payload) != record.length:
+            raise StoreCorruptionError(
+                f"truncated chunk payload: wanted {record.length} bytes at "
+                f"offset {record.offset}, got {len(payload)}"
+            )
+        if zlib.crc32(payload) != record.checksum:
+            raise StoreCorruptionError(
+                f"chunk checksum mismatch at offset {record.offset} "
+                f"(codec {record.codec})"
+            )
+        if record.codec == RAW_CODEC:
+            expected = int(np.prod(chunk_extent)) * 8
+            if len(payload) != expected:
+                raise StoreCorruptionError(
+                    f"raw chunk payload of {len(payload)} bytes, expected {expected}"
+                )
+            values = np.frombuffer(payload, dtype="<f8").reshape(chunk_extent)
+            return np.asarray(values, dtype=self.dtype)
+        options = self._meta["compressor_options"].get(record.codec, {})
+        codec = PressioCompressor(
+            record.codec,
+            CompressorOptions(error_bound=self.error_bound, extra=dict(options)),
+        )
+        compressed = CompressedField(
+            data=payload,
+            original_shape=chunk_extent,
+            original_dtype=self.dtype,
+            compressor=record.codec,
+            error_bound=self.error_bound,
+        )
+        values = codec.decompress(compressed)
+        if tuple(values.shape) != chunk_extent:
+            raise StoreCorruptionError(
+                f"chunk decoded to shape {values.shape}, expected {chunk_extent}"
+            )
+        return np.asarray(values, dtype=self.dtype)
+
+    # -- inspection ------------------------------------------------------
+    def chunk_records(self) -> List[ChunkRecord]:
+        """Per-chunk view merging the binary index with the recorded stats."""
+
+        records: List[ChunkRecord] = []
+        chunk_shape = self.chunk_shape
+        for entry, record in zip(self._meta["chunks"], self._index):
+            offset = tuple(entry["offset"])
+            grid_index = tuple(
+                o // e for o, e in zip(offset, chunk_shape)
+            )
+            records.append(
+                ChunkRecord(
+                    grid_index=grid_index,
+                    offset=offset,
+                    shape=tuple(entry["shape"]),
+                    codec=entry["codec"],
+                    nbytes=int(entry["nbytes"]),
+                    compression_ratio=_meta_float(entry["cr"]),
+                    estimated_cr=_meta_float(entry.get("estimated_cr")),
+                    stats={
+                        key: _meta_float(value)
+                        for key, value in entry.get("stats", {}).items()
+                    },
+                )
+            )
+        return records
+
+    def info(self) -> Dict:
+        """Store summary: layout, per-codec usage, CRs, estimate accuracy."""
+
+        records = self.chunk_records()
+        codec_histogram: Dict[str, int] = {}
+        for record in records:
+            codec_histogram[record.codec] = codec_histogram.get(record.codec, 0) + 1
+        estimate_errors = [
+            abs(r.estimated_cr - r.compression_ratio) / r.compression_ratio
+            for r in records
+            if np.isfinite(r.estimated_cr) and r.compression_ratio > 0
+        ]
+        info = {
+            "path": self.path,
+            "shape": self.shape,
+            "dtype": str(self.dtype),
+            "chunk_shape": self.chunk_shape,
+            "n_chunks": self.n_chunks,
+            "codec_policy": self.codec_policy,
+            "error_bound": self.error_bound,
+            "original_nbytes": self.original_nbytes,
+            "compressed_nbytes": self.compressed_nbytes,
+            "stored_nbytes": self.stored_nbytes,
+            "compression_ratio": self.compression_ratio,
+            "codec_histogram": codec_histogram,
+            "chunks": records,
+            "cache_counters": self.last_write_cache_counters,
+            "store_cache_counters": _STORE_CACHE.counters(),
+        }
+        if estimate_errors:
+            info["estimate_rel_error_mean"] = float(np.mean(estimate_errors))
+            info["estimate_rel_error_max"] = float(np.max(estimate_errors))
+        return info

@@ -1,0 +1,138 @@
+"""On-disk binary index format of the chunked array store.
+
+The index is the only binary metadata file of a store; everything else is
+JSON (``meta.json``) or raw compressed payloads (``chunks.bin``).  It maps
+every chunk — in C scan order over the chunk grid — to the byte range of
+its payload inside ``chunks.bin``, the codec that produced the payload and
+a CRC-32 of the payload bytes:
+
+```
+header  (16 bytes):  magic "RPST" | version u16 | flags u16 | n_chunks u64
+record  (32 bytes):  offset u64 | length u64 | codec char[8] | crc32 u32 | reserved u32
+```
+
+All integers are little-endian.  Codec names are ASCII, NUL-padded to 8
+bytes.  Deduplicated chunks (identical payload bytes) simply share an
+``(offset, length)`` range, so the format needs no separate dedup table.
+The layout is pinned by a golden file in the test-suite
+(``tests/store/data/index_golden.bin``); any change must bump
+``INDEX_VERSION`` and keep :func:`unpack_index` reading version 1.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = [
+    "INDEX_MAGIC",
+    "INDEX_VERSION",
+    "IndexRecord",
+    "StoreFormatError",
+    "StoreCorruptionError",
+    "pack_index",
+    "unpack_index",
+]
+
+INDEX_MAGIC = b"RPST"
+INDEX_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQ")
+_RECORD = struct.Struct("<QQ8sII")
+_CODEC_BYTES = 8
+
+
+class StoreFormatError(RuntimeError):
+    """Malformed store metadata (bad magic, version, sizes, codec names)."""
+
+
+class StoreCorruptionError(StoreFormatError):
+    """Store data that fails an integrity check (checksums, truncation)."""
+
+
+@dataclass(frozen=True)
+class IndexRecord:
+    """One chunk's entry in the binary index.
+
+    Attributes
+    ----------
+    offset, length:
+        Byte range of the chunk payload inside ``chunks.bin``.
+    codec:
+        Registry name of the codec that produced the payload.
+    checksum:
+        CRC-32 (:func:`zlib.crc32`) of the payload bytes.
+    """
+
+    offset: int
+    length: int
+    codec: str
+    checksum: int
+
+
+def _encode_codec(codec: str) -> bytes:
+    raw = codec.encode("ascii")
+    if not raw or len(raw) > _CODEC_BYTES:
+        raise StoreFormatError(
+            f"codec name {codec!r} must be 1..{_CODEC_BYTES} ASCII bytes"
+        )
+    return raw.ljust(_CODEC_BYTES, b"\0")
+
+
+def pack_index(records: Sequence[IndexRecord]) -> bytes:
+    """Serialise the chunk index (header + one record per chunk)."""
+
+    out = bytearray(_HEADER.pack(INDEX_MAGIC, INDEX_VERSION, 0, len(records)))
+    for record in records:
+        if record.offset < 0 or record.length < 0:
+            raise StoreFormatError(
+                f"negative offset/length in index record {record!r}"
+            )
+        out.extend(
+            _RECORD.pack(
+                int(record.offset),
+                int(record.length),
+                _encode_codec(record.codec),
+                int(record.checksum) & 0xFFFFFFFF,
+                0,
+            )
+        )
+    return bytes(out)
+
+
+def unpack_index(blob: bytes) -> List[IndexRecord]:
+    """Parse a serialised chunk index, validating structure and sizes."""
+
+    if len(blob) < _HEADER.size:
+        raise StoreFormatError(
+            f"index too short for its header ({len(blob)} bytes)"
+        )
+    magic, version, flags, n_chunks = _HEADER.unpack_from(blob, 0)
+    if magic != INDEX_MAGIC:
+        raise StoreFormatError(f"bad index magic {magic!r}")
+    if version != INDEX_VERSION:
+        raise StoreFormatError(
+            f"unsupported index version {version} (expected {INDEX_VERSION})"
+        )
+    if flags != 0:
+        raise StoreFormatError(f"unsupported index flags {flags:#06x}")
+    expected = _HEADER.size + n_chunks * _RECORD.size
+    if len(blob) != expected:
+        raise StoreCorruptionError(
+            f"index length {len(blob)} != expected {expected} for {n_chunks} chunks"
+        )
+    records: List[IndexRecord] = []
+    pos = _HEADER.size
+    for _ in range(n_chunks):
+        offset, length, codec_raw, checksum, _reserved = _RECORD.unpack_from(blob, pos)
+        pos += _RECORD.size
+        codec = codec_raw.rstrip(b"\0").decode("ascii", errors="strict")
+        if not codec:
+            raise StoreFormatError("empty codec name in index record")
+        records.append(
+            IndexRecord(
+                offset=offset, length=length, codec=codec, checksum=checksum
+            )
+        )
+    return records

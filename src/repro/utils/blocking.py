@@ -16,6 +16,7 @@ multiples of the block size.
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -29,6 +30,7 @@ __all__ = [
     "reassemble_blocks",
     "window_starts",
     "block_count",
+    "grid_offsets",
 ]
 
 #: Dimensionalities the blocked compressors support.
@@ -140,6 +142,30 @@ def reassemble_blocks(
     full = blocks.transpose(order).reshape(tuple(n * bs for n in counts))
     crop = tuple(slice(0, s) for s in original_shape)
     return np.ascontiguousarray(full[crop])
+
+
+def grid_offsets(
+    shape: Tuple[int, ...], chunk_shape: Tuple[int, ...]
+) -> List[Tuple[int, ...]]:
+    """C-scan-order start offsets of the chunks covering an N-d ``shape``.
+
+    The grid is anchored at the origin with one chunk every ``chunk_shape``
+    steps per axis; trailing chunks may extend past ``shape`` (callers clip
+    to the array bounds).  This is the shared tiling used by the volume
+    pipeline (:func:`repro.volumes.pipeline.tile_offsets`) and the chunked
+    array store (:mod:`repro.store`).
+    """
+
+    if len(shape) != len(chunk_shape):
+        raise ValueError(
+            f"shape {tuple(shape)} and chunk_shape {tuple(chunk_shape)} "
+            "must have the same length"
+        )
+    axes = []
+    for length, edge in zip(shape, chunk_shape):
+        ensure_positive(int(edge), "chunk edge")
+        axes.append(range(0, int(length), int(edge)))
+    return list(product(*axes))
 
 
 def window_starts(length: int, window: int, *, include_partial: bool = False) -> List[int]:

@@ -33,8 +33,9 @@ import numpy as np
 
 from repro.compressors.base import CompressedField
 from repro.compressors.registry import make_compressor
-from repro.core.pipeline import ExperimentCache
+from repro.core.pipeline import ExperimentCache, memoized_map
 from repro.pressio.metrics import CompressionMetrics, error_statistics
+from repro.utils.blocking import grid_offsets
 from repro.utils.parallel import ParallelConfig, parallel_map
 from repro.utils.validation import ensure_ndim, ensure_positive
 
@@ -74,13 +75,21 @@ class VolumeTile:
 
 @dataclass(frozen=True)
 class CompressedVolume:
-    """A tiled compressed volume: the tiles plus bookkeeping."""
+    """A tiled compressed volume: the tiles plus bookkeeping.
+
+    ``cache_counters`` reports the tile-memo effectiveness of the
+    producing :func:`compress_volume` call (hits / misses / evictions of
+    the :class:`~repro.core.pipeline.ExperimentCache` during that call,
+    plus the number of in-call duplicate tiles resolved without a cache
+    lookup); ``None`` when memoization was disabled.
+    """
 
     shape: Tuple[int, int, int]
     tile_shape: Tuple[int, int, int]
     compressor: str
     error_bound: float
     tiles: Tuple[VolumeTile, ...]
+    cache_counters: Optional[Dict[str, int]] = None
 
     @property
     def n_tiles(self) -> int:
@@ -121,8 +130,7 @@ def tile_offsets(
     """Scan-order offsets of the tiles covering ``shape``."""
 
     tile = _check_tile_shape(tile_shape)
-    axes = [range(0, int(length), edge) for length, edge in zip(shape, tile)]
-    return [(i, j, k) for i in axes[0] for j in axes[1] for k in axes[2]]
+    return grid_offsets(tuple(int(s) for s in shape), tile)
 
 
 def shard_volume(
@@ -183,46 +191,18 @@ def compress_volume(
 
     config_key = f"{compressor}:{error_bound!r}:{sorted(options.items())!r}"
     shards = shard_volume(vol, tile)
-    keys: List[Optional[str]] = [None] * len(shards)
-    results: List[Optional[CompressedField]] = [None] * len(shards)
-    pending: List[int] = []
-    if cache is not None:
-        # Dedup within the call too: byte-identical tiles (constant or
-        # repeated regions) share one compression, with later copies
-        # resolved from the cache after the fresh results land.
-        first_with_key: Dict[str, int] = {}
-        duplicates: List[int] = []
-        for idx, (_, tile_values) in enumerate(shards):
-            keys[idx] = ExperimentCache.key("volume-tile", config_key, tile_values, "")
-            if keys[idx] in first_with_key:
-                # An earlier tile of this very call owns the key; the cache
-                # cannot have it yet, so skip the (counted) lookup.
-                duplicates.append(idx)
-                continue
-            hit = cache.get(keys[idx])
-            if hit is not None:
-                results[idx] = hit[0]
-            else:
-                first_with_key[keys[idx]] = idx
-                pending.append(idx)
-    else:
-        duplicates = []
-        pending = list(range(len(shards)))
 
-    if pending:
+    def key_fn(shard) -> str:
+        return ExperimentCache.key("volume-tile", config_key, shard[1], "")
+
+    def compute_many(pending) -> List[CompressedField]:
         tasks = [
-            (compressor, error_bound, options, shards[idx][1]) for idx in pending
+            (compressor, error_bound, options, tile_values)
+            for _, tile_values in pending
         ]
-        fresh = parallel_map(_compress_tile, tasks, parallel)
-        for idx, compressed in zip(pending, fresh):
-            results[idx] = compressed
-            if cache is not None:
-                cache.put(keys[idx], (compressed,))
-    for idx in duplicates:
-        # Resolve from the in-call owner, not the cache: LRU eviction may
-        # already have dropped the owner's entry on tile counts beyond the
-        # cache capacity.
-        results[idx] = results[first_with_key[keys[idx]]]
+        return parallel_map(_compress_tile, tasks, parallel)
+
+    results, cache_counters = memoized_map(shards, key_fn, compute_many, cache)
 
     tiles = tuple(
         VolumeTile(offset=offset, compressed=results[idx])
@@ -234,6 +214,7 @@ def compress_volume(
         compressor=compressor,
         error_bound=float(error_bound),
         tiles=tiles,
+        cache_counters=cache_counters,
     )
 
 
@@ -318,9 +299,14 @@ def measure_volume_field(
     rows :func:`repro.core.experiment.measure_field` produces for 2D
     fields, so volume datasets flow through
     :func:`repro.core.pipeline.run_experiment` and the CSV/reporting layer
-    unchanged.  The correlation statistic is the *3D* variogram range
-    (:func:`repro.stats.variogram3d.estimate_variogram_range_3d`); the
-    2D windowed local statistics do not apply and stay NaN.
+    unchanged.  The correlation statistics are the *3D* analogues: the
+    global 3D variogram range
+    (:func:`repro.stats.variogram3d.estimate_variogram_range_3d`) and —
+    when the volume admits complete ``window^3`` cubes — the std of the
+    windowed local 3D variogram ranges
+    (:func:`repro.stats.variogram3d.std_local_variogram_range_3d`), the
+    Fig. 7 statistic for volumes.  The local SVD statistic has no 3D
+    analogue here and stays NaN.
     """
 
     from repro.core.experiment import (
@@ -328,7 +314,10 @@ def measure_volume_field(
         CorrelationStatistics,
         ExperimentConfig,
     )
-    from repro.stats.variogram3d import estimate_variogram_range_3d
+    from repro.stats.variogram3d import (
+        estimate_variogram_range_3d,
+        std_local_variogram_range_3d,
+    )
 
     vol = np.asarray(_check_volume(volume), dtype=np.float64)
     config = config or ExperimentConfig()
@@ -339,8 +328,17 @@ def measure_volume_field(
             global_range = float(estimate_variogram_range_3d(vol))
         except (ValueError, RuntimeError):
             global_range = float("nan")
+    std_local_range = float("nan")
+    if config.compute_local_variogram and min(vol.shape) >= config.window:
+        try:
+            std_local_range = float(
+                std_local_variogram_range_3d(vol, config.window)
+            )
+        except (ValueError, RuntimeError):
+            std_local_range = float("nan")
     statistics = CorrelationStatistics(
         global_variogram_range=global_range,
+        std_local_variogram_range=std_local_range,
         field_variance=float(vol.var()),
         field_mean=float(vol.mean()),
     )

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.experiment import ExperimentConfig
-from repro.core.pipeline import records_to_table, run_experiment, run_experiment_on_fields
+from repro.core.pipeline import (
+    ExperimentCache,
+    records_to_table,
+    run_experiment,
+    run_experiment_on_fields,
+)
 from repro.datasets.registry import DatasetRegistry
 from repro.utils.parallel import ParallelConfig
 
@@ -91,6 +96,61 @@ class TestRunExperimentOnFields:
     def test_empty_field_list(self):
         result = run_experiment_on_fields([], dataset="empty", config=FAST_CONFIG)
         assert result.records == ()
+
+
+class TestExperimentCache:
+    def test_counters_track_hits_misses_evictions(self):
+        cache = ExperimentCache(max_entries=2)
+        a = ExperimentCache.key("d", "a", np.zeros((4, 4)), "c")
+        b = ExperimentCache.key("d", "b", np.ones((4, 4)), "c")
+        c = ExperimentCache.key("d", "c", np.full((4, 4), 2.0), "c")
+        assert cache.get(a) is None  # miss
+        cache.put(a, (1,))
+        cache.put(b, (2,))
+        assert cache.get(a) == (1,)  # hit
+        cache.put(c, (3,))  # evicts b (a was just used)
+        assert cache.get(b) is None
+        counters = cache.counters()
+        assert counters["hits"] == 1
+        assert counters["misses"] == 2
+        assert counters["evictions"] == 1
+        assert counters["entries"] == 2
+        cache.clear()
+        assert cache.counters() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+        }
+
+    def test_no_key_collision_between_2d_and_3d_same_bytes(self):
+        """Same raw bytes, different shape handling: must key apart.
+
+        A (64, 64) plane of zeros and a (16, 16, 16) cube of zeros have
+        byte-identical buffers; a key that hashed only content would
+        silently serve a 2D measurement for a 3D request (and vice versa).
+        """
+
+        plane = np.zeros((64, 64))
+        cube = np.zeros((16, 16, 16))
+        assert plane.tobytes() == cube.tobytes()
+        key_2d = ExperimentCache.key("d", "l", plane, "cfg")
+        key_3d = ExperimentCache.key("d", "l", cube, "cfg")
+        assert key_2d != key_3d
+        cache = ExperimentCache()
+        cache.put(key_2d, ("2d-records",))
+        assert cache.get(key_3d) is None
+
+    def test_key_components_are_delimited(self):
+        """Adjacent string components must not be able to merge."""
+
+        field = np.zeros((4, 4))
+        assert ExperimentCache.key("ab", "c", field, "") != ExperimentCache.key(
+            "a", "bc", field, ""
+        )
+        assert ExperimentCache.key("d", "lcfg", field, "") != ExperimentCache.key(
+            "d", "l", field, "cfg"
+        )
 
 
 class TestRecordsToTable:

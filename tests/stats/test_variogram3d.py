@@ -13,6 +13,8 @@ from repro.stats.variogram3d import (
     directional_variogram,
     empirical_variogram_3d,
     estimate_variogram_range_3d,
+    local_variogram_ranges_3d,
+    std_local_variogram_range_3d,
 )
 
 
@@ -112,3 +114,48 @@ class TestVariogram3D:
         # The volumetric range lies within (a loose factor of) the spread of
         # the per-slice ranges.
         assert 0.2 * min(slice_ranges) <= range_3d <= 5.0 * max(slice_ranges)
+
+
+class TestLocalVariogram3D:
+    def test_window_grid_shape_and_summary(self):
+        volume = generate_miranda_like_volume((16, 24, 16), seed=10)
+        result = local_variogram_ranges_3d(volume, window=8)
+        assert result.ranges.shape == (2, 3, 2)
+        assert result.n_windows == 12
+        assert result.valid_ranges.size > 0
+        assert np.isfinite(result.mean)
+        assert result.std >= 0
+
+    def test_std_statistic_matches_result(self):
+        volume = generate_miranda_like_volume((16, 16, 16), seed=11)
+        result = local_variogram_ranges_3d(volume, window=8)
+        assert std_local_variogram_range_3d(volume, window=8) == pytest.approx(
+            result.std, nan_ok=True
+        )
+
+    def test_constant_windows_yield_nan(self):
+        volume = np.zeros((16, 16, 16))
+        volume[8:] = np.random.default_rng(12).normal(size=(8, 16, 16))
+        result = local_variogram_ranges_3d(volume, window=8)
+        # The four constant windows (first slab) carry no correlation info.
+        assert np.isnan(result.ranges[0]).all()
+        assert result.n_failed >= 4
+
+    def test_heterogeneous_volume_has_larger_std_than_stationary(self):
+        rng = np.random.default_rng(13)
+        stationary = rng.normal(size=(16, 16, 16))
+        mixed = stationary.copy()
+        # Half the windows become strongly correlated (smooth) regions.
+        smooth = generate_miranda_like_volume((16, 16, 16), seed=14)
+        mixed[:, :, 8:] = smooth[:, :, 8:]
+        assert std_local_variogram_range_3d(
+            mixed, window=8
+        ) > std_local_variogram_range_3d(stationary, window=8)
+
+    def test_no_complete_window_rejected(self):
+        with pytest.raises(ValueError):
+            local_variogram_ranges_3d(np.zeros((8, 8, 8)), window=16)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            local_variogram_ranges_3d(np.zeros((16, 16)), window=8)

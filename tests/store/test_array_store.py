@@ -1,0 +1,356 @@
+"""Tests for the chunked compressed array store (repro.store.array_store)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ExperimentCache
+from repro.datasets.gaussian import generate_gaussian_field
+from repro.datasets.miranda import generate_miranda_like_volume
+from repro.store import ArrayStore, StoreCorruptionError, StoreFormatError
+from repro.store.array_store import DATA_NAME, INDEX_NAME, META_NAME
+
+BOUND = 1e-3
+TOL = BOUND * (1.0 + 1e-9)
+
+
+@pytest.fixture(scope="module")
+def field_2d():
+    return generate_gaussian_field((96, 80), correlation_range=12.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def volume_3d():
+    return generate_miranda_like_volume((40, 40, 40), seed=6)
+
+
+def make_store(path, array, *, chunk=32, codec="sz", **kwargs):
+    store = ArrayStore.create(path, chunk_shape=chunk, codec=codec, **kwargs)
+    store.write(array, cache=False)
+    return store
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", ["sz", "zfp", "mgard"])
+    def test_2d_full_round_trip(self, tmp_path, field_2d, codec):
+        store = make_store(tmp_path / "s", field_2d, codec=codec)
+        reopened = ArrayStore.open(tmp_path / "s")
+        values = reopened.read()
+        assert values.shape == field_2d.shape
+        assert np.abs(values - field_2d).max() <= TOL
+
+    @pytest.mark.parametrize("codec", ["sz", "zfp", "mgard"])
+    def test_3d_full_round_trip(self, tmp_path, volume_3d, codec):
+        store = make_store(tmp_path / "s", volume_3d, chunk=16, codec=codec)
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert values.shape == volume_3d.shape
+        assert np.abs(values - volume_3d).max() <= TOL
+
+    def test_partial_reads_match_random_regions(self, tmp_path, field_2d, volume_3d):
+        """Property test: random step-1 regions agree with the full read."""
+
+        rng = np.random.default_rng(99)
+        for name, array, chunk in (("f2", field_2d, 32), ("v3", volume_3d, 16)):
+            store = make_store(tmp_path / name, array, chunk=chunk)
+            full = store.read()
+            for _ in range(12):
+                region = []
+                for length in array.shape:
+                    lo = int(rng.integers(0, length - 1))
+                    hi = int(rng.integers(lo + 1, length + 1))
+                    region.append(slice(lo, hi))
+                region = tuple(region)
+                got = store.read(region)
+                np.testing.assert_array_equal(got, full[region])
+
+    def test_int_indexing_drops_axis(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d, chunk=16)
+        full = store.read()
+        plane = store.read((3,))
+        assert plane.shape == volume_3d.shape[1:]
+        np.testing.assert_array_equal(plane, full[3])
+        line = store.read((3, slice(2, 10), 7))
+        np.testing.assert_array_equal(line, full[3, 2:10, 7])
+
+    def test_negative_and_open_slices(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        full = store.read()
+        np.testing.assert_array_equal(
+            store.read((slice(None), slice(-16, None))), full[:, -16:]
+        )
+
+    def test_write_replaces_content(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        other = np.ascontiguousarray(field_2d[::-1, :])
+        store.write(other, cache=False)
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert np.abs(values - other).max() <= TOL
+
+
+class TestPartialDecoding:
+    def test_only_intersecting_chunks_decoded(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d, chunk=16)
+        assert store.n_chunks == 27  # ceil(40/16) = 3 chunks per axis
+        store.read((slice(0, 10), slice(0, 10), slice(0, 10)))
+        assert store.last_read.chunks_intersecting == 1
+        assert store.last_read.chunks_decoded == 1
+        store.read((slice(0, 20), slice(0, 10), slice(0, 10)))
+        assert store.last_read.chunks_intersecting == 2
+        store.read()
+        assert store.last_read.chunks_intersecting == store.n_chunks
+
+    def test_identical_chunks_decode_once(self, tmp_path):
+        array = np.zeros((64, 64))
+        store = make_store(tmp_path / "s", array, chunk=16)
+        assert store.n_chunks == 16
+        store.read()
+        # All 16 chunks share one deduplicated payload.
+        assert store.last_read.chunks_decoded == 1
+        assert store.stored_nbytes < store.compressed_nbytes
+
+
+class TestDedupAndCache:
+    def test_constant_array_dedups_payloads(self, tmp_path):
+        array = np.full((64, 64), 3.25)
+        store = make_store(tmp_path / "s", array, chunk=16)
+        meta = json.loads((tmp_path / "s" / META_NAME).read_text())
+        digests = {c["payload_sha1"] for c in meta["chunks"]}
+        assert len(digests) == 1
+        data_size = os.path.getsize(tmp_path / "s" / DATA_NAME)
+        assert data_size == store.stored_nbytes
+
+    def test_chunk_cache_hits_across_writes(self, tmp_path, field_2d):
+        cache = ExperimentCache(max_entries=64)
+        store = ArrayStore.create(tmp_path / "a", chunk_shape=32)
+        store.write(field_2d, cache=cache)
+        first = dict(store.last_write_cache_counters)
+        assert first["misses"] == store.n_chunks
+        other = ArrayStore.create(tmp_path / "b", chunk_shape=32)
+        other.write(field_2d, cache=cache)
+        second = dict(other.last_write_cache_counters)
+        assert second["hits"] == other.n_chunks
+        assert second["misses"] == 0
+
+    def test_different_adaptive_parameters_do_not_share_cache(self, tmp_path, field_2d):
+        from repro.store.policy import adaptive
+
+        cache = ExperimentCache(max_entries=64)
+        a = ArrayStore.create(tmp_path / "a", chunk_shape=64, codec=adaptive(seed=0))
+        a.write(field_2d, cache=cache)
+        b = ArrayStore.create(
+            tmp_path / "b", chunk_shape=64, codec=adaptive(seed=99, n_blocks=3)
+        )
+        b.write(field_2d, cache=cache)
+        # A differently-parameterised policy must recompute, not hit.
+        assert b.last_write_cache_counters["hits"] == 0
+        assert b.last_write_cache_counters["misses"] == b.n_chunks
+
+    def test_cache_disabled(self, tmp_path, field_2d):
+        store = ArrayStore.create(tmp_path / "s", chunk_shape=32)
+        store.write(field_2d, cache=False)
+        assert store.last_write_cache_counters is None
+
+
+class TestParallel:
+    def test_parallel_workers_match_serial(self, tmp_path, volume_3d):
+        from repro.utils.parallel import ParallelConfig
+
+        serial = make_store(tmp_path / "serial", volume_3d, chunk=16)
+        parallel = ArrayStore.create(tmp_path / "parallel", chunk_shape=16)
+        parallel.write(
+            volume_3d,
+            cache=False,
+            parallel=ParallelConfig(workers=2, use_processes=False),
+        )
+        assert (tmp_path / "serial" / DATA_NAME).read_bytes() == (
+            tmp_path / "parallel" / DATA_NAME
+        ).read_bytes()
+        assert [r.codec for r in serial.chunk_records()] == [
+            r.codec for r in parallel.chunk_records()
+        ]
+
+
+class TestAppend:
+    def test_append_aligned(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d[:32], chunk=16)
+        store.append(volume_3d[32:], cache=False)
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert values.shape == volume_3d.shape
+        assert np.abs(values - volume_3d).max() <= TOL
+
+    def test_append_unaligned_rewrites_partial_chunks(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d[:24], chunk=16)
+        store.append(volume_3d[24:], cache=False)
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert values.shape == volume_3d.shape
+        assert np.abs(values - volume_3d).max() <= TOL
+
+    def test_append_to_empty_store_writes(self, tmp_path, field_2d):
+        store = ArrayStore.create(tmp_path / "s", chunk_shape=32)
+        store.append(field_2d, cache=False)
+        assert store.shape == field_2d.shape
+
+    def test_repeated_small_appends(self, tmp_path, field_2d):
+        store = ArrayStore.create(tmp_path / "s", chunk_shape=32)
+        for start in range(0, field_2d.shape[0], 24):
+            store.append(field_2d[start : start + 24], cache=False)
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert values.shape == field_2d.shape
+        assert np.abs(values - field_2d).max() <= TOL
+
+    @pytest.mark.parametrize("codec", ["sz", "zfp", "mgard"])
+    def test_unaligned_appends_never_drift_past_bound(
+        self, tmp_path, volume_3d, codec
+    ):
+        """Rewritten chunks must not add a second lossy pass.
+
+        The bound is relative to the data as first written: the decoded
+        tail merged with new rows is re-compressed, and codec blocks
+        spanning the seam cannot reproduce the old rows exactly — those
+        chunks must fall back to the exact raw codec instead of letting
+        the error reach 2x the bound (and Nx over repeated appends).
+        """
+
+        store = ArrayStore.create(tmp_path / codec, chunk_shape=16, codec=codec)
+        store.write(volume_3d[:24], cache=False)
+        store.append(volume_3d[24:34], cache=False)
+        store.append(volume_3d[34:], cache=False)
+        values = ArrayStore.open(tmp_path / codec).read()
+        assert values.shape == volume_3d.shape
+        assert np.abs(values - volume_3d).max() <= TOL
+
+    def test_rewritten_chunks_preserve_stored_rows_exactly(self, tmp_path, volume_3d):
+        store = ArrayStore.create(tmp_path / "s", chunk_shape=16, codec="zfp")
+        store.write(volume_3d[:24], cache=False)
+        before = store.read((slice(16, 24),))
+        store.append(volume_3d[24:], cache=False)
+        after = store.read((slice(16, 24),))
+        # The once-lossy rows of the rewritten slab are bit-identical.
+        np.testing.assert_array_equal(before, after)
+
+    def test_append_shape_mismatch_rejected(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        with pytest.raises(ValueError, match="append"):
+            store.append(np.zeros((4, field_2d.shape[1] + 1)))
+
+
+class TestPolicies:
+    def test_adaptive_records_estimates(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d, chunk=16, codec="adaptive:sz+zfp")
+        records = store.chunk_records()
+        assert all(np.isfinite(r.estimated_cr) for r in records)
+        assert all(r.codec in ("sz", "zfp") for r in records)
+        info = store.info()
+        assert "estimate_rel_error_mean" in info
+        # The persisted per-chunk log keeps every candidate's estimate.
+        meta = json.loads((tmp_path / "s" / META_NAME).read_text())
+        assert set(meta["chunks"][0]["estimated_crs"]) == {"sz", "zfp"}
+
+    def test_best_policy_not_larger_than_any_fixed(self, tmp_path, field_2d):
+        best_store = make_store(tmp_path / "best", field_2d, codec="best")
+        for codec in ("sz", "zfp", "mgard"):
+            fixed_store = make_store(tmp_path / codec, field_2d, codec=codec)
+            assert best_store.compressed_nbytes <= fixed_store.compressed_nbytes
+
+    def test_chunk_stats_recorded(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        record = store.chunk_records()[0]
+        window = field_2d[: record.shape[0], : record.shape[1]]
+        assert record.stats["mean"] == pytest.approx(float(window.mean()))
+        assert np.isfinite(record.stats["variogram_range"])
+        assert record.stats["max_abs_error"] <= TOL
+
+    def test_chunk_stats_can_be_disabled(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d, chunk_stats=False)
+        stats = store.chunk_records()[0].stats
+        assert "variogram_range" not in stats
+        assert "max_abs_error" in stats
+
+    def test_meta_is_strict_json_even_with_nan_stats(self, tmp_path):
+        """Constant chunks give NaN variogram ranges; meta.json must stay
+        valid for strict parsers (no bare NaN tokens)."""
+
+        make_store(tmp_path / "s", np.zeros((64, 64)), chunk=32)
+        text = (tmp_path / "s" / META_NAME).read_text()
+
+        def reject(constant):
+            raise AssertionError(f"non-standard JSON token {constant!r}")
+
+        meta = json.loads(text, parse_constant=reject)
+        assert meta["chunks"][0]["stats"]["variogram_range"] is None
+        # And the sanitized values round-trip to NaN on the read side.
+        reopened = ArrayStore.open(tmp_path / "s")
+        assert np.isnan(reopened.chunk_records()[0].stats["variogram_range"])
+
+
+class TestErrorPaths:
+    def test_create_refuses_nonempty_dir(self, tmp_path):
+        target = tmp_path / "s"
+        target.mkdir()
+        (target / "junk").write_text("x")
+        with pytest.raises(StoreFormatError, match="not empty"):
+            ArrayStore.create(target)
+        ArrayStore.create(target, overwrite=True)  # explicit overwrite is fine
+
+    def test_open_missing_meta(self, tmp_path):
+        with pytest.raises(StoreFormatError, match="missing"):
+            ArrayStore.open(tmp_path)
+
+    def test_read_before_write_rejected(self, tmp_path):
+        store = ArrayStore.create(tmp_path / "s")
+        with pytest.raises(StoreFormatError, match="no data"):
+            store.read()
+
+    def test_corrupt_chunk_payload_detected(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        data_path = tmp_path / "s" / DATA_NAME
+        blob = bytearray(data_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        data_path.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            ArrayStore.open(tmp_path / "s").read()
+
+    def test_truncated_chunk_file_detected(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        data_path = tmp_path / "s" / DATA_NAME
+        data_path.write_bytes(data_path.read_bytes()[:-10])
+        with pytest.raises(StoreCorruptionError, match="truncated"):
+            ArrayStore.open(tmp_path / "s").read()
+
+    def test_corrupt_index_detected(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        index_path = tmp_path / "s" / INDEX_NAME
+        index_path.write_bytes(index_path.read_bytes()[:-4])
+        with pytest.raises(StoreFormatError):
+            ArrayStore.open(tmp_path / "s")
+
+    def test_index_chunk_grid_mismatch_detected(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        meta_path = tmp_path / "s" / META_NAME
+        meta = json.loads(meta_path.read_text())
+        meta["shape"] = [s * 2 for s in meta["shape"]]
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StoreCorruptionError, match="grid"):
+            ArrayStore.open(tmp_path / "s")
+
+    def test_bad_region_specs_rejected(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d)
+        with pytest.raises(ValueError, match="step-1"):
+            store.read((slice(0, 10, 2),))
+        with pytest.raises(IndexError):
+            store.read((field_2d.shape[0],))
+        with pytest.raises(ValueError, match="axes"):
+            store.read((slice(0, 1),) * 3)
+        with pytest.raises(TypeError):
+            store.read(("nope",))
+
+    def test_non_finite_arrays_rejected(self, tmp_path):
+        store = ArrayStore.create(tmp_path / "s")
+        bad = np.zeros((8, 8))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            store.write(bad)

@@ -1,0 +1,99 @@
+"""Tests for the store's binary index format (repro.store.format)."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.store.format import (
+    INDEX_MAGIC,
+    INDEX_VERSION,
+    IndexRecord,
+    StoreCorruptionError,
+    StoreFormatError,
+    pack_index,
+    unpack_index,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "index_golden.bin")
+
+#: The records behind the golden file.  Regenerate the golden bytes with
+#: ``pack_index(GOLDEN_RECORDS)`` ONLY alongside an INDEX_VERSION bump —
+#: the whole point of the golden file is pinning the v1 layout.
+GOLDEN_RECORDS = [
+    IndexRecord(offset=0, length=1234, codec="sz", checksum=0xDEADBEEF),
+    IndexRecord(offset=1234, length=77, codec="zfp", checksum=0),
+    IndexRecord(offset=1311, length=4096, codec="mgard", checksum=0xFFFFFFFF),
+    # Dedup: shares the byte range of the first record.
+    IndexRecord(offset=0, length=1234, codec="sz", checksum=0xDEADBEEF),
+]
+
+
+class TestRoundTrip:
+    def test_empty_index(self):
+        assert unpack_index(pack_index([])) == []
+
+    def test_records_round_trip(self):
+        blob = pack_index(GOLDEN_RECORDS)
+        assert unpack_index(blob) == GOLDEN_RECORDS
+
+    def test_header_layout(self):
+        blob = pack_index(GOLDEN_RECORDS)
+        magic, version, flags, n_chunks = struct.unpack_from("<4sHHQ", blob, 0)
+        assert magic == INDEX_MAGIC
+        assert version == INDEX_VERSION
+        assert flags == 0
+        assert n_chunks == len(GOLDEN_RECORDS)
+        assert len(blob) == 16 + 32 * len(GOLDEN_RECORDS)
+
+
+class TestGoldenFile:
+    """Pin the on-disk v1 layout bit-for-bit."""
+
+    def test_pack_matches_golden(self):
+        with open(GOLDEN_PATH, "rb") as handle:
+            golden = handle.read()
+        assert pack_index(GOLDEN_RECORDS) == golden
+
+    def test_unpack_golden(self):
+        with open(GOLDEN_PATH, "rb") as handle:
+            golden = handle.read()
+        assert unpack_index(golden) == GOLDEN_RECORDS
+
+
+class TestErrorPaths:
+    def test_truncated_header(self):
+        with pytest.raises(StoreFormatError):
+            unpack_index(b"RPST")
+
+    def test_bad_magic(self):
+        blob = bytearray(pack_index(GOLDEN_RECORDS))
+        blob[:4] = b"NOPE"
+        with pytest.raises(StoreFormatError, match="magic"):
+            unpack_index(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(pack_index([]))
+        blob[4:6] = struct.pack("<H", 99)
+        with pytest.raises(StoreFormatError, match="version"):
+            unpack_index(bytes(blob))
+
+    def test_truncated_records(self):
+        blob = pack_index(GOLDEN_RECORDS)
+        with pytest.raises(StoreCorruptionError, match="length"):
+            unpack_index(blob[:-8])
+
+    def test_trailing_garbage(self):
+        blob = pack_index(GOLDEN_RECORDS)
+        with pytest.raises(StoreCorruptionError):
+            unpack_index(blob + b"\0" * 8)
+
+    def test_codec_name_too_long(self):
+        with pytest.raises(StoreFormatError, match="codec"):
+            pack_index([IndexRecord(offset=0, length=1, codec="x" * 9, checksum=0)])
+
+    def test_empty_codec_name(self):
+        with pytest.raises(StoreFormatError, match="codec"):
+            pack_index([IndexRecord(offset=0, length=1, codec="", checksum=0)])

@@ -28,7 +28,7 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("compress", "stats", "experiment", "figure"):
+        for command in ("compress", "stats", "experiment", "figure", "store"):
             assert command in parser.format_help()
 
 
@@ -151,3 +151,100 @@ class TestFigureCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "| compressor |" in out
+
+
+class TestStoreCommand:
+    def test_put_get_info_ls_round_trip(self, tmp_path, field_npy, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "store",
+                "put",
+                str(store_dir),
+                "--field",
+                str(field_npy),
+                "--chunk",
+                "32",
+                "--codec",
+                "sz",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compression ratio" in out
+        assert "sz:4" in out  # 64x64 field in 32^2 chunks
+
+        output = tmp_path / "region.npy"
+        code = main(
+            [
+                "store",
+                "get",
+                str(store_dir),
+                "--region",
+                "0:16,0:16",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decoded 1/4 chunks" in out
+        region = np.load(output)
+        original = np.load(field_npy)
+        assert region.shape == (16, 16)
+        assert np.abs(region - original[:16, :16]).max() <= 1e-3 * (1 + 1e-9)
+
+        assert main(["store", "info", str(store_dir)]) == 0
+        assert "codec policy" in capsys.readouterr().out
+        assert main(["store", "ls", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "chunk" in out and "32x32" in out
+
+    def test_put_from_dataset_registry_adaptive(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "store",
+                "put",
+                str(store_dir),
+                "--dataset",
+                "gaussian-single",
+                "--label",
+                "gaussian-single-a16",
+                "--chunk",
+                "64",
+                "--codec",
+                "adaptive:sz+zfp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gaussian-single-a16" in out
+        assert "adaptive estimate rel. error" in out
+
+    def test_put_unknown_label_lists_available(self, tmp_path):
+        with pytest.raises(SystemExit, match="available"):
+            main(
+                [
+                    "store",
+                    "put",
+                    str(tmp_path / "s"),
+                    "--dataset",
+                    "gaussian-single",
+                    "--label",
+                    "nope",
+                ]
+            )
+
+    def test_get_bad_region_component(self, tmp_path, field_npy):
+        store_dir = tmp_path / "store"
+        main(["store", "put", str(store_dir), "--field", str(field_npy)])
+        with pytest.raises(SystemExit, match="region"):
+            main(["store", "get", str(store_dir), "--region", "0:1:2"])
+
+    def test_info_on_empty_store(self, tmp_path, capsys):
+        from repro.store import ArrayStore
+
+        ArrayStore.create(tmp_path / "empty")
+        assert main(["store", "info", str(tmp_path / "empty")]) == 0
+        assert "no data yet" in capsys.readouterr().out

@@ -92,6 +92,23 @@ class TestCompressVolume:
         compress_volume(volume, "sz", 1e-2, tile_shape=(16, 16, 16), cache=cache)
         assert cache.hits == 8 and cache.misses == 16
 
+    def test_cache_counters_reported(self, volume):
+        cache = ExperimentCache(max_entries=64)
+        first = compress_volume(volume, "sz", 1e-3, tile_shape=(16, 16, 16), cache=cache)
+        assert first.cache_counters == {
+            "hits": 0,
+            "misses": 8,
+            "evictions": 0,
+            "in_call_duplicates": 0,
+        }
+        second = compress_volume(volume, "sz", 1e-3, tile_shape=(16, 16, 16), cache=cache)
+        assert second.cache_counters["hits"] == 8
+        assert second.cache_counters["misses"] == 0
+        disabled = compress_volume(
+            volume, "sz", 1e-3, tile_shape=(16, 16, 16), cache=False
+        )
+        assert disabled.cache_counters is None
+
     def test_constant_tiles_deduplicate(self):
         cache = ExperimentCache(max_entries=64)
         constant = np.zeros((16, 32, 32))
@@ -141,7 +158,7 @@ class TestCompressVolume:
 class TestMeasureVolumeField:
     def test_records_have_3d_statistics(self, volume):
         config = ExperimentConfig(
-            compressors=("sz", "zfp"), error_bounds=(1e-3,), window=4
+            compressors=("sz", "zfp"), error_bounds=(1e-3,), window=8
         )
         records = measure_volume_field(
             volume, dataset="test", field_label="vol", config=config
@@ -150,7 +167,31 @@ class TestMeasureVolumeField:
         for record in records:
             assert record.metrics.bound_satisfied
             assert np.isfinite(record.statistics.global_variogram_range)
-            assert np.isnan(record.statistics.std_local_variogram_range)
+            # The windowed local 3D variogram statistic (Fig. 7 analogue).
+            assert np.isfinite(record.statistics.std_local_variogram_range)
+            # The local SVD statistic has no 3D analogue.
+            assert np.isnan(record.statistics.std_local_svd_truncation)
+
+    def test_local_statistics_toggle(self, volume):
+        config = ExperimentConfig(
+            compressors=("sz",),
+            error_bounds=(1e-3,),
+            window=8,
+            compute_local_variogram=False,
+        )
+        records = measure_volume_field(
+            volume, dataset="test", field_label="vol", config=config
+        )
+        assert np.isnan(records[0].statistics.std_local_variogram_range)
+
+    def test_window_larger_than_volume_stays_nan(self, volume):
+        config = ExperimentConfig(
+            compressors=("sz",), error_bounds=(1e-3,), window=64
+        )
+        records = measure_volume_field(
+            volume, dataset="test", field_label="vol", config=config
+        )
+        assert np.isnan(records[0].statistics.std_local_variogram_range)
 
     def test_run_experiment_routes_volume_datasets(self):
         config = ExperimentConfig(compressors=("sz",), error_bounds=(1e-3,))
