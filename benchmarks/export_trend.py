@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Benchmark-trend exporter and regression gate for CI.
+
+Runs the timed smoke subset — the sz/zfp/mgard 2D cells, the 64^3 volume
+cells (tiled 32^3, halo off and on, so the halo seam-recovery is tracked
+as data), and the store put / partial-read cells — and writes a
+schema-versioned JSON trend file (``BENCH_PR5.json`` in CI, uploaded as a
+workflow artifact).  Against a committed baseline
+(``benchmarks/baseline.json``) the script acts as the regression gate.
+
+The baseline was recorded on a different machine than the CI runner, so
+raw per-cell ratios mix code changes with hardware speed.  The gate
+therefore **calibrates first**: the median ratio across all timing cells
+estimates the machine-speed factor (a property of the runner, not the
+code), and each cell is judged by its ratio *relative to that factor* —
+hardware-invariant by construction.  Two conditions fail the build
+(exit 1):
+
+* any single cell slowed >50% beyond the machine-wide trend (a targeted
+  regression well past the observed run-to-run noise of ~25%), or
+* more than a third of the timing cells each slowed >25% beyond the
+  trend (a broad regression that individual-cell noise cannot explain).
+
+A perfectly uniform slowdown of every cell is indistinguishable from a
+slower runner; catching that class would need a same-machine baseline
+(tracked as trend data via the artifacts instead).  Compression ratios
+are exported as trend data but not gated (they are pinned exactly by the
+test suite's golden files).
+
+Usage:
+    python benchmarks/export_trend.py --output BENCH_PR5.json
+    python benchmarks/export_trend.py --update-baseline   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.compressors.registry import make_compressor  # noqa: E402
+from repro.datasets.gaussian import generate_gaussian_field  # noqa: E402
+from repro.datasets.miranda import generate_miranda_like_volume  # noqa: E402
+from repro.store.array_store import ArrayStore  # noqa: E402
+from repro.volumes.pipeline import compress_volume  # noqa: E402
+
+SCHEMA = "repro-bench-trend"
+SCHEMA_VERSION = 1
+LABEL = "PR5"
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+#: Gate thresholds, applied to machine-calibrated per-cell ratios: any
+#: single cell beyond OUTLIER_THRESHOLD fails; more than
+#: BROAD_FRACTION of the cells beyond REGRESSION_THRESHOLD fails.
+REGRESSION_THRESHOLD = 1.25
+OUTLIER_THRESHOLD = 1.5
+BROAD_FRACTION = 1 / 3
+ERROR_BOUND = 1e-3
+REPEATS = 3
+
+
+def _best_ms(fn, repeats: int = REPEATS) -> float:
+    """Best-of-N wall time in milliseconds (damps scheduler noise)."""
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return 1000.0 * best
+
+
+def collect_cells() -> dict:
+    cells: dict = {}
+
+    # -- 2D compressor cells (128x128 Gaussian field) -------------------
+    field = generate_gaussian_field((128, 128), correlation_range=16.0, seed=2021)
+    for name in ("sz", "zfp", "mgard"):
+        codec = make_compressor(name, ERROR_BOUND)
+        compressed = codec.compress(field)
+        cells[f"{name}-2d-compress"] = {
+            "kind": "time",
+            "ms": _best_ms(lambda c=codec: c.compress(field)),
+        }
+        cells[f"{name}-2d-decompress"] = {
+            "kind": "time",
+            "ms": _best_ms(lambda c=codec, b=compressed: c.decompress(b)),
+        }
+        cells[f"{name}-2d-cr"] = {"kind": "ratio", "value": compressed.compression_ratio}
+
+    # -- 64^3 volume cells (32^3 tiles, halo off + on) -------------------
+    volume = generate_miranda_like_volume((64, 64, 64), seed=2021)
+    for name in ("sz", "zfp", "mgard"):
+        off = compress_volume(
+            volume, name, ERROR_BOUND, tile_shape=(32, 32, 32), cache=False
+        )
+        cells[f"{name}-vol64-compress"] = {
+            "kind": "time",
+            "ms": _best_ms(
+                lambda n=name: compress_volume(
+                    volume, n, ERROR_BOUND, tile_shape=(32, 32, 32), cache=False
+                ),
+                repeats=2,
+            ),
+        }
+        cells[f"{name}-vol64-cr"] = {"kind": "ratio", "value": off.compression_ratio}
+        on = compress_volume(
+            volume, name, ERROR_BOUND, tile_shape=(32, 32, 32), cache=False, halo=True
+        )
+        cells[f"{name}-vol64-halo-cr"] = {
+            "kind": "ratio",
+            "value": on.compression_ratio,
+        }
+        cells[f"{name}-vol64-halo-gain"] = {
+            "kind": "ratio",
+            "value": on.compression_ratio / off.compression_ratio,
+        }
+
+    # -- store put / partial read ----------------------------------------
+    workdir = tempfile.mkdtemp(prefix="repro-trend-")
+    try:
+        path = os.path.join(workdir, "store")
+
+        def put():
+            shutil.rmtree(path, ignore_errors=True)
+            store = ArrayStore.create(
+                path, chunk_shape=32, error_bound=ERROR_BOUND, codec="sz"
+            )
+            store.write(volume, cache=False)
+            return store
+
+        cells["store-put"] = {"kind": "time", "ms": _best_ms(put, repeats=2)}
+        store = ArrayStore.open(path)
+        region = (slice(8, 24), slice(8, 24), slice(8, 24))
+        cells["store-partial-read"] = {
+            "kind": "time",
+            "ms": _best_ms(lambda: store.read(region)),
+        }
+        cells["store-cr"] = {"kind": "ratio", "value": store.compression_ratio}
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return cells
+
+
+def gate(cells: dict, baseline: dict) -> int:
+    """Compare timing cells against the baseline; 0 = pass, 1 = regression.
+
+    The median per-cell ratio calibrates away the runner's hardware speed;
+    each cell is then gated on its *relative* slowdown (see module
+    docstring).
+    """
+
+    base_cells = baseline.get("cells", {})
+    rows = []
+    for key, cell in sorted(cells.items()):
+        if cell.get("kind") != "time":
+            continue
+        base = base_cells.get(key)
+        if base is None or base.get("kind") != "time":
+            rows.append((key, cell["ms"], None, None))
+            continue
+        ratio = cell["ms"] / base["ms"] if base["ms"] > 0 else float("inf")
+        rows.append((key, cell["ms"], base["ms"], ratio))
+
+    ratios = [ratio for _, _, _, ratio in rows if ratio is not None]
+    if not ratios:
+        print("no comparable timing cells in the baseline; gate skipped")
+        return 0
+    machine_factor = statistics.median(ratios)
+
+    print(f"{'cell':<28} {'ms':>10} {'baseline':>10} {'ratio':>7} {'rel':>7}")
+    outliers = []
+    slowed = []
+    compared = 0
+    for key, ms, base_ms, ratio in rows:
+        base_txt = f"{base_ms:>10.2f}" if base_ms is not None else f"{'-':>10}"
+        ratio_txt = f"{ratio:>7.2f}" if ratio is not None else f"{'-':>7}"
+        relative = ratio / machine_factor if ratio is not None else None
+        rel_txt = f"{relative:>7.2f}" if relative is not None else f"{'-':>7}"
+        print(f"{key:<28} {ms:>10.2f} {base_txt} {ratio_txt} {rel_txt}")
+        if relative is None:
+            continue
+        compared += 1
+        if relative > OUTLIER_THRESHOLD:
+            outliers.append((key, relative))
+        elif relative > REGRESSION_THRESHOLD:
+            slowed.append((key, relative))
+
+    print(
+        f"machine-speed factor (median ratio): {machine_factor:.3f}; gate: "
+        f"any cell > {OUTLIER_THRESHOLD:.2f}x relative, or > "
+        f"{BROAD_FRACTION:.0%} of cells > {REGRESSION_THRESHOLD:.2f}x"
+    )
+    failed = False
+    for key, relative in outliers:
+        failed = True
+        print(
+            f"REGRESSION: {key} slowed {relative:.2f}x beyond the "
+            f"machine-wide trend (outlier budget {OUTLIER_THRESHOLD:.2f}x)",
+            file=sys.stderr,
+        )
+    if compared and len(slowed) + len(outliers) > BROAD_FRACTION * compared:
+        failed = True
+        names = ", ".join(key for key, _ in slowed + outliers)
+        print(
+            f"REGRESSION: {len(slowed) + len(outliers)}/{compared} cells "
+            f"slowed > {REGRESSION_THRESHOLD:.2f}x beyond the machine-wide "
+            f"trend ({names})",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=f"BENCH_{LABEL}.json",
+        help="trend file to write (default: BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed baseline to gate against",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the collected cells to the baseline path and skip the gate",
+    )
+    args = parser.parse_args()
+
+    cells = collect_cells()
+    trend = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "label": LABEL,
+        "error_bound": ERROR_BOUND,
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "cells": cells,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(trend, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(cells)} cells)")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(trend, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; gate skipped")
+        return 0
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != SCHEMA:
+        print("baseline schema mismatch; gate skipped")
+        return 0
+    return gate(cells, baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also report the slice-by-slice baseline CR (with --volume)",
     )
+    compress.add_argument(
+        "--halo",
+        action="store_true",
+        help="halo-aware tiling: wavefront-ordered tiles predict and "
+        "entropy code across tile seams (with --volume)",
+    )
 
     # ---- stats ---------------------------------------------------------
     stats = subparsers.add_parser("stats", help="correlation statistics of a field file")
@@ -170,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     put.add_argument(
         "--overwrite", action="store_true", help="replace an existing store"
+    )
+    put.add_argument(
+        "--halo",
+        action="store_true",
+        help="halo-aware chunking: odd-parity chunks predict and entropy "
+        "code against their anchor neighbours",
     )
 
     get = store_sub.add_parser("get", help="read a region from a store")
@@ -252,6 +264,7 @@ def _command_compress_volume(args: argparse.Namespace, volume: np.ndarray) -> in
         bound,
         tile_shape=(args.tile,) * 3,
         parallel=parallel,
+        halo=args.halo,
     )
     metrics = volume_metrics(volume, compressed)
     rows = [
@@ -259,6 +272,7 @@ def _command_compress_volume(args: argparse.Namespace, volume: np.ndarray) -> in
         ("error bound", f"{bound:g} (abs)"),
         ("volume shape", "x".join(str(s) for s in volume.shape)),
         ("tiles", f"{compressed.n_tiles} ({args.tile}^3)"),
+        ("halo", str(bool(args.halo))),
         ("compression ratio", f"{metrics.compression_ratio:.3f}"),
         ("bit rate (bits/value)", f"{metrics.bit_rate:.3f}"),
         ("max abs error", f"{metrics.max_abs_error:.3e}"),
@@ -405,6 +419,7 @@ def _command_store_put(args: argparse.Namespace, ArrayStore) -> int:
         codec=args.codec,
         chunk_stats=not args.no_chunk_stats,
         overwrite=args.overwrite,
+        halo=args.halo,
     )
     parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
     store.write(array, parallel=parallel)

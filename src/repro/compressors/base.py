@@ -71,6 +71,11 @@ class CompressedField:
     extras:
         Free-form per-compressor diagnostics (e.g. fraction of unpredictable
         values for SZ, truncated bit planes for ZFP).
+    entropy_context:
+        Optional :class:`repro.encoding.context.EntropyContext` derived from
+        this field's backend symbol streams (in-memory by-product, not part
+        of the payload) — neighbouring tiles entropy code against it in
+        halo mode.
     """
 
     data: bytes
@@ -80,6 +85,7 @@ class CompressedField:
     error_bound: float
     reconstruction: Optional[np.ndarray] = None
     extras: Dict[str, float] = field(default_factory=dict)
+    entropy_context: Optional[object] = None
 
     @property
     def original_nbytes(self) -> int:
@@ -131,14 +137,25 @@ class LosslessBackend:
 
     # -- encoding ------------------------------------------------------
     @staticmethod
-    def _encode_packed(symbols: np.ndarray) -> bytes:
-        """Fixed-width bit packing of a non-negative symbol stream.
+    def _pack_fixed_width(values: np.ndarray, width: int) -> bytes:
+        """Fixed-``width`` MSB-first bit packing of non-negative values.
 
         A single broadcasted shift expands every symbol into exactly
         ``width`` MSB-first bits — byte-identical to the general
         variable-width ``BitWriter.write_bits_array`` path, without its
-        per-symbol repeat/cumsum machinery.
+        per-symbol repeat/cumsum machinery.  ``BitReader.read_bits_array``
+        is the matching decoder.
         """
+
+        if values.size == 0:
+            return b""
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = (values.astype(np.uint64)[:, None] >> shifts[None, :]) & np.uint64(1)
+        return np.packbits(bits.astype(np.uint8).ravel()).tobytes()
+
+    @staticmethod
+    def _encode_packed(symbols: np.ndarray) -> bytes:
+        """Self-describing fixed-width packing of a symbol stream."""
 
         body = bytearray()
         body.extend(encode_varint(symbols.size))
@@ -147,9 +164,7 @@ class LosslessBackend:
             return bytes(body)
         width = max(1, int(symbols.max()).bit_length())
         body.extend(encode_varint(width))
-        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-        bits = (symbols.astype(np.uint64)[:, None] >> shifts[None, :]) & np.uint64(1)
-        body.extend(np.packbits(bits.astype(np.uint8).ravel()).tobytes())
+        body.extend(LosslessBackend._pack_fixed_width(symbols, width))
         return bytes(body)
 
     @staticmethod
@@ -222,12 +237,30 @@ class LosslessBackend:
             + (symbols.size * width + 7) // 8
         )
 
-    def encode_symbols(self, symbols: np.ndarray) -> bytes:
-        """Losslessly encode a non-negative integer symbol stream."""
+    def encode_symbols(self, symbols: np.ndarray, *, context=None) -> bytes:
+        """Losslessly encode a non-negative integer symbol stream.
+
+        ``context`` is an optional :class:`repro.encoding.context.EntropyContext`
+        (the pooled symbol statistics of an already-reconstructed reference
+        tile).  When given, a table-free context-coded candidate (tag
+        ``C``) competes against the self-describing candidates and wins
+        only when strictly smaller — so context can never make a stream
+        larger, and ``context=None`` reproduces the exact legacy bytes.
+        """
 
         symbols = np.asarray(symbols, dtype=np.int64).ravel()
         if symbols.size and symbols.min() < 0:
             raise ValueError("symbols must be non-negative")
+        best = self._encode_symbols_plain(symbols)
+        if context is not None and self.name != "raw" and symbols.size:
+            candidate = self._encode_context_candidate(symbols, context)
+            if candidate is not None and len(candidate) < len(best):
+                return candidate
+        return best
+
+    def _encode_symbols_plain(self, symbols: np.ndarray) -> bytes:
+        """The self-describing (context-free) encoding of a symbol stream."""
+
         if self.name == "raw":
             payload = symbols.astype("<i8").tobytes()
             return b"R" + encode_varint(symbols.size) + payload
@@ -256,12 +289,97 @@ class LosslessBackend:
             return b"P" + self._encode_packed(symbols)
         return entropy_candidate
 
-    def decode_symbols(self, blob: bytes) -> np.ndarray:
-        """Inverse of :meth:`encode_symbols`."""
+    # -- context-coded (halo) streams ----------------------------------
+    def _encode_context_candidate(self, symbols: np.ndarray, context) -> Optional[bytes]:
+        """Tag-``C`` candidate: code against the reference-tile histogram.
+
+        Layout: ``C | varint n | varint pool_width | varint n_escapes |
+        packed escape values (pool_width bits each) | bit stream``.  The
+        canonical code is derived from the context pool plus the escape
+        pseudo-symbol on both sides, so no table is stored.
+        """
+
+        from repro.encoding.context import stream_width
+        from repro.encoding.huffman import (
+            canonical_code_from_counts,
+            huffman_encode_with_code,
+        )
+
+        width = stream_width(symbols)
+        pool = context.pool(width)
+        if pool is None:
+            return None
+        esc_symbol = pool.escape_symbol
+        code_symbols = np.append(pool.symbols, esc_symbol)
+        code_counts = np.append(pool.counts, pool.escape_count)
+        syms_c, lens_c, codes_c = canonical_code_from_counts(code_symbols, code_counts)
+
+        in_alphabet = np.isin(symbols, pool.symbols)
+        escapes = symbols[~in_alphabet]
+        coded = np.where(in_alphabet, symbols, esc_symbol)
+        bitstream = huffman_encode_with_code(coded, syms_c, lens_c, codes_c)
+
+        body = bytearray(b"C")
+        body.extend(encode_varint(symbols.size))
+        body.extend(encode_varint(width))
+        body.extend(encode_varint(int(escapes.size)))
+        body.extend(self._pack_fixed_width(escapes, width))
+        body.extend(bitstream)
+        return bytes(body)
+
+    def _decode_context_stream(self, body: bytes, context) -> np.ndarray:
+        from repro.encoding.huffman import (
+            canonical_code_from_counts,
+            huffman_decode_with_code,
+        )
+
+        if context is None:
+            raise ValueError(
+                "context-coded (halo) stream but no entropy context supplied"
+            )
+        count, pos = decode_varint(body, 0)
+        width, pos = decode_varint(body, pos)
+        n_escapes, pos = decode_varint(body, pos)
+        pool = context.pool(width)
+        if pool is None:
+            raise ValueError(
+                f"entropy context has no pool for stream width {width}"
+            )
+        escape_bytes = (n_escapes * width + 7) // 8
+        escapes = np.empty(0, dtype=np.int64)
+        if n_escapes:
+            reader = BitReader(body[pos : pos + escape_bytes])
+            escapes = reader.read_bits_array(
+                np.full(n_escapes, width, dtype=np.int64)
+            ).astype(np.int64)
+        pos += escape_bytes
+
+        esc_symbol = pool.escape_symbol
+        code_symbols = np.append(pool.symbols, esc_symbol)
+        code_counts = np.append(pool.counts, pool.escape_count)
+        syms_c, lens_c, _ = canonical_code_from_counts(code_symbols, code_counts)
+        decoded = huffman_decode_with_code(body[pos:], count, syms_c, lens_c)
+        escape_positions = np.flatnonzero(decoded == esc_symbol)
+        if escape_positions.size != n_escapes:
+            raise ValueError("context stream escape count mismatch")
+        if n_escapes:
+            decoded = decoded.copy()
+            decoded[escape_positions] = escapes
+        return decoded
+
+    def decode_symbols(self, blob: bytes, *, context=None) -> np.ndarray:
+        """Inverse of :meth:`encode_symbols`.
+
+        ``context`` must be the same :class:`EntropyContext` the encoder
+        used whenever the stream carries the ``C`` tag; self-describing
+        streams ignore it.
+        """
 
         if not blob:
             raise ValueError("empty lossless payload")
         tag, body = blob[:1], blob[1:]
+        if tag == b"C":
+            return self._decode_context_stream(body, context)
         if tag == b"R":
             count, pos = decode_varint(body, 0)
             return np.frombuffer(body[pos : pos + 8 * count], dtype="<i8").astype(np.int64)
@@ -309,6 +427,22 @@ class Compressor(ABC):
     @abstractmethod
     def decompress(self, compressed: CompressedField) -> np.ndarray:
         """Reconstruct the field from a :class:`CompressedField`."""
+
+    #: True when ``compress``/``decompress`` accept the ``halo`` keyword
+    #: (a :class:`repro.compressors.halo.TileHalo`).
+    supports_halo: bool = False
+
+    def decompress_with_context(self, compressed: CompressedField, halo=None):
+        """Decode and return ``(values, entropy_context)``.
+
+        The context is the :class:`repro.encoding.context.EntropyContext`
+        derived from the container's decoded symbol streams — identical to
+        the one the encoder attached — so callers can chain halos through
+        a decode pass.  Compressors without backend streams return
+        ``None`` for the context.
+        """
+
+        return self.decompress(compressed), None
 
     # ------------------------------------------------------------------
     def compression_ratio(self, field: np.ndarray) -> float:

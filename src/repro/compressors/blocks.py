@@ -36,7 +36,8 @@ this module deals only in arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from itertools import combinations
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +52,7 @@ __all__ = [
     "merge_field",
     "lorenzo_residuals",
     "lorenzo_reconstruct",
+    "halo_lorenzo_correction",
     "plane_design_matrix",
     "fit_block_planes",
     "coefficient_precisions",
@@ -168,6 +170,90 @@ def lorenzo_reconstruct(
     for axis in range(residuals.ndim - ndim, residuals.ndim):
         codes = np.cumsum(codes, axis=axis)
     return codes
+
+
+def _blocked_face(face: np.ndarray, block_size: int) -> np.ndarray:
+    """View a (d-1)-dim face as ``(*n_blocks_face, *block_face)``.
+
+    ``face`` must already be padded to multiples of ``block_size`` along
+    every axis (1D and 2D faces — the low faces of 2D/3D tiles).
+    """
+
+    face = np.asarray(face)
+    counts = tuple(length // block_size for length in face.shape)
+    interleaved = face.reshape(
+        tuple(x for count in counts for x in (count, block_size))
+    )
+    order = tuple(range(0, 2 * face.ndim, 2)) + tuple(range(1, 2 * face.ndim, 2))
+    return interleaved.transpose(order)
+
+
+def halo_lorenzo_correction(
+    halo_code_planes: Sequence[Optional[np.ndarray]],
+    n_blocks: Tuple[int, ...],
+    block_size: int,
+) -> np.ndarray:
+    """Residual-space correction that makes Lorenzo see across tile seams.
+
+    ``halo_code_planes[a]`` holds the *quantization codes* of the one
+    reconstructed neighbour plane adjacent to the tile's low face along
+    axis ``a`` (shape: the padded tile with axis ``a`` dropped), or
+    ``None``.  The standard per-block Lorenzo treats out-of-block
+    neighbours as zero; with a halo, the first plane of the tile-boundary
+    blocks should difference against the neighbour plane instead.
+
+    By linearity of the differencing cascade, the halo-aware residual is
+    ``lorenzo_residuals(codes) + D(shell)|core`` where the *shell tensor*
+    embeds the halo codes at the ``-1`` positions of an extended
+    ``(bs+1)^d`` block (zero for interior block faces, replicated from the
+    lowest-axis face where two halo faces meet — the one-plane halo
+    carries no edge/corner lines), and ``D`` is the same per-axis
+    difference cascade.  The returned array has shape
+    ``(*n_blocks, *(bs,)*d)`` and is zero except on the first planes of
+    tile-boundary blocks, so halo-free axes decode bit-identically.
+    """
+
+    ndim = len(n_blocks)
+    bs = int(block_size)
+    haloed = [
+        axis
+        for axis in range(ndim)
+        if axis < len(halo_code_planes) and halo_code_planes[axis] is not None
+    ]
+    shell = np.zeros(tuple(n_blocks) + (bs + 1,) * ndim, dtype=np.int64)
+    blocked_faces: Dict[int, np.ndarray] = {
+        axis: _blocked_face(halo_code_planes[axis], bs) for axis in haloed
+    }
+
+    # Every shell position with zero-set Z (extended coordinate 0 on the
+    # axes in Z, core elsewhere) takes the face of min(Z), replicated to
+    # position 0 along the other axes of Z.
+    for size in range(1, len(haloed) + 1):
+        for subset in combinations(haloed, size):
+            lead = subset[0]
+            face = blocked_faces[lead]
+            # Index the face at batch/block position 0 along subset[1:].
+            # Face axes: batch dims = tile axes without `lead`, then block
+            # dims likewise.
+            other_axes = [a for a in range(ndim) if a != lead]
+            batch_idx = [slice(None)] * (ndim - 1)
+            block_idx = [slice(None)] * (ndim - 1)
+            for axis in subset[1:]:
+                position = other_axes.index(axis)
+                batch_idx[position] = 0
+                block_idx[position] = 0
+            source = face[tuple(batch_idx) + tuple(block_idx)]
+            target_batch = tuple(
+                0 if axis in subset else slice(None) for axis in range(ndim)
+            )
+            target_block = tuple(
+                0 if axis in subset else slice(1, None) for axis in range(ndim)
+            )
+            shell[target_batch + target_block] = source
+
+    diffed = lorenzo_residuals(shell, block_ndim=ndim)
+    core = (slice(None),) * ndim + (slice(1, None),) * ndim
+    return diffed[core]
 
 
 # ----------------------------------------------------------------------
@@ -496,8 +582,62 @@ class BlockCodec:
         return 2.0 * self.error_bound
 
     # ------------------------------------------------------------------
-    def encode(self, values: np.ndarray) -> Optional[BlockEncoding]:
-        """Encode a 2D/3D float field; ``None`` when the integer grid overflows."""
+    def _halo_code_planes(
+        self,
+        halo_planes: Optional[Sequence[Optional[np.ndarray]]],
+        original_shape: Tuple[int, ...],
+        padded_shape: Tuple[int, ...],
+    ) -> Optional[list]:
+        """Quantize neighbour halo planes onto the code grid (or ``None``).
+
+        Planes come in at the tile's *original* cross-section and are
+        edge-padded to the padded tile; a plane whose codes overflow the
+        integer grid is dropped.  Every step is a pure function of the
+        plane values, so encoder and decoder (which receive bit-identical
+        reconstructed planes) derive bit-identical code planes.
+        """
+
+        if halo_planes is None:
+            return None
+        ndim = len(original_shape)
+        out: list = [None] * ndim
+        for axis in range(min(ndim, len(halo_planes))):
+            plane = halo_planes[axis]
+            if plane is None:
+                continue
+            expected = tuple(
+                s for i, s in enumerate(original_shape) if i != axis
+            )
+            plane = np.asarray(plane, dtype=np.float64)
+            if plane.shape != expected:
+                raise ValueError(
+                    f"halo plane for axis {axis} has shape {plane.shape}, "
+                    f"expected {expected}"
+                )
+            target = tuple(s for i, s in enumerate(padded_shape) if i != axis)
+            pads = tuple((0, t - s) for s, t in zip(plane.shape, target))
+            if any(p[1] for p in pads):
+                plane = np.pad(plane, pads, mode="edge")
+            codes = quantize_to_grid(plane, self.step)
+            if codes is None:
+                continue
+            out[axis] = codes
+        return out if any(p is not None for p in out) else None
+
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        values: np.ndarray,
+        halo_planes: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> Optional[BlockEncoding]:
+        """Encode a 2D/3D float field; ``None`` when the integer grid overflows.
+
+        ``halo_planes`` optionally supplies, per axis, the one
+        reconstructed neighbour plane adjacent to the tile's low face;
+        the Lorenzo candidate then predicts across the seam (see
+        :func:`halo_lorenzo_correction`).  ``decode`` must receive the
+        same planes.
+        """
 
         values = ensure_ndim(values, (2, 3), "values")
         ndim = values.ndim
@@ -514,7 +654,15 @@ class BlockCodec:
         candidates: Dict[str, np.ndarray] = {}
         reg_coeff_codes = None
         if "lorenzo" in self.predictors:
-            candidates["lorenzo"] = lorenzo_residuals(code_blocks, block_ndim=ndim)
+            lorenzo = lorenzo_residuals(code_blocks, block_ndim=ndim)
+            halo_codes = self._halo_code_planes(
+                halo_planes, original_shape, padded.shape
+            )
+            if halo_codes is not None:
+                lorenzo = lorenzo + halo_lorenzo_correction(
+                    halo_codes, n_blocks, bs
+                )
+            candidates["lorenzo"] = lorenzo
         if "regression" in self.predictors:
             coefficients = fit_block_planes(value_blocks, block_ndim=ndim)
             reg_coeff_codes = quantize_plane_coefficients(
@@ -555,8 +703,14 @@ class BlockCodec:
         outliers: np.ndarray,
         coeff_codes: Optional[np.ndarray],
         original_shape: Tuple[int, ...],
+        halo_planes: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> np.ndarray:
-        """Reconstruct the field from the arrays produced by :meth:`encode`."""
+        """Reconstruct the field from the arrays produced by :meth:`encode`.
+
+        ``halo_planes`` must be the same neighbour planes the encoder saw
+        (bit-identical reconstructed data) whenever the tile was encoded
+        with a halo.
+        """
 
         bs = self.block_size
         ndim = len(original_shape)
@@ -571,8 +725,17 @@ class BlockCodec:
         code_blocks = np.empty_like(residual_blocks)
         lorenzo_mask = modes == MODE_LORENZO
         if lorenzo_mask.any():
+            lorenzo_residual_blocks = residual_blocks
+            padded_shape = tuple(n * bs for n in n_blocks)
+            halo_codes = self._halo_code_planes(
+                halo_planes, original_shape, padded_shape
+            )
+            if halo_codes is not None:
+                lorenzo_residual_blocks = residual_blocks - halo_lorenzo_correction(
+                    halo_codes, n_blocks, bs
+                )
             code_blocks[lorenzo_mask] = lorenzo_reconstruct(
-                residual_blocks[lorenzo_mask], block_ndim=ndim
+                lorenzo_residual_blocks[lorenzo_mask], block_ndim=ndim
             )
         regression_mask = modes == MODE_REGRESSION
         if regression_mask.any():

@@ -59,6 +59,11 @@ __all__ = ["MGARDCompressor"]
 
 _MAGIC = b"MGR2"
 _CODE_RADIUS = 1 << 40
+#: Container flag values (leading varint after the magic): 0 plain, 1 raw,
+#: 2 halo/context-coded (level streams may carry the table-free context
+#: tag and need the tile halo's entropy context to decode).
+_FLAG_RAW = 1
+_FLAG_HALO = 2
 
 
 class MGARDCompressor(Compressor):
@@ -81,6 +86,7 @@ class MGARDCompressor(Compressor):
     """
 
     name = "mgard"
+    supports_halo = True
 
     def __init__(
         self,
@@ -108,12 +114,30 @@ class MGARDCompressor(Compressor):
         return self.error_bound * weights
 
     # ------------------------------------------------------------------
-    def compress(self, field: np.ndarray) -> CompressedField:
+    def compress(
+        self,
+        field: np.ndarray,
+        *,
+        halo=None,
+        collect_context: bool = False,
+    ) -> CompressedField:
+        """Compress a field; ``halo.context`` enables table-free streams.
+
+        The multigrid hierarchy has no per-block prediction restart to fix
+        (its dyadic grids align across power-of-two tile offsets), so like
+        ZFP the halo contributes through its entropy context only: the
+        level-group streams are coded against the reference neighbour's
+        symbol statistics instead of bootstrapping tables per tile.
+        """
+
         original = ensure_ndim(field, (2, 3), "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
         if not np.all(np.isfinite(values)):
             raise CompressorError("mgard: field contains non-finite values")
+        halo_context = halo.context if halo is not None else None
+        if halo_context is not None and not halo_context:
+            halo_context = None
 
         available = max_levels(values.shape)
         n_levels = available if self.levels is None else min(self.levels, available)
@@ -151,7 +175,7 @@ class MGARDCompressor(Compressor):
         # ------------------------------------------------------------------
         payload = bytearray()
         payload.extend(_MAGIC)
-        payload.extend(encode_varint(0))
+        payload.extend(encode_varint(_FLAG_HALO if halo_context is not None else 0))
         payload.extend(encode_varint(values.ndim))
         for length in values.shape:
             payload.extend(encode_varint(length))
@@ -177,12 +201,16 @@ class MGARDCompressor(Compressor):
         )
         groups = group_planes_by_width(widths)
         payload.extend(encode_varint(len(groups)))
+        context_streams = []
         for start, end, width in groups:
             payload.extend(encode_varint(end - start))
             payload.extend(encode_varint(width))
             if width > 0:
                 stream = np.concatenate(parts[start:end])
-                group_blob = self.backend.encode_symbols(stream)
+                context_streams.append(stream)
+                group_blob = self.backend.encode_symbols(
+                    stream, context=halo_context
+                )
                 payload.extend(encode_varint(len(group_blob)))
                 payload.extend(group_blob)
 
@@ -197,8 +225,13 @@ class MGARDCompressor(Compressor):
                 "n_levels": float(decomposition.n_levels),
                 "max_error": max_error,
                 "level_stream_groups": float(len(groups)),
+                "halo_coded": float(halo_context is not None),
             },
         )
+        if collect_context:
+            from repro.encoding.context import EntropyContext
+
+            compressed.entropy_context = EntropyContext.from_streams(context_streams)
         self.check_error_bound(values, reconstruction)
         return compressed
 
@@ -241,12 +274,28 @@ class MGARDCompressor(Compressor):
         )
 
     # ------------------------------------------------------------------
-    def decompress(self, compressed: CompressedField) -> np.ndarray:
+    def decompress(self, compressed: CompressedField, *, halo=None) -> np.ndarray:
+        return self._decode(compressed, halo, want_context=False)[0]
+
+    def decompress_with_context(self, compressed: CompressedField, halo=None):
+        return self._decode(compressed, halo, want_context=True)
+
+    def _decode(self, compressed: CompressedField, halo, want_context: bool = False):
         blob = compressed.data
         if blob[:4] != _MAGIC:
             raise CompressorError("not an MGARD-like container")
         pos = 4
-        raw_flag, pos = decode_varint(blob, pos)
+        flag, pos = decode_varint(blob, pos)
+        halo_context = None
+        if flag == _FLAG_HALO:
+            if halo is None or halo.context is None:
+                raise CompressorError(
+                    "mgard: halo-coded container requires the tile halo's "
+                    "entropy context to decode"
+                )
+            halo_context = halo.context
+        elif flag not in (0, _FLAG_RAW):
+            raise CompressorError(f"mgard: unknown container flag {flag}")
         ndim, pos = decode_varint(blob, pos)
         if ndim not in (2, 3):
             raise CompressorError(f"mgard: unsupported dimensionality {ndim}")
@@ -255,11 +304,11 @@ class MGARDCompressor(Compressor):
             length, pos = decode_varint(blob, pos)
             dims.append(length)
         original_shape = tuple(dims)
-        if raw_flag == 1:
+        if flag == _FLAG_RAW:
             pos += 8
             count = int(np.prod(original_shape))
             values = np.frombuffer(blob, dtype="<f8", count=count, offset=pos)
-            return values.reshape(original_shape).astype(np.float64)
+            return values.reshape(original_shape).astype(np.float64), None
 
         (error_bound,) = struct.unpack_from("<d", blob, pos)
         pos += 8
@@ -281,6 +330,7 @@ class MGARDCompressor(Compressor):
         n_parts = n_levels + 1
         n_groups, pos = decode_varint(blob, pos)
         parts: List[np.ndarray] = []
+        context_streams: List[np.ndarray] = []
         for _ in range(n_groups):
             group_parts, pos = decode_varint(blob, pos)
             width, pos = decode_varint(blob, pos)
@@ -291,7 +341,10 @@ class MGARDCompressor(Compressor):
                 parts.extend(np.zeros(size, dtype=np.int64) for size in sizes)
                 continue
             group_len, pos = decode_varint(blob, pos)
-            stream = self.backend.decode_symbols(blob[pos : pos + group_len])
+            stream = self.backend.decode_symbols(
+                blob[pos : pos + group_len], context=halo_context
+            )
+            context_streams.append(stream)
             pos += group_len
             if stream.size != sum(sizes):
                 raise CompressorError("mgard: level group length mismatch")
@@ -311,4 +364,10 @@ class MGARDCompressor(Compressor):
         detail_codes: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * n_levels
         for k, level in enumerate(range(n_levels - 1, -1, -1)):
             detail_codes[level] = parts[1 + k]
-        return self._reconstruct(coarse_codes, detail_codes, shapes, budgets)
+        values = self._reconstruct(coarse_codes, detail_codes, shapes, budgets)
+        context = None
+        if want_context:
+            from repro.encoding.context import EntropyContext
+
+            context = EntropyContext.from_streams(context_streams)
+        return values, context

@@ -23,7 +23,13 @@ array varint codecs, so neither direction loops over elements in Python.
 
 Two container formats exist: the legacy 2D layout (``SZR1``, unchanged
 bytes for 2D fields) and the dimension-general volume layout (``SZV1``)
-used for 3D inputs, which stores the dimensionality explicitly.
+used for 3D inputs, which stores the dimensionality explicitly.  Both
+magics share a leading flag varint: ``0`` plain, ``1`` raw fallback, and
+``2`` *halo-coded* — the tile was compressed against a
+:class:`repro.compressors.halo.TileHalo` (cross-seam Lorenzo prediction
+from the neighbour's reconstructed low-face planes, and/or context-coded
+backend streams), and ``decompress`` must receive the same halo.  Halo-off
+payloads are bit-identical to the pre-halo format.
 
 See the engine's docstring for why predicting in pre-quantized integer-code
 space is equivalent to the reference feedback formulation; the scalar
@@ -57,6 +63,9 @@ __all__ = ["SZCompressor"]
 
 _MAGIC = b"SZR1"
 _MAGIC_VOLUME = b"SZV1"
+#: Container flag values (leading varint after the magic).
+_FLAG_RAW = 1
+_FLAG_HALO = 2
 
 
 class SZCompressor(Compressor):
@@ -84,6 +93,7 @@ class SZCompressor(Compressor):
     """
 
     name = "sz"
+    supports_halo = True
 
     def __init__(
         self,
@@ -132,13 +142,46 @@ class SZCompressor(Compressor):
     # ------------------------------------------------------------------
     # compression
     # ------------------------------------------------------------------
-    def compress(self, field: np.ndarray) -> CompressedField:
+    def compress(
+        self,
+        field: np.ndarray,
+        *,
+        halo=None,
+        collect_context: bool = False,
+    ) -> CompressedField:
+        """Compress a field, optionally against a tile halo.
+
+        With ``halo`` (a :class:`~repro.compressors.halo.TileHalo`), the
+        block codec's Lorenzo predictor differences across the tile's low
+        faces using the neighbour planes, and the symbol stream may be
+        context coded against ``halo.context`` — the payload then carries
+        flag 2 and can only be decoded with the same halo.
+        ``collect_context`` attaches this tile's own
+        :class:`~repro.encoding.context.EntropyContext` to the result for
+        downstream neighbours.
+        """
+
         original = ensure_ndim(field, (2, 3), "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
         codec = self._codec_for(values.ndim)
 
-        encoding = codec.encode(values)
+        halo_planes = None
+        halo_axes_mask = 0
+        halo_context = None
+        if halo is not None:
+            halo_planes = [halo.plane(axis) for axis in range(values.ndim)]
+            if all(p is None for p in halo_planes):
+                halo_planes = None
+            else:
+                halo_axes_mask = sum(
+                    1 << axis
+                    for axis, plane in enumerate(halo_planes)
+                    if plane is not None
+                )
+            halo_context = halo.context
+
+        encoding = codec.encode(values, halo_planes=halo_planes)
         if encoding is None:
             # Error bound too small relative to the data magnitude for the
             # integer grid: fall back to verbatim storage (CR ~= 1).
@@ -151,14 +194,18 @@ class SZCompressor(Compressor):
             # bound a hard guarantee.
             return self._compress_raw(values, original_dtype)
 
+        halo_coded = halo_planes is not None or halo_context is not None
+        flag = _FLAG_HALO if halo_coded else 0
         payload = bytearray()
         if values.ndim == 2:
             payload.extend(_MAGIC)
-            payload.extend(encode_varint(0))  # container version / raw flag = 0
+            payload.extend(encode_varint(flag))  # 0 plain / 1 raw / 2 halo
         else:
             payload.extend(_MAGIC_VOLUME)
-            payload.extend(encode_varint(0))
+            payload.extend(encode_varint(flag))
             payload.extend(encode_varint(values.ndim))
+        if halo_coded:
+            payload.extend(encode_varint(halo_axes_mask))
         for length in encoding.original_shape:
             payload.extend(encode_varint(length))
         payload.extend(encode_varint(codec.block_size))
@@ -177,7 +224,9 @@ class SZCompressor(Compressor):
         payload.extend(encode_varint(len(coeff_blob)))
         payload.extend(coeff_blob)
 
-        symbol_blob = self.backend.encode_symbols(encoding.symbols.ravel())
+        symbol_blob = self.backend.encode_symbols(
+            encoding.symbols.ravel(), context=halo_context
+        )
         payload.extend(encode_varint(len(symbol_blob)))
         payload.extend(symbol_blob)
 
@@ -197,8 +246,15 @@ class SZCompressor(Compressor):
                 "unpredictable_fraction": encoding.unpredictable_fraction,
                 "regression_block_fraction": encoding.regression_fraction,
                 "n_blocks": float(int(np.prod(encoding.n_blocks))),
+                "halo_coded": float(halo_coded),
             },
         )
+        if collect_context:
+            from repro.encoding.context import EntropyContext
+
+            compressed.entropy_context = EntropyContext.from_streams(
+                [encoding.symbols.ravel()]
+            )
         self.check_error_bound(values, encoding.reconstruction)
         return compressed
 
@@ -228,30 +284,59 @@ class SZCompressor(Compressor):
     # ------------------------------------------------------------------
     # decompression
     # ------------------------------------------------------------------
-    def decompress(self, compressed: CompressedField) -> np.ndarray:
+    def decompress(self, compressed: CompressedField, *, halo=None) -> np.ndarray:
+        return self._decode(compressed, halo, want_context=False)[0]
+
+    def decompress_with_context(self, compressed: CompressedField, halo=None):
+        return self._decode(compressed, halo, want_context=True)
+
+    def _decode(self, compressed: CompressedField, halo, want_context: bool = False):
         blob = compressed.data
         magic = blob[:4]
         if magic not in (_MAGIC, _MAGIC_VOLUME):
             raise CompressorError("not an SZ-like container")
         pos = 4
-        raw_flag, pos = decode_varint(blob, pos)
+        flag, pos = decode_varint(blob, pos)
         if magic == _MAGIC:
             ndim = 2
         else:
             ndim, pos = decode_varint(blob, pos)
             if ndim != 3:
                 raise CompressorError(f"sz: unsupported volume dimensionality {ndim}")
+        halo_planes = None
+        halo_context = None
+        if flag == _FLAG_HALO:
+            axes_mask, pos = decode_varint(blob, pos)
+            if halo is None:
+                raise CompressorError(
+                    "sz: halo-coded container requires the tile halo to decode"
+                )
+            halo_planes = []
+            for axis in range(ndim):
+                if axes_mask & (1 << axis):
+                    plane = halo.plane(axis)
+                    if plane is None:
+                        raise CompressorError(
+                            f"sz: halo-coded container needs the axis-{axis} "
+                            "neighbour plane"
+                        )
+                    halo_planes.append(plane)
+                else:
+                    halo_planes.append(None)
+            halo_context = halo.context
+        elif flag not in (0, _FLAG_RAW):
+            raise CompressorError(f"sz: unknown container flag {flag}")
         shape = []
         for _ in range(ndim):
             length, pos = decode_varint(blob, pos)
             shape.append(length)
         original_shape = tuple(shape)
-        if raw_flag == 1:
+        if flag == _FLAG_RAW:
             (error_bound,) = struct.unpack_from("<d", blob, pos)
             pos += 8
             count = int(np.prod(original_shape))
             values = np.frombuffer(blob, dtype="<f8", count=count, offset=pos)
-            return values.reshape(original_shape).astype(np.float64)
+            return values.reshape(original_shape).astype(np.float64), None
 
         block_size, pos = decode_varint(blob, pos)
         (error_bound,) = struct.unpack_from("<d", blob, pos)
@@ -284,7 +369,9 @@ class SZCompressor(Compressor):
             raise CompressorError("regression coefficient stream length mismatch")
 
         symbol_len, pos = decode_varint(blob, pos)
-        symbols = self.backend.decode_symbols(blob[pos : pos + symbol_len])
+        symbols = self.backend.decode_symbols(
+            blob[pos : pos + symbol_len], context=halo_context
+        )
         pos += symbol_len
 
         n_outliers, pos = decode_varint(blob, pos)
@@ -296,10 +383,17 @@ class SZCompressor(Compressor):
         codec = BlockCodec(
             error_bound, block_size=block_size, code_radius=code_radius
         )
-        return codec.decode(
+        values = codec.decode(
             modes,
             symbols.reshape(total_blocks, block_size**ndim),
             outliers,
             coeff_codes,
             original_shape,
+            halo_planes=halo_planes,
         )
+        context = None
+        if want_context:
+            from repro.encoding.context import EntropyContext
+
+            context = EntropyContext.from_streams([symbols.ravel()])
+        return values, context

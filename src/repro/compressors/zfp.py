@@ -71,6 +71,11 @@ __all__ = ["ZFPCompressor"]
 
 _MAGIC = b"ZFR2"
 _MAGIC_VOLUME = b"ZFV1"
+#: Halo-coded container magics: identical layout, but backend streams may
+#: carry the table-free context tag and need the tile halo's entropy
+#: context (the reference neighbour's symbol statistics) to decode.
+_MAGIC_HALO = b"ZFR3"
+_MAGIC_VOLUME_HALO = b"ZFV2"
 #: Maximum |code|; blocks whose ratios exceed it fall back to exact storage.
 _CODE_RADIUS = 1 << 30
 #: Offset applied to the stored minimum exponent so the varint stays
@@ -102,6 +107,7 @@ class ZFPCompressor(Compressor):
     """
 
     name = "zfp"
+    supports_halo = True
 
     def __init__(
         self,
@@ -154,13 +160,33 @@ class ZFPCompressor(Compressor):
             return 2.0 * delta
 
     # ------------------------------------------------------------------
-    def compress(self, field: np.ndarray) -> CompressedField:
+    def compress(
+        self,
+        field: np.ndarray,
+        *,
+        halo=None,
+        collect_context: bool = False,
+    ) -> CompressedField:
+        """Compress a field; ``halo.context`` enables table-free streams.
+
+        ZFP's transform blocks are coded independently, so the halo's
+        neighbour *planes* carry no usable prediction here (measured to
+        hurt on rough data); what the tiled path loses against untiled
+        coding is the per-tile entropy bootstrap, and that is exactly what
+        the halo's :class:`~repro.encoding.context.EntropyContext`
+        recovers.  ``collect_context`` attaches this tile's own context
+        for downstream neighbours.
+        """
+
         original = ensure_ndim(field, (2, 3), "field")
         original_dtype = np.asarray(field).dtype
         values = ensure_float_array(original, "field")
         ndim = values.ndim
         if not np.all(np.isfinite(values)):
             raise CompressorError("zfp: field contains non-finite values")
+        halo_context = halo.context if halo is not None else None
+        if halo_context is not None and not halo_context:
+            halo_context = None
 
         blocks_nd, original_shape = partition_field(values, self.block_size)
         counts = blocks_nd.shape[:ndim]
@@ -241,9 +267,11 @@ class ZFPCompressor(Compressor):
         # ------------------------------------------------------------------
         payload = bytearray()
         if ndim == 2:
-            payload.extend(_MAGIC)
+            payload.extend(_MAGIC_HALO if halo_context is not None else _MAGIC)
         else:
-            payload.extend(_MAGIC_VOLUME)
+            payload.extend(
+                _MAGIC_VOLUME_HALO if halo_context is not None else _MAGIC_VOLUME
+            )
             payload.extend(encode_varint(ndim))
         for length in original_shape:
             payload.extend(encode_varint(length))
@@ -252,7 +280,8 @@ class ZFPCompressor(Compressor):
         for count in counts:
             payload.extend(encode_varint(count))
 
-        flag_blob = self.backend.encode_symbols(flags)
+        context_streams = [flags]
+        flag_blob = self.backend.encode_symbols(flags, context=halo_context)
         payload.extend(encode_varint(len(flag_blob)))
         payload.extend(flag_blob)
 
@@ -261,7 +290,10 @@ class ZFPCompressor(Compressor):
         emax_active = emax[active]
         emax_min = int(emax_active.min()) if emax_active.size else 0
         payload.extend(encode_varint(emax_min + _EMAX_OFFSET))
-        emax_blob = self.backend.encode_symbols(emax_active - emax_min)
+        context_streams.append(emax_active - emax_min)
+        emax_blob = self.backend.encode_symbols(
+            emax_active - emax_min, context=halo_context
+        )
         payload.extend(encode_varint(len(emax_blob)))
         payload.extend(emax_blob)
 
@@ -278,7 +310,11 @@ class ZFPCompressor(Compressor):
             payload.extend(encode_varint(end - start))
             payload.extend(encode_varint(width))
             if width > 0:
-                group_blob = self.backend.encode_symbols(zigzag[:, start:end].T.ravel())
+                group_stream = zigzag[:, start:end].T.ravel()
+                context_streams.append(group_stream)
+                group_blob = self.backend.encode_symbols(
+                    group_stream, context=halo_context
+                )
                 payload.extend(encode_varint(len(group_blob)))
                 payload.extend(group_blob)
 
@@ -302,8 +338,13 @@ class ZFPCompressor(Compressor):
                 "fine_block_fraction": float(fine_mask.mean()),
                 "n_blocks": float(n_blocks),
                 "coefficient_stream_groups": float(len(groups)),
+                "halo_coded": float(halo_context is not None),
             },
         )
+        if collect_context:
+            from repro.encoding.context import EntropyContext
+
+            compressed.entropy_context = EntropyContext.from_streams(context_streams)
         self.check_error_bound(values, reconstruction)
         return compressed
 
@@ -345,13 +386,27 @@ class ZFPCompressor(Compressor):
         return blocks
 
     # ------------------------------------------------------------------
-    def decompress(self, compressed: CompressedField) -> np.ndarray:
+    def decompress(self, compressed: CompressedField, *, halo=None) -> np.ndarray:
+        return self._decode(compressed, halo, want_context=False)[0]
+
+    def decompress_with_context(self, compressed: CompressedField, halo=None):
+        return self._decode(compressed, halo, want_context=True)
+
+    def _decode(self, compressed: CompressedField, halo, want_context: bool = False):
         blob = compressed.data
         magic = blob[:4]
-        if magic not in (_MAGIC, _MAGIC_VOLUME):
+        if magic not in (_MAGIC, _MAGIC_VOLUME, _MAGIC_HALO, _MAGIC_VOLUME_HALO):
             raise CompressorError("not a ZFP-like container")
+        halo_context = None
+        if magic in (_MAGIC_HALO, _MAGIC_VOLUME_HALO):
+            if halo is None or halo.context is None:
+                raise CompressorError(
+                    "zfp: halo-coded container requires the tile halo's "
+                    "entropy context to decode"
+                )
+            halo_context = halo.context
         pos = 4
-        if magic == _MAGIC:
+        if magic in (_MAGIC, _MAGIC_HALO):
             ndim = 2
         else:
             ndim, pos = decode_varint(blob, pos)
@@ -375,10 +430,13 @@ class ZFPCompressor(Compressor):
         n_planes = bs**ndim
 
         flag_len, pos = decode_varint(blob, pos)
-        flags = self.backend.decode_symbols(blob[pos : pos + flag_len])
+        flags = self.backend.decode_symbols(
+            blob[pos : pos + flag_len], context=halo_context
+        )
         pos += flag_len
         if flags.size != n_blocks:
             raise CompressorError("zfp: block flag stream length mismatch")
+        context_streams = [flags]
         negligible = flags == _FLAG_NEGLIGIBLE
         exact_mask = flags == _FLAG_EXACT
         fine_mask = flags == _FLAG_ACTIVE_FINE
@@ -388,7 +446,11 @@ class ZFPCompressor(Compressor):
         emax_min_shifted, pos = decode_varint(blob, pos)
         emax_min = emax_min_shifted - _EMAX_OFFSET
         emax_len, pos = decode_varint(blob, pos)
-        emax_active = self.backend.decode_symbols(blob[pos : pos + emax_len]) + emax_min
+        emax_shifted = self.backend.decode_symbols(
+            blob[pos : pos + emax_len], context=halo_context
+        )
+        context_streams.append(emax_shifted)
+        emax_active = emax_shifted + emax_min
         pos += emax_len
         if emax_active.size != n_active:
             raise CompressorError("zfp: exponent stream length mismatch")
@@ -405,10 +467,13 @@ class ZFPCompressor(Compressor):
                 raise CompressorError("zfp: coefficient plane groups exceed block size")
             if width > 0:
                 group_len, pos = decode_varint(blob, pos)
-                group = self.backend.decode_symbols(blob[pos : pos + group_len])
+                group = self.backend.decode_symbols(
+                    blob[pos : pos + group_len], context=halo_context
+                )
                 pos += group_len
                 if group.size != group_planes * n_active:
                     raise CompressorError("zfp: coefficient group length mismatch")
+                context_streams.append(group)
                 zigzag[:, plane : plane + group_planes] = group.reshape(
                     group_planes, n_active
                 ).T
@@ -434,4 +499,9 @@ class ZFPCompressor(Compressor):
         if exact_mask.any():
             blocks[exact_mask] = exact_values.reshape((-1,) + (bs,) * ndim)
         field = merge_field(blocks.reshape(counts + (bs,) * ndim), original_shape)
-        return field
+        context = None
+        if want_context:
+            from repro.encoding.context import EntropyContext
+
+            context = EntropyContext.from_streams(context_streams)
+        return field, context

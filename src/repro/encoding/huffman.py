@@ -38,7 +38,15 @@ from repro.encoding.varint import (
     encode_varint_array,
 )
 
-__all__ = ["HuffmanCode", "huffman_code_lengths", "huffman_encode", "huffman_decode"]
+__all__ = [
+    "HuffmanCode",
+    "huffman_code_lengths",
+    "huffman_encode",
+    "huffman_decode",
+    "canonical_code_from_counts",
+    "huffman_encode_with_code",
+    "huffman_decode_with_code",
+]
 
 _MAX_CODE_LENGTH = 57  # keeps (code << length) within a 64-bit word during packing
 #: Codes are length-limited to this many bits at encode time so the decoder
@@ -446,4 +454,97 @@ def huffman_decode(blob: bytes) -> np.ndarray:
     if int(lens_canonical[-1]) <= _MAX_TABLE_BITS:
         return _decode_vectorized(syms[order], lens_canonical, payload, n_symbols)
     code = HuffmanCode.from_lengths({int(s): int(l) for s, l in zip(syms, lens)})
+    return _decode_scalar(code, payload, n_symbols)
+
+
+# ----------------------------------------------------------------------
+# coding against an externally agreed (context-derived) canonical code
+# ----------------------------------------------------------------------
+def canonical_code_from_counts(
+    symbols: np.ndarray, counts: np.ndarray, *, max_length: int = _LENGTH_LIMIT
+):
+    """Canonical code arrays from a frequency table both sides can derive.
+
+    Returns ``(syms_canonical, lens_canonical, codes_canonical)`` in
+    canonical (length, symbol) order.  Encoder and decoder of a
+    context-coded stream call this with the *same* reference histogram
+    (see :mod:`repro.encoding.context`), so no table is ever serialised.
+    """
+
+    symbols = np.asarray(symbols, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if symbols.size == 0:
+        raise ValueError("cannot build a code from an empty frequency table")
+    if symbols.size != counts.size:
+        raise ValueError("symbols and counts must align")
+    lengths = _code_lengths_array(counts)
+    lengths = _limit_lengths_array(
+        symbols, lengths, min(max_length, _MAX_CODE_LENGTH)
+    )
+    _, syms_c, lens_c, codes_c = _canonical_codes_array(symbols, lengths)
+    return syms_c, lens_c, codes_c
+
+
+def huffman_encode_with_code(
+    stream: np.ndarray,
+    syms_canonical: np.ndarray,
+    lens_canonical: np.ndarray,
+    codes_canonical: np.ndarray,
+) -> bytes:
+    """Encode ``stream`` as a bare bit stream using a pre-agreed code.
+
+    Unlike :func:`huffman_encode` no symbol table is written — the decoder
+    derives the identical code out of band.  Every stream symbol must be
+    in the code's alphabet (callers route out-of-alphabet symbols through
+    an escape symbol first).
+    """
+
+    stream = np.asarray(stream, dtype=np.int64).ravel()
+    if stream.size == 0:
+        return b""
+    # Map stream symbols to canonical slots via one searchsorted over the
+    # symbol-sorted alphabet.
+    sym_order = np.argsort(syms_canonical, kind="stable")
+    sorted_syms = syms_canonical[sym_order]
+    pos = np.searchsorted(sorted_syms, stream)
+    if int(pos.max(initial=0)) >= sorted_syms.size or not np.array_equal(
+        sorted_syms[pos], stream
+    ):
+        raise ValueError("stream contains symbols outside the agreed code")
+    slots = sym_order[pos]
+    codes_arr = codes_canonical[slots]
+    lens_arr = lens_canonical[slots]
+
+    # Same vectorised MSB-first packing as huffman_encode.
+    starts = np.cumsum(lens_arr) - lens_arr
+    total = int(starts[-1] + lens_arr[-1])
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens_arr)
+    rep_codes = np.repeat(codes_arr, lens_arr)
+    rep_shifts = (np.repeat(lens_arr, lens_arr) - 1 - within).astype(np.uint64)
+    bits = ((rep_codes >> rep_shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits).tobytes()
+
+
+def huffman_decode_with_code(
+    payload: bytes,
+    n_symbols: int,
+    syms_canonical: np.ndarray,
+    lens_canonical: np.ndarray,
+) -> np.ndarray:
+    """Inverse of :func:`huffman_encode_with_code` (code supplied out of band)."""
+
+    if n_symbols == 0:
+        return np.empty(0, dtype=np.int64)
+    if syms_canonical.size == 1:
+        # Degenerate single-symbol code: one bit per symbol.
+        if len(payload) * 8 < n_symbols:
+            raise EOFError("bit stream exhausted")
+        return np.full(n_symbols, int(syms_canonical[0]), dtype=np.int64)
+    if int(lens_canonical[-1]) <= _MAX_TABLE_BITS:
+        return _decode_vectorized(
+            syms_canonical, lens_canonical.astype(np.int64), payload, n_symbols
+        )
+    code = HuffmanCode.from_lengths(
+        {int(s): int(l) for s, l in zip(syms_canonical, lens_canonical)}
+    )
     return _decode_scalar(code, payload, n_symbols)

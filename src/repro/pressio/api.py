@@ -50,27 +50,52 @@ class PressioCompressor:
         bound = self.options.absolute_bound(float(np.min(field)), float(np.max(field)))
         return make_compressor(self.compressor_id, bound, **self.options.extra)
 
-    def compress(self, field: np.ndarray) -> Tuple[CompressedField, CompressionMetrics]:
+    def compress(
+        self,
+        field: np.ndarray,
+        *,
+        halo=None,
+        collect_context: bool = False,
+    ) -> Tuple[CompressedField, CompressionMetrics]:
         """Compress a 2D or 3D ``field`` and evaluate the standard metric set.
 
         The registry compressors are dimension-general, so the facade
         accepts volumes as well as planes; the chunked array store drives
-        its per-chunk codecs through this path.
+        its per-chunk codecs through this path.  ``halo`` (a
+        :class:`repro.compressors.halo.TileHalo`) and ``collect_context``
+        are forwarded to halo-capable compressors and silently dropped for
+        the rest.
         """
 
         field = ensure_ndim(field, (2, 3), "field")
         compressor = self._instantiate(field)
-        compressed = compressor.compress(field)
+        if getattr(compressor, "supports_halo", False):
+            compressed = compressor.compress(
+                field, halo=halo, collect_context=collect_context
+            )
+        else:
+            compressed = compressor.compress(field)
         metrics = evaluate_metrics(field, compressed)
         return compressed, metrics
 
-    def decompress(self, compressed: CompressedField) -> np.ndarray:
+    def decompress(self, compressed: CompressedField, *, halo=None) -> np.ndarray:
         """Decompress a container produced by :meth:`compress`."""
 
         compressor = make_compressor(
             self.compressor_id, compressed.error_bound, **self.options.extra
         )
+        if getattr(compressor, "supports_halo", False):
+            return compressor.decompress(compressed, halo=halo)
         return compressor.decompress(compressed)
+
+    def decompress_with_context(self, compressed: CompressedField, halo=None):
+        """Decode and return ``(values, entropy_context)`` — the halo-chaining
+        variant of :meth:`decompress`."""
+
+        compressor = make_compressor(
+            self.compressor_id, compressed.error_bound, **self.options.extra
+        )
+        return compressor.decompress_with_context(compressed, halo=halo)
 
     def get_configuration(self) -> Dict[str, Any]:
         """Introspection helper mirroring libpressio's get_configuration."""

@@ -8,15 +8,21 @@ a CRC-32 of the payload bytes:
 
 ```
 header  (16 bytes):  magic "RPST" | version u16 | flags u16 | n_chunks u64
-record  (32 bytes):  offset u64 | length u64 | codec char[8] | crc32 u32 | reserved u32
+record  (32 bytes):  offset u64 | length u64 | codec char[8] | crc32 u32 | flags u32
 ```
 
 All integers are little-endian.  Codec names are ASCII, NUL-padded to 8
 bytes.  Deduplicated chunks (identical payload bytes) simply share an
 ``(offset, length)`` range, so the format needs no separate dedup table.
-The layout is pinned by a golden file in the test-suite
-(``tests/store/data/index_golden.bin``); any change must bump
-``INDEX_VERSION`` and keep :func:`unpack_index` reading version 1.
+
+Version 1 kept the record's trailing u32 reserved (always zero).  Version
+2 repurposes it as per-chunk **halo flags** (same 32-byte layout): bit 0
+marks a halo-coded chunk, bits 1-3 which axes contributed a neighbour
+plane, bits 4-6 the entropy-context reference axis plus one (0 = none).
+``pack_index`` emits version 1 whenever no record carries flags, so
+halo-off stores stay bit-identical to the pinned v1 golden file
+(``tests/store/data/index_golden.bin``); :func:`unpack_index` reads both
+versions.
 """
 
 from __future__ import annotations
@@ -28,19 +34,52 @@ from typing import List, Sequence
 __all__ = [
     "INDEX_MAGIC",
     "INDEX_VERSION",
+    "INDEX_VERSION_HALO",
     "IndexRecord",
     "StoreFormatError",
     "StoreCorruptionError",
     "pack_index",
     "unpack_index",
+    "halo_flags",
+    "parse_halo_flags",
 ]
 
 INDEX_MAGIC = b"RPST"
 INDEX_VERSION = 1
+#: Version emitted when any record carries halo flags.
+INDEX_VERSION_HALO = 2
 
 _HEADER = struct.Struct("<4sHHQ")
 _RECORD = struct.Struct("<QQ8sII")
 _CODEC_BYTES = 8
+
+#: Record-flag layout (v2): halo bit, 3 plane-axis bits, 3 reference bits.
+_FLAG_HALO = 1
+_AXES_SHIFT = 1
+_AXES_MASK = 0b111
+_REF_SHIFT = 4
+_REF_MASK = 0b111
+
+
+def halo_flags(axes_mask: int, ref_axis: int | None) -> int:
+    """Pack a halo chunk's decode dependencies into the record flags."""
+
+    if axes_mask < 0 or axes_mask > _AXES_MASK:
+        raise StoreFormatError(f"halo axes mask {axes_mask} out of range")
+    if ref_axis is not None and not 0 <= ref_axis < 3:
+        raise StoreFormatError(f"halo reference axis {ref_axis} out of range")
+    reference = 0 if ref_axis is None else ref_axis + 1
+    return _FLAG_HALO | (axes_mask << _AXES_SHIFT) | (reference << _REF_SHIFT)
+
+
+def parse_halo_flags(flags: int):
+    """Inverse of :func:`halo_flags`: ``(halo, axes_mask, ref_axis)``."""
+
+    if not flags & _FLAG_HALO:
+        return False, 0, None
+    axes_mask = (flags >> _AXES_SHIFT) & _AXES_MASK
+    reference = (flags >> _REF_SHIFT) & _REF_MASK
+    return True, axes_mask, (reference - 1 if reference else None)
 
 
 class StoreFormatError(RuntimeError):
@@ -63,12 +102,16 @@ class IndexRecord:
         Registry name of the codec that produced the payload.
     checksum:
         CRC-32 (:func:`zlib.crc32`) of the payload bytes.
+    flags:
+        Per-chunk halo flags (see :func:`halo_flags`); 0 for chunks that
+        decode standalone.
     """
 
     offset: int
     length: int
     codec: str
     checksum: int
+    flags: int = 0
 
 
 def _encode_codec(codec: str) -> bytes:
@@ -81,21 +124,32 @@ def _encode_codec(codec: str) -> bytes:
 
 
 def pack_index(records: Sequence[IndexRecord]) -> bytes:
-    """Serialise the chunk index (header + one record per chunk)."""
+    """Serialise the chunk index (header + one record per chunk).
 
-    out = bytearray(_HEADER.pack(INDEX_MAGIC, INDEX_VERSION, 0, len(records)))
+    Emits version 1 (the pinned legacy layout) when no record carries
+    flags, version 2 otherwise — same byte layout either way.
+    """
+
+    version = (
+        INDEX_VERSION_HALO
+        if any(record.flags for record in records)
+        else INDEX_VERSION
+    )
+    out = bytearray(_HEADER.pack(INDEX_MAGIC, version, 0, len(records)))
     for record in records:
         if record.offset < 0 or record.length < 0:
             raise StoreFormatError(
                 f"negative offset/length in index record {record!r}"
             )
+        if record.flags < 0 or record.flags > 0xFFFFFFFF:
+            raise StoreFormatError(f"flags out of range in index record {record!r}")
         out.extend(
             _RECORD.pack(
                 int(record.offset),
                 int(record.length),
                 _encode_codec(record.codec),
                 int(record.checksum) & 0xFFFFFFFF,
-                0,
+                int(record.flags),
             )
         )
     return bytes(out)
@@ -111,9 +165,10 @@ def unpack_index(blob: bytes) -> List[IndexRecord]:
     magic, version, flags, n_chunks = _HEADER.unpack_from(blob, 0)
     if magic != INDEX_MAGIC:
         raise StoreFormatError(f"bad index magic {magic!r}")
-    if version != INDEX_VERSION:
+    if version not in (INDEX_VERSION, INDEX_VERSION_HALO):
         raise StoreFormatError(
-            f"unsupported index version {version} (expected {INDEX_VERSION})"
+            f"unsupported index version {version} "
+            f"(expected {INDEX_VERSION} or {INDEX_VERSION_HALO})"
         )
     if flags != 0:
         raise StoreFormatError(f"unsupported index flags {flags:#06x}")
@@ -125,14 +180,24 @@ def unpack_index(blob: bytes) -> List[IndexRecord]:
     records: List[IndexRecord] = []
     pos = _HEADER.size
     for _ in range(n_chunks):
-        offset, length, codec_raw, checksum, _reserved = _RECORD.unpack_from(blob, pos)
+        offset, length, codec_raw, checksum, record_flags = _RECORD.unpack_from(
+            blob, pos
+        )
         pos += _RECORD.size
         codec = codec_raw.rstrip(b"\0").decode("ascii", errors="strict")
         if not codec:
             raise StoreFormatError("empty codec name in index record")
+        if version == INDEX_VERSION and record_flags != 0:
+            raise StoreFormatError(
+                "non-zero record flags in a version-1 index"
+            )
         records.append(
             IndexRecord(
-                offset=offset, length=length, codec=codec, checksum=checksum
+                offset=offset,
+                length=length,
+                codec=codec,
+                checksum=checksum,
+                flags=record_flags,
             )
         )
     return records

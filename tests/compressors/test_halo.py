@@ -1,0 +1,224 @@
+"""Halo-aware compression tests: the shell-corrected Lorenzo predictor,
+the TileHalo carrier, and the halo container paths of all three
+compressors (error bound, round trips, halo-off bit-identity)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.compressors.blocks import (
+    BlockCodec,
+    halo_lorenzo_correction,
+    lorenzo_residuals,
+)
+from repro.compressors.halo import TileHalo
+from repro.compressors.registry import make_compressor
+from repro.encoding.context import EntropyContext
+from repro.utils.blocking import block_view, reassemble_blocks
+
+COMPRESSORS = ("sz", "zfp", "mgard")
+
+
+def correlated_field(shape, seed=0, noise=0.01):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*(np.linspace(0, 3, s) for s in shape), indexing="ij")
+    field = sum(np.sin(2.1 * g + i) for i, g in enumerate(grids))
+    return field + noise * rng.normal(size=shape)
+
+
+def neighbour_planes(field, offset=0.02):
+    """Plausible reconstructed neighbour planes: the low faces, shifted."""
+
+    return [
+        np.ascontiguousarray(np.take(field, 0, axis=axis)) - offset
+        for axis in range(field.ndim)
+    ]
+
+
+def brute_extended_lorenzo(codes, halo_codes, bs):
+    """Reference per-block inclusion-exclusion over the extended block."""
+
+    ndim = codes.ndim
+    n_blocks = tuple(s // bs for s in codes.shape)
+
+    def shell_value(block_idx, local):
+        zero_set = [a for a in range(ndim) if local[a] == -1]
+        if not zero_set:
+            pos = tuple(block_idx[a] * bs + local[a] for a in range(ndim))
+            return codes[pos]
+        for axis in zero_set:
+            if halo_codes[axis] is None or block_idx[axis] != 0:
+                return 0
+        lead = zero_set[0]
+        coords = []
+        for axis in range(ndim):
+            if axis == lead:
+                continue
+            local_pos = 0 if axis in zero_set else local[axis]
+            coords.append(block_idx[axis] * bs + local_pos)
+        return halo_codes[lead][tuple(coords)]
+
+    out = np.zeros_like(codes)
+    for block_idx in product(*(range(n) for n in n_blocks)):
+        for local in product(*(range(bs) for _ in range(ndim))):
+            residual = 0
+            for signs in product((0, 1), repeat=ndim):
+                shifted = tuple(local[a] - signs[a] for a in range(ndim))
+                residual += (-1) ** sum(signs) * shell_value(block_idx, shifted)
+            pos = tuple(block_idx[a] * bs + local[a] for a in range(ndim))
+            out[pos] = residual
+    return out
+
+
+class TestHaloLorenzoCorrection:
+    @pytest.mark.parametrize(
+        "shape,bs,halo_axes",
+        [
+            ((8, 12), 4, (0, 1)),
+            ((8, 8), 4, (1,)),
+            ((4, 6, 4), 2, (0, 1, 2)),
+            ((4, 4, 6), 2, (0, 2)),
+        ],
+    )
+    def test_matches_brute_force_extended_lorenzo(self, shape, bs, halo_axes):
+        rng = np.random.default_rng(7)
+        codes = rng.integers(-50, 50, shape).astype(np.int64)
+        halo_codes = [
+            rng.integers(-50, 50, tuple(s for i, s in enumerate(shape) if i != a))
+            .astype(np.int64)
+            if a in halo_axes
+            else None
+            for a in range(len(shape))
+        ]
+        n_blocks = tuple(s // bs for s in shape)
+        standard = lorenzo_residuals(block_view(codes.copy(), bs), block_ndim=len(shape))
+        corrected = standard + halo_lorenzo_correction(halo_codes, n_blocks, bs)
+        got = reassemble_blocks(corrected, shape)
+        want = brute_extended_lorenzo(codes, halo_codes, bs)
+        assert np.array_equal(got, want)
+
+    def test_no_halo_axes_is_zero(self):
+        correction = halo_lorenzo_correction([None, None], (2, 2), 4)
+        assert not correction.any()
+
+
+class TestTileHalo:
+    def test_build_none_when_empty(self):
+        assert TileHalo.build([None, None, None]) is None
+        assert TileHalo.build([None], context=EntropyContext({})) is None
+
+    def test_axes_mask_and_digest(self):
+        plane = np.arange(6.0).reshape(2, 3)
+        halo = TileHalo.build([None, plane, None])
+        assert halo.axes_mask == 0b010
+        assert halo.plane(1) is not None and halo.plane(0) is None
+        other = TileHalo.build([None, plane + 1, None])
+        assert halo.digest() != other.digest()
+        assert halo.digest() == TileHalo.build([None, plane, None]).digest()
+
+    def test_context_changes_digest(self):
+        plane = np.arange(6.0).reshape(2, 3)
+        context = EntropyContext.from_streams([np.array([1, 2, 3])])
+        with_ctx = TileHalo.build([plane, None], context=context)
+        without = TileHalo.build([plane, None])
+        assert with_ctx.digest() != without.digest()
+
+
+class TestBlockCodecHalo:
+    @pytest.mark.parametrize("shape,bs", [((33, 30), 16), ((20, 24, 18), 8)])
+    def test_round_trip_and_bound(self, shape, bs):
+        field = correlated_field(shape, seed=1)
+        planes = neighbour_planes(field)
+        codec = BlockCodec(1e-3, block_size=bs)
+        encoding = codec.encode(field, halo_planes=planes)
+        decoded = codec.decode(
+            encoding.modes,
+            encoding.symbols,
+            encoding.outliers,
+            encoding.coeff_codes,
+            encoding.original_shape,
+            halo_planes=planes,
+        )
+        assert np.array_equal(decoded, encoding.reconstruction)
+        assert np.abs(decoded - field).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_halo_off_unchanged(self):
+        field = correlated_field((32, 32), seed=2)
+        codec = BlockCodec(1e-3)
+        plain = codec.encode(field)
+        again = codec.encode(field, halo_planes=None)
+        assert np.array_equal(plain.symbols, again.symbols)
+        assert np.array_equal(plain.modes, again.modes)
+
+    def test_bad_plane_shape_rejected(self):
+        field = correlated_field((32, 32), seed=3)
+        codec = BlockCodec(1e-3)
+        with pytest.raises(ValueError, match="halo plane"):
+            codec.encode(field, halo_planes=[np.zeros(7), None])
+
+
+class TestContainerHalo:
+    @pytest.mark.parametrize("name", COMPRESSORS)
+    @pytest.mark.parametrize("shape", [(48, 40), (24, 24, 24)])
+    def test_round_trip_bound_and_context_chain(self, name, shape):
+        field = correlated_field(shape, seed=4)
+        compressor = make_compressor(name, 1e-3)
+        reference = compressor.compress(field + 0.05, collect_context=True)
+        halo = TileHalo.build(
+            neighbour_planes(field), context=reference.entropy_context
+        )
+        compressed = compressor.compress(field, halo=halo, collect_context=True)
+        values, context = compressor.decompress_with_context(compressed, halo=halo)
+        assert np.abs(values - field).max() <= 1e-3 * (1 + 1e-9)
+        assert np.array_equal(values, compressed.reconstruction)
+        # The decode-side context must equal the encode-side one — that is
+        # what lets halos chain through a pure decode pass.
+        assert context.digest() == compressed.entropy_context.digest()
+
+    @pytest.mark.parametrize("name", COMPRESSORS)
+    def test_rough_field_round_trip(self, name):
+        rng = np.random.default_rng(5)
+        field = rng.normal(size=(20, 20, 20))
+        planes = [rng.normal(size=(20, 20)) for _ in range(3)]
+        reference = make_compressor(name, 1e-4).compress(
+            rng.normal(size=(20, 20, 20)), collect_context=True
+        )
+        halo = TileHalo.build(planes, context=reference.entropy_context)
+        compressor = make_compressor(name, 1e-4)
+        compressed = compressor.compress(field, halo=halo)
+        values = compressor.decompress(compressed, halo=halo)
+        assert np.abs(values - field).max() <= 1e-4 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("name", COMPRESSORS)
+    def test_halo_off_bytes_unchanged_by_halo_machinery(self, name):
+        field = correlated_field((40, 40), seed=6)
+        compressor = make_compressor(name, 1e-3)
+        plain = compressor.compress(field)
+        again = make_compressor(name, 1e-3).compress(field, halo=None)
+        assert plain.data == again.data
+
+    @pytest.mark.parametrize("name", COMPRESSORS)
+    def test_halo_container_requires_halo_to_decode(self, name):
+        field = correlated_field((24, 24, 24), seed=7)
+        compressor = make_compressor(name, 1e-3)
+        reference = compressor.compress(field + 0.05, collect_context=True)
+        halo = TileHalo.build(
+            neighbour_planes(field), context=reference.entropy_context
+        )
+        compressed = compressor.compress(field, halo=halo)
+        if not compressed.extras.get("halo_coded"):
+            pytest.skip("halo candidate never engaged on this field")
+        with pytest.raises(Exception, match="halo"):
+            compressor.decompress(compressed)
+
+    def test_sz_halo_decode_needs_matching_planes(self):
+        field = correlated_field((24, 24, 24), seed=8)
+        compressor = make_compressor("sz", 1e-3)
+        halo = TileHalo.build(neighbour_planes(field))
+        compressed = compressor.compress(field, halo=halo)
+        wrong = TileHalo.build([neighbour_planes(field)[0], None, None])
+        with pytest.raises(Exception, match="plane"):
+            compressor.decompress(compressed, halo=wrong)

@@ -181,13 +181,27 @@ class TestAppend:
         values = ArrayStore.open(tmp_path / "s").read()
         assert values.shape == volume_3d.shape
         assert np.abs(values - volume_3d).max() <= TOL
+        # Aligned appends rewrite nothing, so no payload bytes are orphaned.
+        assert store.orphaned_nbytes == 0
+        assert store.info()["orphaned_nbytes"] == 0
 
     def test_append_unaligned_rewrites_partial_chunks(self, tmp_path, volume_3d):
         store = make_store(tmp_path / "s", volume_3d[:24], chunk=16)
+        live_before = store.live_payload_nbytes
+        assert store.orphaned_nbytes == 0
         store.append(volume_3d[24:], cache=False)
         values = ArrayStore.open(tmp_path / "s").read()
         assert values.shape == volume_3d.shape
         assert np.abs(values - volume_3d).max() <= TOL
+        # The rewritten trailing-slab payloads stay behind as dead bytes;
+        # info() surfaces them so compaction need is visible.
+        info = store.info()
+        assert info["orphaned_nbytes"] == store.orphaned_nbytes > 0
+        assert (
+            info["data_file_nbytes"]
+            == store.live_payload_nbytes + store.orphaned_nbytes
+        )
+        assert store.orphaned_nbytes <= live_before
 
     def test_append_to_empty_store_writes(self, tmp_path, field_2d):
         store = ArrayStore.create(tmp_path / "s", chunk_shape=32)
@@ -354,3 +368,131 @@ class TestErrorPaths:
         bad[0, 0] = np.nan
         with pytest.raises(ValueError, match="finite"):
             store.write(bad)
+
+
+class TestHaloStore:
+    """Halo-aware chunking: odd-parity chunks borrow their even-parity
+    anchor neighbours' reconstructed planes and entropy context."""
+
+    @pytest.mark.parametrize("codec", ["sz", "zfp", "mgard"])
+    def test_round_trip_and_bound_3d(self, tmp_path, volume_3d, codec):
+        store = make_store(
+            tmp_path / codec, volume_3d, chunk=16, codec=codec, halo=True
+        )
+        values = store.read()
+        assert np.abs(values - volume_3d).max() <= TOL
+        # Reopened stores decode through the persisted flags alone.
+        values = ArrayStore.open(tmp_path / codec).read()
+        assert np.abs(values - volume_3d).max() <= TOL
+
+    def test_round_trip_2d(self, tmp_path, field_2d):
+        store = make_store(tmp_path / "s", field_2d, chunk=32, halo=True)
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert np.abs(values - field_2d).max() <= TOL
+
+    def test_halo_lifts_compression_ratio(self, tmp_path, volume_3d):
+        plain = make_store(tmp_path / "off", volume_3d, chunk=16, codec="sz")
+        halo = make_store(
+            tmp_path / "on", volume_3d, chunk=16, codec="sz", halo=True
+        )
+        assert halo.compression_ratio >= plain.compression_ratio
+        assert halo.info()["halo_chunks"] > 0
+        assert plain.info()["halo_chunks"] == 0
+
+    def test_partial_read_decodes_bounded_neighbours(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d, chunk=16, halo=True)
+        ndim = volume_3d.ndim
+        # Region inside the odd-parity chunk at grid (1, 0, 0): the read
+        # must decode that chunk plus at most one anchor per axis — not
+        # the whole store.
+        values = store.read((slice(20, 28), slice(4, 12), slice(4, 12)))
+        assert np.abs(values - volume_3d[20:28, 4:12, 4:12]).max() <= TOL
+        report = store.last_read
+        assert report.chunks_intersecting == 1
+        assert report.chunks_decoded <= 1 + ndim
+        assert report.chunks_decoded < report.chunks_total
+
+    def test_anchor_chunks_decode_standalone(self, tmp_path, volume_3d):
+        store = make_store(tmp_path / "s", volume_3d, chunk=16, halo=True)
+        values = store.read((slice(0, 8), slice(0, 8), slice(0, 8)))
+        assert np.abs(values - volume_3d[:8, :8, :8]).max() <= TOL
+        assert store.last_read.chunks_decoded == 1
+
+    def test_index_flags_present_and_v1_for_plain(self, tmp_path, volume_3d):
+        from repro.store.format import parse_halo_flags, unpack_index
+
+        halo_store = make_store(tmp_path / "on", volume_3d, chunk=16, halo=True)
+        blob = (tmp_path / "on" / INDEX_NAME).read_bytes()
+        records = unpack_index(blob)
+        flagged = [r for r in records if r.flags]
+        assert flagged
+        for record in flagged:
+            is_halo, axes_mask, ref_axis = parse_halo_flags(record.flags)
+            assert is_halo and axes_mask and ref_axis is not None
+        plain_store = make_store(tmp_path / "off", volume_3d, chunk=16)
+        blob = (tmp_path / "off" / INDEX_NAME).read_bytes()
+        import struct
+
+        version = struct.unpack_from("<H", blob, 4)[0]
+        assert version == 1
+
+    @pytest.mark.parametrize("codec", ["sz", "zfp", "mgard"])
+    def test_append_halo_store(self, tmp_path, volume_3d, codec):
+        store = ArrayStore.create(
+            tmp_path / codec, chunk_shape=16, codec=codec, halo=True
+        )
+        store.write(volume_3d[:24], cache=False)
+        before = store.read((slice(0, 24),)).copy()
+        store.append(volume_3d[24:34], cache=False)
+        store.append(volume_3d[34:], cache=False)
+        reopened = ArrayStore.open(tmp_path / codec)
+        values = reopened.read()
+        assert values.shape == volume_3d.shape
+        assert np.abs(values - volume_3d).max() <= TOL
+        # First-written rows above the rewritten slab stay bit-identical.
+        np.testing.assert_array_equal(
+            reopened.read((slice(0, 16),)), before[:16]
+        )
+        assert store.orphaned_nbytes > 0
+
+    def test_parallel_workers_match_serial(self, tmp_path, volume_3d):
+        from repro.utils.parallel import ParallelConfig
+
+        serial = make_store(tmp_path / "serial", volume_3d, chunk=16, halo=True)
+        parallel = ArrayStore.create(tmp_path / "par", chunk_shape=16, halo=True)
+        parallel.write(
+            volume_3d, parallel=ParallelConfig(workers=2), cache=False
+        )
+        a = (tmp_path / "serial" / DATA_NAME).read_bytes()
+        b = (tmp_path / "par" / DATA_NAME).read_bytes()
+        assert a == b
+
+    def test_adaptive_policy_with_halo(self, tmp_path, volume_3d):
+        store = make_store(
+            tmp_path / "s", volume_3d, chunk=16, codec="adaptive", halo=True
+        )
+        values = ArrayStore.open(tmp_path / "s").read()
+        assert np.abs(values - volume_3d).max() <= TOL
+
+    def test_halo_reference_to_flagged_chunk_detected(self, tmp_path, volume_3d):
+        from repro.store.format import IndexRecord, pack_index, unpack_index
+
+        store = make_store(tmp_path / "s", volume_3d, chunk=16, halo=True)
+        index_path = tmp_path / "s" / INDEX_NAME
+        records = unpack_index(index_path.read_bytes())
+        flagged = next(i for i, r in enumerate(records) if r.flags)
+        anchor = next(i for i, r in enumerate(records) if not r.flags)
+        # Corrupt an anchor into a halo chunk: reads through it must fail
+        # loudly instead of cascading.
+        bad = records[anchor]
+        records[anchor] = IndexRecord(
+            offset=bad.offset,
+            length=bad.length,
+            codec=bad.codec,
+            checksum=bad.checksum,
+            flags=records[flagged].flags,
+        )
+        index_path.write_bytes(pack_index(records))
+        reopened = ArrayStore.open(tmp_path / "s")
+        with pytest.raises(StoreCorruptionError):
+            reopened.read()

@@ -97,3 +97,53 @@ class TestErrorPaths:
     def test_empty_codec_name(self):
         with pytest.raises(StoreFormatError, match="codec"):
             pack_index([IndexRecord(offset=0, length=1, codec="", checksum=0)])
+
+
+class TestHaloFlags:
+    def test_pack_and_parse(self):
+        from repro.store.format import halo_flags, parse_halo_flags
+
+        flags = halo_flags(0b101, 2)
+        assert parse_halo_flags(flags) == (True, 0b101, 2)
+        flags = halo_flags(0b001, None)
+        assert parse_halo_flags(flags) == (True, 0b001, None)
+        assert parse_halo_flags(0) == (False, 0, None)
+
+    def test_out_of_range_rejected(self):
+        from repro.store.format import halo_flags
+
+        with pytest.raises(StoreFormatError):
+            halo_flags(0b1000, None)
+        with pytest.raises(StoreFormatError):
+            halo_flags(0b1, 3)
+
+    def test_flagged_records_round_trip_as_v2(self):
+        from repro.store.format import INDEX_VERSION_HALO, halo_flags
+
+        records = [
+            IndexRecord(offset=0, length=10, codec="sz", checksum=1),
+            IndexRecord(
+                offset=10,
+                length=20,
+                codec="zfp",
+                checksum=2,
+                flags=halo_flags(0b011, 1),
+            ),
+        ]
+        blob = pack_index(records)
+        version = struct.unpack_from("<H", blob, 4)[0]
+        assert version == INDEX_VERSION_HALO
+        assert unpack_index(blob) == records
+
+    def test_flag_free_records_stay_v1(self):
+        blob = pack_index(GOLDEN_RECORDS)
+        version = struct.unpack_from("<H", blob, 4)[0]
+        assert version == INDEX_VERSION
+
+    def test_v1_with_nonzero_flags_rejected(self):
+        records = [IndexRecord(offset=0, length=10, codec="sz", checksum=1)]
+        blob = bytearray(pack_index(records))
+        # Force flags into the reserved field while keeping version 1.
+        struct.pack_into("<I", blob, 16 + 28, 7)
+        with pytest.raises(StoreFormatError, match="version-1"):
+            unpack_index(bytes(blob))
