@@ -3,10 +3,12 @@
 
 Runs the timed smoke subset — the sz/zfp/mgard 2D cells, the 64^3 volume
 cells (tiled 32^3, halo off and on, so the halo seam-recovery is tracked
-as data), and the store put / partial-read cells — and writes a
-schema-versioned JSON trend file (``BENCH_PR5.json`` in CI, uploaded as a
-workflow artifact).  Against a committed baseline
-(``benchmarks/baseline.json``) the script acts as the regression gate.
+as data), the store put / partial-read cells, and the serve-layer load
+cells (warm-cache latency and decoded throughput at 1 vs 16 concurrent
+clients) — and writes a schema-versioned JSON trend file
+(``BENCH_PR6.json`` in CI, uploaded as a workflow artifact).  Against a
+committed baseline (``benchmarks/baseline.json``) the script acts as the
+regression gate.
 
 The baseline was recorded on a different machine than the CI runner, so
 raw per-cell ratios mix code changes with hardware speed.  The gate
@@ -27,8 +29,14 @@ slower runner; catching that class would need a same-machine baseline
 are exported as trend data but not gated (they are pinned exactly by the
 test suite's golden files).
 
+``bar`` cells carry their own absolute floor (``value`` vs ``min``) and
+are gated without any baseline or calibration: the serve scaling cell
+asserts that 16 concurrent cached readers deliver >= 2x the decoded MB/s
+of one reader — a property of the coalescing design, not of the runner's
+speed, so it must hold on any machine.
+
 Usage:
-    python benchmarks/export_trend.py --output BENCH_PR5.json
+    python benchmarks/export_trend.py --output BENCH_PR6.json
     python benchmarks/export_trend.py --update-baseline   # refresh baseline
 """
 
@@ -47,6 +55,7 @@ import numpy as np
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)  # for benchmarks.test_serve (load helper)
 
 from repro.compressors.registry import make_compressor  # noqa: E402
 from repro.datasets.gaussian import generate_gaussian_field  # noqa: E402
@@ -56,7 +65,7 @@ from repro.volumes.pipeline import compress_volume  # noqa: E402
 
 SCHEMA = "repro-bench-trend"
 SCHEMA_VERSION = 1
-LABEL = "PR5"
+LABEL = "PR6"
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
 #: Gate thresholds, applied to machine-calibrated per-cell ratios: any
 #: single cell beyond OUTLIER_THRESHOLD fails; more than
@@ -149,6 +158,48 @@ def collect_cells() -> dict:
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
+    # -- serve layer: warm-cache load at 1 vs 16 clients -----------------
+    from benchmarks.test_serve import MIN_SCALING_16C, best_load  # noqa: E402
+    from repro.serve.client import StoreClient  # noqa: E402
+    from repro.serve.server import ServerConfig, ThreadedServer  # noqa: E402
+
+    workdir = tempfile.mkdtemp(prefix="repro-trend-serve-")
+    try:
+        # 8^3 chunks: warm reads are assembly-bound (the cost coalescing
+        # amortizes), not loopback-transfer-bound — see test_serve.py.
+        store = ArrayStore.create(
+            os.path.join(workdir, "vol"),
+            chunk_shape=8,
+            error_bound=ERROR_BOUND,
+            codec="sz",
+        )
+        store.write(volume, cache=False)
+        config = ServerConfig(root=workdir, max_concurrency=16)
+        with ThreadedServer(config) as threaded:
+            with StoreClient(threaded.url) as client:
+                client.get("vol")  # warm the hot-chunk cache
+            one = best_load(threaded.url, "vol", n_clients=1, rounds=5)
+            sixteen = best_load(
+                threaded.url, "vol", n_clients=16, rounds=5
+            )
+        cells["serve-warm-read-p50-1c"] = {"kind": "time", "ms": one["p50_ms"]}
+        cells["serve-warm-read-p99-16c"] = {
+            "kind": "time",
+            "ms": sixteen["p99_ms"],
+        }
+        cells["serve-mbps-1c"] = {"kind": "rate", "value": one["mb_per_s"]}
+        cells["serve-mbps-16c"] = {
+            "kind": "rate",
+            "value": sixteen["mb_per_s"],
+        }
+        cells["serve-scaling-16c-vs-1c"] = {
+            "kind": "bar",
+            "value": sixteen["mb_per_s"] / one["mb_per_s"],
+            "min": MIN_SCALING_16C,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
     return cells
 
 
@@ -159,6 +210,24 @@ def gate(cells: dict, baseline: dict) -> int:
     each cell is then gated on its *relative* slowdown (see module
     docstring).
     """
+
+    failed = False
+    # ``bar`` cells: absolute floors, no baseline or calibration needed.
+    for key, cell in sorted(cells.items()):
+        if cell.get("kind") != "bar":
+            continue
+        ok = cell["value"] >= cell["min"]
+        print(
+            f"{key:<28} {cell['value']:>10.2f} (floor {cell['min']:.2f}) "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failed = True
+            print(
+                f"REGRESSION: {key} = {cell['value']:.2f} is below its "
+                f"absolute floor {cell['min']:.2f}",
+                file=sys.stderr,
+            )
 
     base_cells = baseline.get("cells", {})
     rows = []
@@ -174,8 +243,8 @@ def gate(cells: dict, baseline: dict) -> int:
 
     ratios = [ratio for _, _, _, ratio in rows if ratio is not None]
     if not ratios:
-        print("no comparable timing cells in the baseline; gate skipped")
-        return 0
+        print("no comparable timing cells in the baseline; time gate skipped")
+        return 1 if failed else 0
     machine_factor = statistics.median(ratios)
 
     print(f"{'cell':<28} {'ms':>10} {'baseline':>10} {'ratio':>7} {'rel':>7}")
@@ -201,7 +270,6 @@ def gate(cells: dict, baseline: dict) -> int:
         f"any cell > {OUTLIER_THRESHOLD:.2f}x relative, or > "
         f"{BROAD_FRACTION:.0%} of cells > {REGRESSION_THRESHOLD:.2f}x"
     )
-    failed = False
     for key, relative in outliers:
         failed = True
         print(
@@ -226,7 +294,7 @@ def main() -> int:
     parser.add_argument(
         "--output",
         default=f"BENCH_{LABEL}.json",
-        help="trend file to write (default: BENCH_PR5.json)",
+        help=f"trend file to write (default: BENCH_{LABEL}.json)",
     )
     parser.add_argument(
         "--baseline",

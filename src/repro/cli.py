@@ -14,8 +14,14 @@ writing any Python:
 * ``store``      — the chunked compressed array store: ``put`` a field
   file or registry dataset into a store directory (``--codec adaptive``
   selects the per-chunk codec by the sampling estimator), ``get`` a
-  region back out (only intersecting chunks are decoded), ``info`` /
-  ``ls`` for summaries and the per-chunk index.
+  region back out (only intersecting chunks are decoded), ``append`` /
+  ``compact`` for growth and reclamation, ``info`` / ``ls`` for
+  summaries and the per-chunk index.  ``put`` / ``get`` / ``append`` /
+  ``info`` / ``compact`` take ``--url http://host:port`` to talk to a
+  running ``repro serve`` instead of a local directory (``get --url
+  --client-decode`` fetches compressed chunks and decodes locally).
+* ``serve``      — serve every store under a root directory over HTTP
+  (see :mod:`repro.serve`).
 
 The CLI intentionally exposes only the high-level entry points; everything
 it does is a thin wrapper over the public API, so scripts can always drop
@@ -184,20 +190,85 @@ def build_parser() -> argparse.ArgumentParser:
         "code against their anchor neighbours",
     )
 
+    put.add_argument(
+        "--url", default=None,
+        help="PUT to a running 'repro serve' (the store argument is the "
+        "dataset name, not a directory)",
+    )
+
     get = store_sub.add_parser("get", help="read a region from a store")
-    get.add_argument("store", help="store directory")
+    get.add_argument("store", help="store directory (or dataset name with --url)")
     get.add_argument(
         "--region", default=None,
         help="comma-separated per-axis slices, e.g. '0:32,0:32,16:48' "
         "(omitted axes read fully; bare integers drop the axis)",
     )
     get.add_argument("--output", default=None, help="write the region to this .npy file")
+    get.add_argument(
+        "--url", default=None, help="read from a running 'repro serve'"
+    )
+    get.add_argument(
+        "--client-decode", action="store_true",
+        help="with --url: fetch still-compressed chunks and decode locally",
+    )
+
+    append = store_sub.add_parser(
+        "append", help="grow a store along axis 0 with a field file"
+    )
+    append.add_argument("store", help="store directory (or dataset name with --url)")
+    append.add_argument("--field", required=True, help=".npy file or SDRBench raw binary")
+    append.add_argument(
+        "--raw-shape", type=int, nargs="+", default=None,
+        help="shape of a raw binary --field (omit for .npy files)",
+    )
+    append.add_argument("--raw-dtype", default="float32", choices=("float32", "float64"))
+    append.add_argument(
+        "--url", default=None, help="append via a running 'repro serve'"
+    )
+
+    compact = store_sub.add_parser(
+        "compact", help="rewrite chunks.bin to reclaim orphaned payload bytes"
+    )
+    compact.add_argument("store", help="store directory (or dataset name with --url)")
+    compact.add_argument(
+        "--url", default=None, help="compact via a running 'repro serve'"
+    )
 
     info = store_sub.add_parser("info", help="summarise a store")
-    info.add_argument("store", help="store directory")
+    info.add_argument("store", help="store directory (or dataset name with --url)")
+    info.add_argument(
+        "--url", default=None, help="query a running 'repro serve'"
+    )
 
     ls = store_sub.add_parser("ls", help="per-chunk listing of a store")
     ls.add_argument("store", help="store directory")
+
+    # ---- serve ---------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve", help="serve the stores under a root directory over HTTP"
+    )
+    serve.add_argument("root", help="directory whose store subdirectories are served")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="semaphore bound on concurrently handled requests",
+    )
+    serve.add_argument(
+        "--cache-mb", type=int, default=256,
+        help="hot-chunk decode cache budget in MiB",
+    )
+    serve.add_argument(
+        "--decode-workers", type=int, default=2,
+        help="thread-pool workers for chunk decode/compress work",
+    )
+    serve.add_argument(
+        "--max-body-mb", type=int, default=512,
+        help="largest accepted request body / decoded response in MiB",
+    )
 
     # ---- figure --------------------------------------------------------
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures (3-7)")
@@ -363,21 +434,18 @@ def _command_experiment(args: argparse.Namespace) -> int:
 def _parse_region(text: Optional[str]):
     """Parse ``'0:32,5,16:'`` into a tuple of slices/ints (None for all)."""
 
-    if text is None or text.strip() == "":
-        return None
-    region = []
-    for part in text.split(","):
-        part = part.strip()
-        if ":" in part:
-            pieces = part.split(":")
-            if len(pieces) != 2:
-                raise SystemExit(f"bad region component {part!r} (use start:stop)")
-            start = int(pieces[0]) if pieces[0] else None
-            stop = int(pieces[1]) if pieces[1] else None
-            region.append(slice(start, stop))
-        else:
-            region.append(int(part))
-    return tuple(region)
+    from repro.store.region import parse_region_text
+
+    try:
+        return parse_region_text(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _open_client(url: str):
+    from repro.serve.client import StoreClient
+
+    return StoreClient(url)
 
 
 def _command_store(args: argparse.Namespace) -> int:
@@ -386,6 +454,8 @@ def _command_store(args: argparse.Namespace) -> int:
     handlers = {
         "put": _command_store_put,
         "get": _command_store_get,
+        "append": _command_store_append,
+        "compact": _command_store_compact,
         "info": _command_store_info,
         "ls": _command_store_ls,
     }
@@ -412,6 +482,24 @@ def _command_store_put(args: argparse.Namespace, ArrayStore) -> int:
     if array.ndim not in (2, 3):
         raise SystemExit(f"store arrays must be 2D or 3D, got shape {array.shape}")
 
+    if args.url:
+        with _open_client(args.url) as client:
+            summary = client.put(
+                args.store,
+                array,
+                codec=args.codec,
+                error_bound=args.error_bound,
+                chunk=args.chunk,
+                halo=args.halo,
+            )
+        print(
+            f"put {summary['name']}: shape "
+            f"{'x'.join(str(s) for s in summary['shape'])}, "
+            f"{summary['n_chunks']} chunks, "
+            f"CR {summary['compression_ratio']:.3f}"
+        )
+        return 0
+
     store = ArrayStore.create(
         args.store,
         chunk_shape=args.chunk,
@@ -427,15 +515,27 @@ def _command_store_put(args: argparse.Namespace, ArrayStore) -> int:
 
 
 def _command_store_get(args: argparse.Namespace, ArrayStore) -> int:
-    store = ArrayStore.open(args.store)
     region = _parse_region(args.region)
-    values = store.read(region)
-    report = store.last_read
-    print(
-        f"read {values.shape} from {store.shape}: decoded "
-        f"{report.chunks_decoded}/{report.chunks_total} chunks "
-        f"({report.chunks_intersecting} intersecting)"
-    )
+    if args.url:
+        with _open_client(args.url) as client:
+            values = client.get(
+                args.store,
+                region,
+                decode="client" if args.client_decode else "server",
+            )
+        mode = "client-decoded" if args.client_decode else "server-decoded"
+        print(f"read {values.shape} from {args.url}/ds/{args.store} ({mode})")
+    else:
+        if args.client_decode:
+            raise SystemExit("--client-decode only applies with --url")
+        store = ArrayStore.open(args.store)
+        values = store.read(region)
+        report = store.last_read
+        print(
+            f"read {values.shape} from {store.shape}: decoded "
+            f"{report.chunks_decoded}/{report.chunks_total} chunks "
+            f"({report.chunks_intersecting} intersecting)"
+        )
     if args.output:
         np.save(args.output, values)
         print(f"wrote {args.output}")
@@ -444,6 +544,42 @@ def _command_store_get(args: argparse.Namespace, ArrayStore) -> int:
             f"min={values.min():.6g} max={values.max():.6g} "
             f"mean={values.mean():.6g} std={values.std():.6g}"
         )
+    return 0
+
+
+def _command_store_append(args: argparse.Namespace, ArrayStore) -> int:
+    array = _load_any_field(args)
+    if args.url:
+        with _open_client(args.url) as client:
+            summary = client.append(args.store, array)
+        print(
+            f"appended to {summary['name']}: shape "
+            f"{'x'.join(str(s) for s in summary['shape'])}, "
+            f"{summary['n_chunks']} chunks, "
+            f"{summary['orphaned_nbytes']} orphaned bytes"
+        )
+        return 0
+    store = ArrayStore.open(args.store)
+    store.append(array)
+    print(
+        f"appended to {args.store}: shape "
+        f"{'x'.join(str(s) for s in store.shape)}, "
+        f"{store.n_chunks} chunks, {store.orphaned_nbytes} orphaned bytes"
+    )
+    return 0
+
+
+def _command_store_compact(args: argparse.Namespace, ArrayStore) -> int:
+    if args.url:
+        with _open_client(args.url) as client:
+            report = client.compact(args.store)
+    else:
+        report = ArrayStore.open(args.store).compact()
+    print(
+        f"compacted: reclaimed {report['reclaimed_nbytes']} bytes, "
+        f"data file now {report['data_file_nbytes']} bytes "
+        f"({report['n_ranges']} payload ranges)"
+    )
     return 0
 
 
@@ -485,6 +621,13 @@ def _print_store_info(store) -> int:
 
 
 def _command_store_info(args: argparse.Namespace, ArrayStore) -> int:
+    if args.url:
+        import json as _json
+
+        with _open_client(args.url) as client:
+            info = client.info(args.store)
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0
     return _print_store_info(ArrayStore.open(args.store))
 
 
@@ -544,6 +687,38 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ArrayServer, ServerConfig
+
+    config = ServerConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        cache_nbytes=args.cache_mb * 1024 * 1024,
+        decode_workers=args.decode_workers,
+        max_body_nbytes=args.max_body_mb * 1024 * 1024,
+        max_response_nbytes=args.max_body_mb * 1024 * 1024,
+    )
+
+    async def run() -> None:
+        server = ArrayServer(config)
+        await server.start()
+        print(f"serving {config.root} at {server.url}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
 
@@ -555,6 +730,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _command_experiment,
         "figure": _command_figure,
         "store": _command_store,
+        "serve": _command_serve,
     }
     return handlers[args.command](args)
 

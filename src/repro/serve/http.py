@@ -1,0 +1,166 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough of the protocol for the array service: request-line +
+headers + Content-Length bodies in, status + headers + body out, with
+keep-alive.  No chunked transfer encoding, no TLS, no compression — the
+payloads are already compressed chunks.  Kept deliberately separate from
+the routing/serving logic in :mod:`repro.serve.server` so the framing is
+testable on its own and the handlers only see :class:`Request`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "STATUS_PHRASES",
+]
+
+#: Hard cap on the request head (request line + headers).
+MAX_HEAD_BYTES = 16 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level or handler-level error with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+
+
+@dataclass
+class Request:
+    """One parsed request (headers lower-cased, query values flattened)."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int
+) -> Optional[Request]:
+    """Read one request off the stream; None on clean EOF between requests.
+
+    Raises :class:`HttpError` on malformed framing, oversized heads
+    (431) or bodies (413), and :class:`asyncio.IncompleteReadError` /
+    :class:`ConnectionError` when the peer vanishes mid-request.
+    """
+
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request head too large") from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    split = urlsplit(target)
+    query: Dict[str, str] = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(
+                413, f"request body of {length} bytes exceeds limit {max_body}"
+            )
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/octet-stream",
+    extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> Tuple[bytes, bytes]:
+    """Serialize ``(head_bytes, body_bytes)`` for one response.
+
+    Returned separately so the caller can write the head even when a
+    body write fails mid-stream (and so 304s skip the body cleanly).
+    """
+
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    headers = {
+        "content-type": content_type,
+        "content-length": str(len(body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    if status == 304:
+        # 304 must not carry a body; the ETag travels in the headers.
+        headers.pop("content-type")
+        headers["content-length"] = "0"
+        body = b""
+    if extra_headers:
+        headers.update({k.lower(): v for k, v in extra_headers.items()})
+    head = f"HTTP/1.1 {status} {phrase}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n", body

@@ -1,0 +1,767 @@
+"""The asyncio array server: routing, concurrency gate, coalescing.
+
+Architecture (one event loop, one thread pool):
+
+* Connections are asyncio streams; each parsed request passes through a
+  single semaphore-bounded **concurrency gate** (the
+  ``gather_with_concurrency`` idiom) before any work happens, so a flood
+  of clients degrades to queueing, never to memory blow-up.  Gate
+  occupancy is tracked and surfaced in ``/stats`` — the fault tests
+  assert it returns to idle even when clients vanish mid-response.
+* Store work (chunk decodes, compression) is CPU-bound and runs on a
+  small :class:`~concurrent.futures.ThreadPoolExecutor` via
+  ``run_in_executor`` so the loop keeps accepting connections.
+* Per-dataset **read/write coordination**: reads share the dataset, a
+  PUT/append/compact waits for readers to drain and excludes everything
+  else.  Cross-*process* writers are handled one level down by the
+  snapshot layer's atomic loads (:mod:`repro.store.snapshot`).
+* Identical in-flight region reads **coalesce** onto one decode task
+  (singleflight): concurrent clients sweeping the same hot regions cost
+  one decode per distinct request, not one per client.  Only in-flight
+  work is shared — results are not cached beyond the hot-chunk LRU
+  (:class:`~repro.serve.cache.HotChunkCache`), which is content-hash
+  keyed and therefore needs no invalidation on writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import re
+import threading
+import zlib
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.cache import HotChunkCache
+from repro.serve.http import (
+    HttpError,
+    Request,
+    read_request,
+    render_response,
+)
+from repro.store.array_store import ArrayStore
+from repro.store.format import StoreCorruptionError, StoreFormatError
+from repro.store.region import format_region, parse_region_text
+from repro.store.snapshot import StoreSnapshot
+
+__all__ = ["ServerConfig", "ArrayServer", "ThreadedServer"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`ArrayServer`."""
+
+    root: str
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, bound port on server.port
+    max_concurrency: int = 8
+    cache_nbytes: int = 256 * 1024 * 1024
+    decode_workers: int = 2
+    max_body_nbytes: int = 512 * 1024 * 1024
+    max_response_nbytes: int = 512 * 1024 * 1024
+
+
+class _DatasetLock:
+    """Async readers-writer lock (write-preferring enough for our mix)."""
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer = False
+
+    @asynccontextmanager
+    async def read(self):
+        async with self._cond:
+            await self._cond.wait_for(lambda: not self._writer)
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @asynccontextmanager
+    async def write(self):
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: not self._writer and self._readers == 0
+            )
+            self._writer = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class ArrayServer:
+    """Serve every store under ``config.root`` over HTTP.
+
+    Use :meth:`start` + :meth:`serve_forever` on a running loop (the CLI
+    does), or :class:`ThreadedServer` to run one in a background thread
+    (tests and benchmarks).
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.cache = HotChunkCache(max_nbytes=config.cache_nbytes)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._executor = None
+        self._locks: Dict[str, _DatasetLock] = {}
+        self._inflight: Dict[Tuple, asyncio.Task] = {}
+        self._connections: set = set()
+        # Counters (mutated on the loop thread, read anywhere — ints are
+        # swapped atomically under the GIL).
+        self.requests_total = 0
+        self.responses_by_status: Dict[int, int] = {}
+        self.coalesced_reads = 0
+        self.decoded_bytes_served = 0
+        self.gate_active = 0
+        self.gate_peak = 0
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._gate = asyncio.Semaphore(self.config.max_concurrency)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.decode_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            # readuntil() needs headroom for the request head; bodies are
+            # length-framed and unaffected.
+            limit=64 * 1024,
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._inflight.values()):
+            task.cancel()
+        # Kick lingering keep-alive connections so their handler tasks
+        # finish before the loop goes away.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(asyncio.current_task())
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body_nbytes
+                    )
+                except HttpError as exc:
+                    head, body = self._error_response(exc.status, exc.message, False)
+                    writer.write(head + body)
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                self.requests_total += 1
+                head, body, keep = await self._gated_dispatch(request)
+                writer.write(head + body)
+                await writer.drain()
+                if not keep:
+                    return
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            TimeoutError,
+        ):
+            # Peer vanished mid-request or mid-response; the gate slot was
+            # already released by _gated_dispatch's finally.
+            return
+        except asyncio.CancelledError:
+            return
+        finally:
+            self._connections.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, TimeoutError, asyncio.CancelledError):
+                pass
+
+    async def _gated_dispatch(self, request: Request) -> Tuple[bytes, bytes, bool]:
+        assert self._gate is not None
+        async with self._gate:
+            self.gate_active += 1
+            self.gate_peak = max(self.gate_peak, self.gate_active)
+            try:
+                status, body, content_type, extra = await self._dispatch(request)
+            except HttpError as exc:
+                status = exc.status
+                head, body = self._error_response(
+                    exc.status, exc.message, request.keep_alive
+                )
+                return head, body, request.keep_alive and status < 500
+            except (StoreCorruptionError,) as exc:
+                head, body = self._error_response(500, str(exc), request.keep_alive)
+                self._count_status(500)
+                return head, body, request.keep_alive
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — last-resort 500
+                head, body = self._error_response(
+                    500, f"{type(exc).__name__}: {exc}", request.keep_alive
+                )
+                self._count_status(500)
+                return head, body, request.keep_alive
+            finally:
+                self.gate_active -= 1
+        self._count_status(status)
+        head, body = render_response(
+            status,
+            body,
+            content_type=content_type,
+            extra_headers=extra,
+            keep_alive=request.keep_alive,
+        )
+        return head, body, request.keep_alive
+
+    def _count_status(self, status: int) -> None:
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+
+    def _error_response(
+        self, status: int, message: str, keep_alive: bool
+    ) -> Tuple[bytes, bytes]:
+        self._count_status(status)
+        payload = json.dumps({"error": message, "status": status}).encode("utf-8")
+        return render_response(
+            status,
+            payload,
+            content_type="application/json",
+            keep_alive=keep_alive,
+        )
+
+    # -- routing ---------------------------------------------------------
+    async def _dispatch(self, request: Request):
+        """Route one request; returns (status, body, content_type, extra)."""
+
+        segments = [s for s in request.path.split("/") if s]
+        if segments == ["healthz"]:
+            return 200, b'{"status":"ok"}\n', "application/json", None
+        if segments == ["stats"]:
+            return await self._handle_stats()
+        if not segments or segments[0] != "ds":
+            raise HttpError(404, f"no such route: {request.path}")
+        if len(segments) == 1:
+            self._require_method(request, "GET")
+            return await self._handle_ls()
+        name = segments[1]
+        if not _NAME_RE.fullmatch(name):
+            raise HttpError(400, f"invalid dataset name {name!r}")
+        if len(segments) == 2:
+            if request.method == "PUT":
+                return await self._handle_put(name, request)
+            self._require_method(request, "GET")
+            return await self._handle_get(name, request)
+        if len(segments) == 3 and segments[2] == "info":
+            self._require_method(request, "GET")
+            return await self._handle_info(name)
+        if len(segments) == 3 and segments[2] == "append":
+            self._require_method(request, "POST")
+            return await self._handle_append(name, request)
+        if len(segments) == 3 and segments[2] == "compact":
+            self._require_method(request, "POST")
+            return await self._handle_compact(name)
+        if len(segments) == 4 and segments[2] == "chunk":
+            self._require_method(request, "GET")
+            return await self._handle_chunk(name, segments[3], request)
+        raise HttpError(404, f"no such route: {request.path}")
+
+    @staticmethod
+    def _require_method(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.method} not allowed here (use {method})"
+            )
+
+    # -- helpers ---------------------------------------------------------
+    def _dataset_path(self, name: str) -> str:
+        return os.path.join(self.config.root, name)
+
+    def _lock_for(self, name: str) -> _DatasetLock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = self._locks[name] = _DatasetLock()
+        return lock
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def _open_snapshot(self, name: str) -> StoreSnapshot:
+        path = self._dataset_path(name)
+        if not os.path.isfile(os.path.join(path, "meta.json")):
+            raise HttpError(404, f"no such dataset: {name}")
+        try:
+            return StoreSnapshot.open(path)
+        except StoreCorruptionError:
+            raise
+        except StoreFormatError as exc:
+            raise HttpError(500, f"unreadable dataset {name}: {exc}") from exc
+
+    async def _coalesced(self, key: Tuple, factory):
+        """Singleflight: concurrent identical requests share one task.
+
+        Waiters are shielded so one client disconnecting never cancels
+        the shared work under the others; the done-callback both retires
+        the key and marks a failure's exception as retrieved (every
+        waiter re-raises it themselves).
+        """
+
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(factory())
+
+            def _done(t: asyncio.Task, key=key) -> None:
+                self._inflight.pop(key, None)
+                if not t.cancelled():
+                    t.exception()
+
+            task.add_done_callback(_done)
+            self._inflight[key] = task
+        else:
+            self.coalesced_reads += 1
+        return await asyncio.shield(task)
+
+    # -- handlers --------------------------------------------------------
+    async def _handle_ls(self):
+        def scan() -> List[str]:
+            root = self.config.root
+            names = []
+            if os.path.isdir(root):
+                for entry in sorted(os.listdir(root)):
+                    if os.path.isfile(os.path.join(root, entry, "meta.json")):
+                        names.append(entry)
+            return names
+
+        names = await self._in_executor(scan)
+        body = json.dumps({"datasets": names}).encode("utf-8")
+        return 200, body, "application/json", None
+
+    async def _handle_stats(self):
+        body = json.dumps(self.stats()).encode("utf-8")
+        return 200, body, "application/json", None
+
+    def stats(self) -> Dict:
+        """Gate / cache / request counters (the ``/stats`` payload)."""
+
+        return {
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(k): v for k, v in sorted(self.responses_by_status.items())
+            },
+            "coalesced_reads": self.coalesced_reads,
+            "decoded_bytes_served": self.decoded_bytes_served,
+            "gate": {
+                "active": self.gate_active,
+                "peak": self.gate_peak,
+                "max_concurrency": self.config.max_concurrency,
+            },
+            "hot_chunk_cache": self.cache.counters(),
+        }
+
+    async def _handle_info(self, name: str):
+        async with self._lock_for(name).read():
+            snapshot = await self._in_executor(self._open_snapshot, name)
+            info = snapshot.info()
+        info["name"] = name
+        info["hot_chunk_cache"] = self.cache.counters()
+        body = json.dumps(info).encode("utf-8")
+        return 200, body, "application/json", None
+
+    async def _handle_get(self, name: str, request: Request):
+        mode = request.query.get("mode", "decoded")
+        if mode not in ("decoded", "chunks"):
+            raise HttpError(400, f"unknown mode {mode!r} (decoded|chunks)")
+        region_text = request.query.get("region", "")
+        try:
+            parse_region_text(region_text)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+
+        key = (name, mode, region_text)
+        if mode == "decoded":
+            body, extra = await self._coalesced(
+                key, lambda: self._read_decoded(name, region_text)
+            )
+            self.decoded_bytes_served += len(body)
+            return 200, body, "application/x-npy", extra
+        body, extra = await self._coalesced(
+            key, lambda: self._read_chunks(name, region_text)
+        )
+        return 200, body, "application/x-repro-chunks", extra
+
+    async def _read_decoded(self, name: str, region_text: str):
+        async with self._lock_for(name).read():
+            snapshot = await self._in_executor(self._open_snapshot, name)
+            region = parse_region_text(region_text)
+            self._check_region_size(snapshot, region)
+
+            def decode():
+                return snapshot.read(region, chunk_cache=self.cache)
+
+            values, report = await self._in_executor(decode)
+        buffer = io.BytesIO()
+        np.save(buffer, np.ascontiguousarray(values), allow_pickle=False)
+        extra = {
+            "x-region": format_region(region),
+            "x-chunks-decoded": str(report.chunks_decoded),
+            "x-cache-hits": str(report.cache_hits),
+            "x-generation": str(snapshot.generation),
+        }
+        return buffer.getvalue(), extra
+
+    def _check_region_size(self, snapshot: StoreSnapshot, region) -> None:
+        try:
+            bounds, _ = snapshot.normalize_region(region)
+        except (ValueError, IndexError, TypeError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        except StoreFormatError as exc:
+            raise HttpError(409, str(exc)) from exc
+        nbytes = int(
+            np.prod([stop - start for start, stop in bounds])
+        ) * snapshot.dtype.itemsize
+        if nbytes > self.config.max_response_nbytes:
+            raise HttpError(
+                413,
+                f"region decodes to {nbytes} bytes, over the "
+                f"{self.config.max_response_nbytes} response limit",
+            )
+
+    async def _read_chunks(self, name: str, region_text: str):
+        """Client-side-decode payload: index records + needed chunk bytes.
+
+        The body is ``u64le header_length || JSON header || payloads``.
+        The header carries a meta-lite dict plus ALL index records with
+        offsets rebased into the payload section (records outside the
+        region point at its end, so accidental access fails loudly as a
+        truncated read); the payload section holds each needed byte range
+        once, in the order first referenced.  "Needed" is the region's
+        intersecting chunks plus their halo dependency closure, so the
+        client rebuilds a :class:`StoreSnapshot` over the body and runs
+        the exact same decode the server would have.
+        """
+
+        async with self._lock_for(name).read():
+            snapshot = await self._in_executor(self._open_snapshot, name)
+            region = parse_region_text(region_text)
+            self._check_region_size(snapshot, region)
+
+            def build():
+                bounds, _ = snapshot.normalize_region(region)
+                needed: List[int] = []
+                seen = set()
+                for grid_index in snapshot.intersecting_chunks(bounds):
+                    stack = [grid_index]
+                    while stack:
+                        g = stack.pop()
+                        linear = snapshot.linear_index(g)
+                        if linear in seen:
+                            continue
+                        seen.add(linear)
+                        needed.append(linear)
+                        stack.extend(snapshot.halo_dependencies(g))
+
+                index = snapshot.index
+                payloads = bytearray()
+                placed: Dict[Tuple[int, int], int] = {}
+                with snapshot._open_data() as handle:
+                    for linear in needed:
+                        record = index[linear]
+                        span = (record.offset, record.length)
+                        if span in placed:
+                            continue
+                        handle.seek(record.offset)
+                        payload = handle.read(record.length)
+                        if len(payload) != record.length:
+                            raise StoreCorruptionError(
+                                f"truncated chunk payload at offset "
+                                f"{record.offset} (+{record.length})"
+                            )
+                        placed[span] = len(payloads)
+                        payloads.extend(payload)
+
+                sentinel = len(payloads)
+                records = []
+                included = sorted(seen)
+                for linear, record in enumerate(index):
+                    span = (record.offset, record.length)
+                    offset = placed.get(span, sentinel)
+                    records.append(
+                        [offset, record.length, record.codec, record.checksum,
+                         record.flags]
+                    )
+                meta = snapshot.meta
+                header = {
+                    "format": "repro-serve-chunks",
+                    "version": 1,
+                    "region": format_region(region),
+                    "meta": {
+                        "format": meta["format"],
+                        "format_version": meta["format_version"],
+                        "shape": meta["shape"],
+                        "dtype": meta["dtype"],
+                        "chunk_shape": meta["chunk_shape"],
+                        "error_bound": meta["error_bound"],
+                        "codec": meta["codec"],
+                        "compressor_options": meta.get("compressor_options", {}),
+                        "halo": meta.get("halo", False),
+                        "generation": meta.get("generation", 0),
+                        "chunks": [],
+                    },
+                    "records": records,
+                    "included": included,
+                }
+                header_bytes = json.dumps(header).encode("utf-8")
+                body = (
+                    len(header_bytes).to_bytes(8, "little")
+                    + header_bytes
+                    + bytes(payloads)
+                )
+                return body, len(included)
+
+            body, n_included = await self._in_executor(build)
+        extra = {
+            "x-region": format_region(region),
+            "x-chunks-included": str(n_included),
+            "x-generation": str(snapshot.generation),
+        }
+        return body, extra
+
+    async def _handle_chunk(self, name: str, index_text: str, request: Request):
+        try:
+            linear = int(index_text)
+        except ValueError as exc:
+            raise HttpError(400, f"bad chunk index {index_text!r}") from exc
+        async with self._lock_for(name).read():
+            snapshot = await self._in_executor(self._open_snapshot, name)
+            if not 0 <= linear < snapshot.n_chunks:
+                raise HttpError(
+                    404, f"chunk {linear} out of range (n={snapshot.n_chunks})"
+                )
+            record = snapshot.index[linear]
+            sha1 = snapshot.payload_sha1(linear)
+            etag = f'"{sha1}"' if sha1 else f'"crc32-{record.checksum:08x}"'
+            if request.headers.get("if-none-match") == etag:
+                return 304, b"", "application/octet-stream", {"etag": etag}
+
+            def fetch() -> bytes:
+                with snapshot._open_data() as handle:
+                    handle.seek(record.offset)
+                    payload = handle.read(record.length)
+                if len(payload) != record.length:
+                    raise StoreCorruptionError(
+                        f"truncated chunk payload at offset {record.offset}"
+                    )
+                if zlib.crc32(payload) != record.checksum:
+                    raise StoreCorruptionError(
+                        f"chunk {linear} checksum mismatch on disk"
+                    )
+                return payload
+
+            payload = await self._in_executor(fetch)
+        extra = {
+            "etag": etag,
+            "x-codec": record.codec,
+            "x-flags": str(record.flags),
+        }
+        return 200, payload, "application/octet-stream", extra
+
+    # -- mutation --------------------------------------------------------
+    def _parse_array_body(self, request: Request) -> np.ndarray:
+        if not request.body:
+            raise HttpError(400, "empty body (expected .npy bytes)")
+        try:
+            return np.load(io.BytesIO(request.body), allow_pickle=False)
+        except ValueError as exc:
+            raise HttpError(400, f"body is not valid .npy data: {exc}") from exc
+
+    async def _handle_put(self, name: str, request: Request):
+        array = self._parse_array_body(request)
+        query = request.query
+        try:
+            error_bound = float(query.get("error_bound", "1e-3"))
+            chunk = int(query["chunk"]) if "chunk" in query else None
+        except ValueError as exc:
+            raise HttpError(400, f"bad query parameter: {exc}") from exc
+        codec = query.get("codec", "sz")
+        halo = query.get("halo", "0") in ("1", "true", "yes")
+
+        def ingest() -> Dict:
+            try:
+                store = ArrayStore.create(
+                    self._dataset_path(name),
+                    chunk_shape=chunk,
+                    error_bound=error_bound,
+                    codec=codec,
+                    halo=halo,
+                    overwrite=True,
+                )
+                store.write(array)
+            except (ValueError, StoreFormatError) as exc:
+                raise HttpError(400, str(exc)) from exc
+            return {
+                "name": name,
+                "shape": list(store.shape),
+                "n_chunks": store.n_chunks,
+                "compression_ratio": store.compression_ratio,
+                "generation": store.generation,
+            }
+
+        async with self._lock_for(name).write():
+            summary = await self._in_executor(ingest)
+        return 200, json.dumps(summary).encode("utf-8"), "application/json", None
+
+    async def _handle_append(self, name: str, request: Request):
+        array = self._parse_array_body(request)
+        path = self._dataset_path(name)
+
+        def grow() -> Dict:
+            if not os.path.isfile(os.path.join(path, "meta.json")):
+                raise HttpError(404, f"no such dataset: {name}")
+            store = ArrayStore.open(path)
+            try:
+                store.append(array)
+            except ValueError as exc:
+                raise HttpError(400, str(exc)) from exc
+            return {
+                "name": name,
+                "shape": list(store.shape),
+                "n_chunks": store.n_chunks,
+                "orphaned_nbytes": store.orphaned_nbytes,
+                "generation": store.generation,
+            }
+
+        async with self._lock_for(name).write():
+            summary = await self._in_executor(grow)
+        return 200, json.dumps(summary).encode("utf-8"), "application/json", None
+
+    async def _handle_compact(self, name: str):
+        path = self._dataset_path(name)
+
+        def run() -> Dict:
+            if not os.path.isfile(os.path.join(path, "meta.json")):
+                raise HttpError(404, f"no such dataset: {name}")
+            store = ArrayStore.open(path)
+            report = store.compact()
+            report["name"] = name
+            report["orphaned_nbytes"] = store.orphaned_nbytes
+            return report
+
+        async with self._lock_for(name).write():
+            summary = await self._in_executor(run)
+        return 200, json.dumps(summary).encode("utf-8"), "application/json", None
+
+
+async def _run_server(config: ServerConfig, ready, stop: asyncio.Event) -> ArrayServer:
+    server = ArrayServer(config)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await stop.wait()
+    finally:
+        await server.close()
+    return server
+
+
+class ThreadedServer:
+    """Run an :class:`ArrayServer` on a background thread (tests, bench).
+
+    Context manager: ``with ThreadedServer(config) as ts: ts.url ...``.
+    The server object is exposed as ``.server`` for counter assertions;
+    its counters are plain ints written on the loop thread.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.server: Optional[ArrayServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None
+        return self.server.url
+
+    def __enter__(self) -> "ThreadedServer":
+        def main() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self._stop = asyncio.Event()
+
+            def ready(server: ArrayServer) -> None:
+                self.server = server
+                self._started.set()
+
+            try:
+                loop.run_until_complete(_run_server(self.config, ready, self._stop))
+            except BaseException as exc:  # noqa: BLE001 — reported to starter
+                self._failure = exc
+                self._started.set()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30) or self.server is None:
+            failure = self._failure
+            raise RuntimeError(f"server failed to start: {failure!r}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)

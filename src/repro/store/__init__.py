@@ -19,9 +19,11 @@ paper's statistics (block-sampling CR estimation), turning the selection
 loop of :mod:`repro.baselines.adaptive_selection` into infrastructure.
 
 Public API: :class:`ArrayStore` (create / open / write / read / append /
-info), the codec policies (:func:`fixed`, :func:`adaptive`, :func:`best`,
-:func:`make_policy`) and the index format helpers in
-:mod:`repro.store.format`.
+compact / info), :class:`StoreSnapshot` (immutable concurrent-reader-safe
+read views, see :mod:`repro.store.snapshot`), the region text syntax
+(:func:`parse_region_text` / :func:`format_region`), the codec policies
+(:func:`fixed`, :func:`adaptive`, :func:`best`, :func:`make_policy`) and
+the index format helpers in :mod:`repro.store.format`.
 """
 
 from repro.store.array_store import (
@@ -38,6 +40,8 @@ from repro.store.format import (
     pack_index,
     unpack_index,
 )
+from repro.store.region import format_region, parse_region_text
+from repro.store.snapshot import StoreSnapshot, load_store_state
 from repro.store.policy import (
     AdaptivePolicy,
     BestPolicy,
@@ -54,6 +58,10 @@ __all__ = [
     "ArrayStore",
     "ChunkRecord",
     "ReadReport",
+    "StoreSnapshot",
+    "load_store_state",
+    "parse_region_text",
+    "format_region",
     "default_store_cache",
     "IndexRecord",
     "INDEX_VERSION",

@@ -29,9 +29,15 @@ Design points:
 * **Append** — :meth:`ArrayStore.append` grows the array along axis 0.
   When the current extent is not chunk-aligned the trailing partial
   chunks are re-compressed from their decoded content plus the new data;
-  their old payloads stay as unreferenced bytes in ``chunks.bin`` (a
-  compaction pass would reclaim them — deliberate, append stays O(new
-  data)).
+  their old payloads stay as unreferenced bytes in ``chunks.bin``
+  (deliberate, append stays O(new data)) until :meth:`ArrayStore.compact`
+  rewrites the data file from the live index ranges.
+* **Concurrent readers** — all decoding lives in the immutable
+  :class:`~repro.store.snapshot.StoreSnapshot`; :meth:`ArrayStore.read`
+  snapshots its in-memory state, and cross-process readers use
+  :meth:`StoreSnapshot.open`, which pairs ``meta.json`` with the exact
+  ``index.bin`` bytes it was flushed with (``index_sha1``) so an
+  in-flight append is never observed half-written.
 
 Integrity: every payload read is CRC-checked against the index record;
 truncated files, bad magic and checksum mismatches raise
@@ -47,12 +53,10 @@ import math
 import os
 import zlib
 from dataclasses import dataclass
-from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.compressors.base import CompressedField
 from repro.core.pipeline import ExperimentCache, memoized_map
 from repro.pressio.api import PressioCompressor
 from repro.pressio.options import CompressorOptions
@@ -63,10 +67,21 @@ from repro.store.format import (
     StoreFormatError,
     halo_flags,
     pack_index,
-    parse_halo_flags,
-    unpack_index,
 )
 from repro.store.policy import CodecPolicy, make_policy
+from repro.store.snapshot import (
+    DATA_NAME,
+    INDEX_NAME,
+    META_FORMAT,
+    META_NAME,
+    META_VERSION,
+    RAW_CODEC,
+    ReadReport,
+    StoreSnapshot,
+    live_payload_nbytes,
+    load_store_state,
+    meta_float as _meta_float,
+)
 from repro.utils.blocking import grid_offsets
 from repro.utils.parallel import ParallelConfig, parallel_map
 from repro.utils.validation import ensure_positive
@@ -75,15 +90,10 @@ __all__ = [
     "ArrayStore",
     "ChunkRecord",
     "ReadReport",
+    "StoreSnapshot",
     "default_store_cache",
     "DEFAULT_CHUNK_EDGES",
 ]
-
-META_NAME = "meta.json"
-INDEX_NAME = "index.bin"
-DATA_NAME = "chunks.bin"
-META_FORMAT = "repro-store"
-META_VERSION = 1
 
 #: Default chunk edge per dimensionality (the ISSUE's 128^2 / 64^3).
 DEFAULT_CHUNK_EDGES = {2: 128, 3: 64}
@@ -170,12 +180,6 @@ def _chunk_statistics(chunk: np.ndarray) -> Dict[str, float]:
         except (ValueError, RuntimeError):
             pass
     return stats
-
-
-#: Codec tag of chunks stored as exact little-endian float64 bytes (used
-#: when a rewritten chunk cannot reproduce its previously-stored rows
-#: exactly — see :meth:`ArrayStore.append`).
-RAW_CODEC = "raw"
 
 
 def _raw_result(
@@ -288,12 +292,6 @@ def _json_sanitize(obj):
     return obj
 
 
-def _meta_float(value) -> float:
-    """Read back a sanitized float (``null`` round-trips to NaN)."""
-
-    return float("nan") if value is None else float(value)
-
-
 def _normalize_chunk_shape(
     chunk_shape: Union[int, Sequence[int], None], ndim: int
 ) -> Tuple[int, ...]:
@@ -395,6 +393,7 @@ class ArrayStore:
             },
             "chunk_stats": bool(chunk_stats),
             "halo": bool(halo),
+            "generation": 0,
             "chunks": [],
         }
         store = cls(path, meta, [])
@@ -404,40 +403,22 @@ class ArrayStore:
 
     @classmethod
     def open(cls, path: str) -> "ArrayStore":
-        """Attach to an existing store directory, validating its metadata."""
+        """Attach to an existing store directory, validating its metadata.
 
-        meta_path = os.path.join(path, META_NAME)
-        if not os.path.isfile(meta_path):
-            raise StoreFormatError(f"{path!r} is not a store (missing {META_NAME})")
-        with open(meta_path, "r", encoding="utf-8") as handle:
-            try:
-                meta = json.load(handle)
-            except json.JSONDecodeError as exc:
-                raise StoreFormatError(f"corrupt {META_NAME}: {exc}") from exc
-        if meta.get("format") != META_FORMAT:
-            raise StoreFormatError(f"not a {META_FORMAT} store: {meta.get('format')!r}")
-        if meta.get("format_version") != META_VERSION:
-            raise StoreFormatError(
-                f"unsupported store version {meta.get('format_version')!r}"
-            )
-        index_path = os.path.join(path, INDEX_NAME)
-        with open(index_path, "rb") as handle:
-            index = unpack_index(handle.read())
-        if len(index) != len(meta.get("chunks", [])):
-            raise StoreCorruptionError(
-                f"index has {len(index)} records but meta lists "
-                f"{len(meta.get('chunks', []))} chunks"
-            )
-        if meta["shape"] is not None:
-            expected = len(
-                grid_offsets(tuple(meta["shape"]), tuple(meta["chunk_shape"]))
-            )
-            if len(index) != expected:
-                raise StoreCorruptionError(
-                    f"index has {len(index)} records but the chunk grid of shape "
-                    f"{tuple(meta['shape'])} needs {expected}"
-                )
+        The load is atomic against concurrent appends: ``meta.json`` and
+        ``index.bin`` are read into memory once and cross-validated via
+        the recorded index digest (see
+        :func:`repro.store.snapshot.load_store_state`), so this never
+        pairs a stale index with fresh metadata.
+        """
+
+        meta, index = load_store_state(path)
         return cls(path, meta, index)
+
+    def snapshot(self) -> StoreSnapshot:
+        """Immutable read view of this instance's current in-memory state."""
+
+        return StoreSnapshot(self._meta, self._index, path=self.path)
 
     # -- basic properties ----------------------------------------------
     @property
@@ -514,16 +495,13 @@ class ArrayStore:
         """Bytes of ``chunks.bin`` covered by live index ranges (interval
         union — dedup-shared and overlapping ranges count once)."""
 
-        ranges = sorted({(r.offset, r.length) for r in self._index})
-        total = 0
-        covered_until = 0
-        for offset, length in ranges:
-            end = offset + length
-            if end <= covered_until:
-                continue
-            total += end - max(offset, covered_until)
-            covered_until = end
-        return total
+        return live_payload_nbytes(self._index)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic write counter, bumped by every flush."""
+
+        return int(self._meta.get("generation", 0))
 
     @property
     def orphaned_nbytes(self) -> int:
@@ -879,13 +857,27 @@ class ArrayStore:
         return index, chunk_meta, bytes(data)
 
     def _flush(self, *, data: bytes, truncate: bool) -> None:
-        """Persist index + meta (atomically) and data (truncate or append)."""
+        """Persist data, then index, then meta — each step atomic.
+
+        The ordering is what makes :func:`~repro.store.snapshot.load_store_state`
+        torn-read-proof during appends: payload bytes land first (appended
+        ranges are invisible until indexed), then ``index.bin`` is
+        replaced, and only then ``meta.json`` — which records the SHA-1 of
+        the exact index bytes just written plus a bumped generation
+        counter.  A reader that loads meta first can therefore always
+        detect a mismatched index and retry.  (``truncate=True`` rewrites
+        payload bytes in place and is only safe with exclusive access —
+        :meth:`write` and :meth:`compact`.)
+        """
 
         data_path = os.path.join(self.path, DATA_NAME)
         with open(data_path, "wb" if truncate else "ab") as handle:
             handle.write(data)
+        index_payload = pack_index(self._index)
+        self._meta["generation"] = int(self._meta.get("generation", 0)) + 1
+        self._meta["index_sha1"] = hashlib.sha1(index_payload).hexdigest()
         for name, payload in (
-            (INDEX_NAME, pack_index(self._index)),
+            (INDEX_NAME, index_payload),
             (
                 META_NAME,
                 json.dumps(
@@ -899,54 +891,64 @@ class ArrayStore:
                 handle.write(payload)
             os.replace(tmp, target)
 
-    # -- read ------------------------------------------------------------
-    def _normalize_region(
-        self, region
-    ) -> Tuple[List[Tuple[int, int]], List[int]]:
-        """Region → per-axis (start, stop) plus the axes to drop (ints)."""
+    def compact(self) -> Dict[str, int]:
+        """Rewrite ``chunks.bin`` to hold exactly the live payload ranges.
 
-        shape = self.shape
-        if region is None:
-            region = ()
-        if not isinstance(region, tuple):
-            region = (region,)
-        if len(region) > len(shape):
-            raise ValueError(
-                f"region has {len(region)} axes but the array is {len(shape)}D"
+        Unaligned appends orphan the payloads of rewritten trailing
+        chunks (:attr:`orphaned_nbytes` measures the debt); compaction
+        copies every referenced byte range — CRC-verified, deduped, in
+        first-reference order — into a fresh data file and rebuilds the
+        index records at their new offsets.  Chunk payload bytes, codecs,
+        checksums and halo flags are untouched, so reads decode
+        bit-identically before and after.
+
+        Requires exclusive access, like :meth:`write`: the data file is
+        replaced in place, so a concurrent reader holding the old index
+        would fail its CRC checks (loudly, never silently wrong).
+        Returns ``{"reclaimed_nbytes", "data_file_nbytes", "n_ranges"}``.
+        """
+
+        if not self._index:
+            return {"reclaimed_nbytes": 0, "data_file_nbytes": 0, "n_ranges": 0}
+        before = self.data_file_nbytes
+        data_path = os.path.join(self.path, DATA_NAME)
+        new_offsets: Dict[Tuple[int, int], int] = {}
+        data = bytearray()
+        with open(data_path, "rb") as handle:
+            for record in self._index:
+                key = (record.offset, record.length)
+                if key in new_offsets:
+                    continue
+                handle.seek(record.offset)
+                payload = handle.read(record.length)
+                if len(payload) != record.length or (
+                    zlib.crc32(payload) != record.checksum
+                ):
+                    raise StoreCorruptionError(
+                        f"refusing to compact: live chunk at offset "
+                        f"{record.offset} (+{record.length}) is corrupt"
+                    )
+                new_offsets[key] = len(data)
+                data.extend(payload)
+        self._index = [
+            IndexRecord(
+                offset=new_offsets[(record.offset, record.length)],
+                length=record.length,
+                codec=record.codec,
+                checksum=record.checksum,
+                flags=record.flags,
             )
-        bounds: List[Tuple[int, int]] = []
-        drop_axes: List[int] = []
-        for axis, length in enumerate(shape):
-            if axis >= len(region):
-                bounds.append((0, length))
-                continue
-            spec = region[axis]
-            if isinstance(spec, (int, np.integer)):
-                idx = int(spec)
-                if idx < 0:
-                    idx += length
-                if not 0 <= idx < length:
-                    raise IndexError(
-                        f"index {spec} out of bounds for axis {axis} of length {length}"
-                    )
-                bounds.append((idx, idx + 1))
-                drop_axes.append(axis)
-            elif isinstance(spec, slice):
-                if spec.step not in (None, 1):
-                    raise ValueError("store reads support step-1 slices only")
-                start, stop, _ = spec.indices(length)
-                if stop <= start:
-                    raise ValueError(
-                        f"empty region on axis {axis}: {spec!r} over length {length}"
-                    )
-                bounds.append((start, stop))
-            else:
-                raise TypeError(
-                    f"region entries must be int or slice, got {type(spec).__name__}"
-                )
-        return bounds, drop_axes
+            for record in self._index
+        ]
+        self._flush(data=bytes(data), truncate=True)
+        return {
+            "reclaimed_nbytes": before - len(data),
+            "data_file_nbytes": len(data),
+            "n_ranges": len(new_offsets),
+        }
 
-    def read(self, region=None) -> np.ndarray:
+    # -- read ------------------------------------------------------------
+    def read(self, region=None, *, chunk_cache=None) -> np.ndarray:
         """Read a subarray, decoding only the chunks the region intersects.
 
         ``region`` follows NumPy basic indexing restricted to step-1
@@ -960,213 +962,16 @@ class ArrayStore:
         from and the entropy-context reference, so the read decodes at
         most one extra (standalone) neighbour per axis — reads stay
         partial, never cascading further.
+
+        ``chunk_cache`` optionally supplies a shared decoded-chunk cache
+        (see :meth:`StoreSnapshot.read`); the actual decoding lives in
+        :class:`~repro.store.snapshot.StoreSnapshot`.
         """
 
-        if self.shape is None:
-            raise StoreFormatError("store holds no data yet (write an array first)")
-        bounds, drop_axes = self._normalize_region(region)
-        shape = self.shape
-        chunk_shape = self.chunk_shape
-        grid = tuple(-(-s // e) for s, e in zip(shape, chunk_shape))
-
-        out = np.empty(
-            tuple(stop - start for start, stop in bounds), dtype=self.dtype
-        )
-        chunk_ranges = [
-            range(start // edge, -(-stop // edge))
-            for (start, stop), edge in zip(bounds, chunk_shape)
-        ]
-        grid_strides = []
-        stride = 1
-        for count in reversed(grid):
-            grid_strides.append(stride)
-            stride *= count
-        grid_strides = list(reversed(grid_strides))
-
-        # Decode caches: payloads of standalone chunks are shared by byte
-        # range (dedup — identical payload bytes determine both the values
-        # and the derived entropy context), halo chunks are keyed by grid
-        # position (identical payloads under different halos decode
-        # differently).
-        payload_cache: Dict[Tuple[int, int, str, Tuple[int, ...]], tuple] = {}
-        values_cache: Dict[int, np.ndarray] = {}
-        context_cache: Dict[int, object] = {}
-        decodes = 0
-        data_path = os.path.join(self.path, DATA_NAME)
-
-        def chunk_geometry(grid_index):
-            chunk_offset = tuple(i * e for i, e in zip(grid_index, chunk_shape))
-            chunk_extent = tuple(
-                min(e, s - o) for e, s, o in zip(chunk_shape, shape, chunk_offset)
-            )
-            return chunk_offset, chunk_extent
-
-        def decode_at(handle, grid_index, want_context=False):
-            nonlocal decodes
-            linear = sum(i * s for i, s in zip(grid_index, grid_strides))
-            record = self._index[linear]
-            is_halo, axes_mask, ref_axis = parse_halo_flags(record.flags)
-            # In a halo store, anchors double as entropy-context references;
-            # deriving the context during the first decode (one histogram
-            # pass) avoids a second payload decode if a neighbour needs it.
-            if self.halo and not is_halo:
-                want_context = True
-            if linear in values_cache and (
-                not want_context or linear in context_cache
-            ):
-                return values_cache[linear]
-            _, chunk_extent = chunk_geometry(grid_index)
-            halo = None
-            if is_halo:
-                planes: List[Optional[np.ndarray]] = [None] * len(shape)
-                for axis in range(len(shape)):
-                    if not axes_mask & (1 << axis):
-                        continue
-                    if grid_index[axis] == 0:
-                        raise StoreCorruptionError(
-                            f"halo chunk at grid {grid_index} references a "
-                            f"neighbour beyond the array edge (axis {axis})"
-                        )
-                    neighbour = tuple(
-                        g - 1 if a == axis else g
-                        for a, g in enumerate(grid_index)
-                    )
-                    n_linear = sum(
-                        i * s for i, s in zip(neighbour, grid_strides)
-                    )
-                    if self._index[n_linear].flags:
-                        raise StoreCorruptionError(
-                            f"halo chunk at grid {grid_index} references the "
-                            f"non-anchor chunk at grid {neighbour}"
-                        )
-                    n_values = decode_at(
-                        handle, neighbour, want_context=(axis == ref_axis)
-                    )
-                    planes[axis] = np.ascontiguousarray(
-                        np.take(n_values, -1, axis=axis)
-                    )
-                context = None
-                if ref_axis is not None:
-                    neighbour = tuple(
-                        g - 1 if a == ref_axis else g
-                        for a, g in enumerate(grid_index)
-                    )
-                    n_linear = sum(
-                        i * s for i, s in zip(neighbour, grid_strides)
-                    )
-                    if n_linear not in context_cache:
-                        decode_at(handle, neighbour, want_context=True)
-                    context = context_cache.get(n_linear)
-                halo = TileHalo.build(planes, context)
-            else:
-                # Standalone payloads dedup by byte range; a cached entry
-                # is reusable for a context-needing caller only when its
-                # context was derived too.
-                key = (record.offset, record.length, record.codec, chunk_extent)
-                cached = payload_cache.get(key)
-                if cached is not None and (not want_context or cached[1] is not None):
-                    values_cache[linear] = cached[0]
-                    if want_context:
-                        context_cache[linear] = cached[1]
-                    return cached[0]
-            values, context = self._decode_chunk(
-                handle, record, chunk_extent, halo=halo, want_context=want_context
-            )
-            decodes += 1
-            values_cache[linear] = values
-            if want_context:
-                context_cache[linear] = context
-            if not is_halo:
-                key = (record.offset, record.length, record.codec, chunk_extent)
-                payload_cache[key] = (values, context)
-            return values
-
-        with open(data_path, "rb") as handle:
-            # Same C scan order as grid_offsets — the linear index into
-            # self._index depends on it.
-            grid_indices = list(product(*chunk_ranges))
-            for grid_index in grid_indices:
-                chunk_offset, chunk_extent = chunk_geometry(grid_index)
-                values = decode_at(handle, grid_index)
-                # Intersection of the chunk box with the requested region,
-                # in chunk-local and output coordinates.
-                src = []
-                dst = []
-                for (start, stop), o, extent in zip(bounds, chunk_offset, chunk_extent):
-                    lo = max(start, o)
-                    hi = min(stop, o + extent)
-                    src.append(slice(lo - o, hi - o))
-                    dst.append(slice(lo - start, hi - start))
-                out[tuple(dst)] = values[tuple(src)]
-
-        self.last_read = ReadReport(
-            region=tuple(bounds),
-            chunks_total=len(self._index),
-            chunks_intersecting=len(grid_indices),
-            chunks_decoded=decodes,
-        )
-        self.chunks_decoded_total += decodes
-        if drop_axes:
-            out = out.reshape(
-                tuple(
-                    s
-                    for axis, s in enumerate(out.shape)
-                    if axis not in drop_axes
-                )
-            )
-        return out
-
-    def _decode_chunk(
-        self,
-        handle,
-        record: IndexRecord,
-        chunk_extent: Tuple[int, ...],
-        halo: Optional[TileHalo] = None,
-        want_context: bool = False,
-    ):
-        """Decode one payload; returns ``(values, entropy_context_or_None)``."""
-
-        handle.seek(record.offset)
-        payload = handle.read(record.length)
-        if len(payload) != record.length:
-            raise StoreCorruptionError(
-                f"truncated chunk payload: wanted {record.length} bytes at "
-                f"offset {record.offset}, got {len(payload)}"
-            )
-        if zlib.crc32(payload) != record.checksum:
-            raise StoreCorruptionError(
-                f"chunk checksum mismatch at offset {record.offset} "
-                f"(codec {record.codec})"
-            )
-        if record.codec == RAW_CODEC:
-            expected = int(np.prod(chunk_extent)) * 8
-            if len(payload) != expected:
-                raise StoreCorruptionError(
-                    f"raw chunk payload of {len(payload)} bytes, expected {expected}"
-                )
-            values = np.frombuffer(payload, dtype="<f8").reshape(chunk_extent)
-            return np.asarray(values, dtype=self.dtype), None
-        options = self._meta["compressor_options"].get(record.codec, {})
-        codec = PressioCompressor(
-            record.codec,
-            CompressorOptions(error_bound=self.error_bound, extra=dict(options)),
-        )
-        compressed = CompressedField(
-            data=payload,
-            original_shape=chunk_extent,
-            original_dtype=self.dtype,
-            compressor=record.codec,
-            error_bound=self.error_bound,
-        )
-        if want_context:
-            values, context = codec.decompress_with_context(compressed, halo=halo)
-        else:
-            values, context = codec.decompress(compressed, halo=halo), None
-        if tuple(values.shape) != chunk_extent:
-            raise StoreCorruptionError(
-                f"chunk decoded to shape {values.shape}, expected {chunk_extent}"
-            )
-        return np.asarray(values, dtype=self.dtype), context
+        values, report = self.snapshot().read(region, chunk_cache=chunk_cache)
+        self.last_read = report
+        self.chunks_decoded_total += report.chunks_decoded
+        return values
 
     # -- inspection ------------------------------------------------------
     def chunk_records(self) -> List[ChunkRecord]:

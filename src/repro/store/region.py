@@ -1,0 +1,74 @@
+"""Textual region syntax shared by the CLI, the serve layer and clients.
+
+A region selects a step-1 subarray of a stored N-d array, one
+comma-separated component per axis: ``start:stop`` slices (either side
+may be omitted, negative indices follow NumPy), or a bare integer that
+drops the axis.  Trailing axes may be omitted and read fully.  Examples:
+
+* ``"0:32,0:32,16:48"`` — a 32x32x32 box of a 3D volume
+* ``"5"``               — plane 5 of the leading axis
+* ``":,-16:"``          — the last 16 columns of every row
+* ``""``                — the full array
+
+:func:`parse_region_text` and :func:`format_region` are exact inverses on
+normalised regions, so a region can round-trip through a URL query
+parameter or a command line without ambiguity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+__all__ = ["parse_region_text", "format_region"]
+
+RegionEntry = Union[int, slice]
+
+
+def parse_region_text(text: Optional[str]) -> Optional[Tuple[RegionEntry, ...]]:
+    """Parse ``'0:32,5,16:'`` into a tuple of slices/ints (None = full).
+
+    Raises :class:`ValueError` on malformed components (the CLI converts
+    this to a usage error, the server to HTTP 400).
+    """
+
+    if text is None or text.strip() == "":
+        return None
+    region = []
+    for part in text.split(","):
+        part = part.strip()
+        if ":" in part:
+            pieces = part.split(":")
+            if len(pieces) != 2:
+                raise ValueError(f"bad region component {part!r} (use start:stop)")
+            try:
+                start = int(pieces[0]) if pieces[0] else None
+                stop = int(pieces[1]) if pieces[1] else None
+            except ValueError as exc:
+                raise ValueError(f"bad region component {part!r}: {exc}") from exc
+            region.append(slice(start, stop))
+        else:
+            try:
+                region.append(int(part))
+            except ValueError as exc:
+                raise ValueError(f"bad region component {part!r}: {exc}") from exc
+    return tuple(region)
+
+
+def format_region(region) -> str:
+    """Inverse of :func:`parse_region_text` (``None`` formats to ``""``)."""
+
+    if region is None:
+        return ""
+    if not isinstance(region, tuple):
+        region = (region,)
+    parts = []
+    for spec in region:
+        if isinstance(spec, slice):
+            if spec.step not in (None, 1):
+                raise ValueError("regions support step-1 slices only")
+            start = "" if spec.start is None else str(int(spec.start))
+            stop = "" if spec.stop is None else str(int(spec.stop))
+            parts.append(f"{start}:{stop}")
+        else:
+            parts.append(str(int(spec)))
+    return ",".join(parts)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -492,7 +493,14 @@ class TestHaloStore:
             checksum=bad.checksum,
             flags=records[flagged].flags,
         )
-        index_path.write_bytes(pack_index(records))
+        blob = pack_index(records)
+        index_path.write_bytes(blob)
+        # Re-sign the tampered index so the open-time digest check passes
+        # and the read-path anchor guard is what fires.
+        meta_path = tmp_path / "s" / META_NAME
+        meta = json.loads(meta_path.read_text())
+        meta["index_sha1"] = hashlib.sha1(blob).hexdigest()
+        meta_path.write_text(json.dumps(meta))
         reopened = ArrayStore.open(tmp_path / "s")
         with pytest.raises(StoreCorruptionError):
             reopened.read()
