@@ -14,7 +14,6 @@ runs on the full 128x128 reference field size.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import BENCH_SEED
 from repro.compressors.sz import SZCompressor

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from benchmarks.conftest import BENCH_SEED
 from repro.datasets.gaussian import generate_gaussian_field

@@ -15,7 +15,6 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.datasets import generate_gaussian_field
 from repro.pressio import compress_and_measure

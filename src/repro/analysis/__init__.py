@@ -1,0 +1,49 @@
+"""Repo-specific static analysis: ``repro lint``.
+
+Encodes this repository's hard-won invariants as enforced, testable
+checkers instead of comments — see :mod:`repro.analysis.core` for the
+driver (suppressions, per-file config) and
+:mod:`repro.analysis.checkers` for the rules:
+
+============================  =============================================
+rule                          invariant
+============================  =============================================
+``unsafe-cast``               finite/clip mask before float→int casts
+``async-blocking``            no blocking work on the serve event loop
+``format-version``            every binary tag has a pinned golden fixture
+``worker-boundary``           picklable module-level workers, tuple protocol
+``seeded-randomness``         randomness flows from explicit seeds
+``resource-hygiene``          handles in ``with``; no swallowed exceptions
+============================  =============================================
+
+Suppress a deliberate violation with an inline comment that *must* carry
+a reason::
+
+    blob = risky()  # repro-lint: disable=unsafe-cast -- inputs pinned finite upstream
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import all_checkers
+from repro.analysis.core import (
+    BAD_SUPPRESSION,
+    PARSE_ERROR,
+    Checker,
+    FileContext,
+    Finding,
+    LintResult,
+    ProjectContext,
+    run_lint,
+)
+
+__all__ = [
+    "all_checkers",
+    "run_lint",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "FileContext",
+    "ProjectContext",
+    "BAD_SUPPRESSION",
+    "PARSE_ERROR",
+]

@@ -1,0 +1,27 @@
+"""The registered invariant checkers (see ``repro lint --list-rules``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.format_version import FormatVersionChecker
+from repro.analysis.checkers.resource_hygiene import ResourceHygieneChecker
+from repro.analysis.checkers.seeded_randomness import SeededRandomnessChecker
+from repro.analysis.checkers.unsafe_cast import UnsafeCastChecker
+from repro.analysis.checkers.worker_boundary import WorkerBoundaryChecker
+
+__all__ = ["all_checkers"]
+
+
+def all_checkers() -> List:
+    """Fresh instances of every registered checker, in report order."""
+
+    return [
+        UnsafeCastChecker(),
+        AsyncBlockingChecker(),
+        FormatVersionChecker(),
+        WorkerBoundaryChecker(),
+        SeededRandomnessChecker(),
+        ResourceHygieneChecker(),
+    ]

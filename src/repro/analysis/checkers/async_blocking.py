@@ -1,0 +1,115 @@
+"""async-blocking: blocking work lexically inside ``async def`` bodies.
+
+The serve layer's cardinal rule: the event loop thread only parses,
+routes and awaits — file I/O, store opens and chunk decode run on the
+thread-pool executor (``ArrayServer._in_executor``).  A single blocking
+call on the loop stalls *every* connection, which no test catches until
+a latency SLO does.
+
+The checker walks each ``async def`` and flags, among nodes whose
+**nearest** enclosing function is that coroutine (nested sync ``def`` /
+``lambda`` bodies are exactly how work is handed to the executor, so
+they do not count):
+
+* calls to known-blocking APIs (``open``, ``time.sleep``, ``os.*`` I/O,
+  ``shutil``/``subprocess``, per-repo: any ``ArrayStore.*`` /
+  ``StoreSnapshot.*`` classmethod);
+* ``.acquire()`` on anything — asyncio primitives must be entered with
+  ``async with`` (a raw ``acquire`` leaks on cancellation), and a
+  ``threading`` lock would block the loop outright;
+* a synchronous ``with`` over a lock-like ``.read()`` / ``.write()`` /
+  ``.lock()`` context (the dataset RW locks) — these are asynchronous
+  context managers and need ``async with``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.config import BLOCKING_CALLS, BLOCKING_STORE_CLASSES
+from repro.analysis.core import Checker, FileContext, Finding, dotted_name, iter_body_nodes
+
+__all__ = ["AsyncBlockingChecker"]
+
+_LOCKY_METHODS = {"read", "write", "lock", "read_lock", "write_lock"}
+
+
+def _blocking_call_name(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name in BLOCKING_CALLS:
+        return name
+    if isinstance(call.func, ast.Attribute):
+        value_name = dotted_name(call.func.value)
+        if value_name in BLOCKING_STORE_CLASSES:
+            return f"{value_name}.{call.func.attr}"
+    return None
+
+
+def _looks_lock_like(ctx: FileContext, node: ast.AST) -> bool:
+    """Heuristic: does the context-manager source mention a lock?"""
+
+    text = ast.get_source_segment(ctx.source, node) or ""
+    return "lock" in text.lower()
+
+
+class AsyncBlockingChecker(Checker):
+    name = "async-blocking"
+    description = (
+        "blocking call / sync lock acquisition lexically inside an async "
+        "def body (route store and file work through the executor helper)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in iter_body_nodes(func):
+                if isinstance(node, ast.Call):
+                    blocking = _blocking_call_name(node)
+                    if blocking is not None:
+                        findings.append(
+                            ctx.finding(
+                                self.name,
+                                node,
+                                f"blocking call {blocking}() inside async def "
+                                f"{func.name}; wrap the work in a sync function "
+                                "and route it through the executor helper "
+                                "(run_in_executor)",
+                            )
+                        )
+                        continue
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "acquire"
+                    ):
+                        findings.append(
+                            ctx.finding(
+                                self.name,
+                                node,
+                                f".acquire() inside async def {func.name}; "
+                                "enter locks with 'async with' (raw acquire "
+                                "blocks the loop or leaks on cancellation)",
+                            )
+                        )
+                elif isinstance(node, ast.With):
+                    for item in node.items:
+                        expr = item.context_expr
+                        if (
+                            isinstance(expr, ast.Call)
+                            and isinstance(expr.func, ast.Attribute)
+                            and expr.func.attr in _LOCKY_METHODS
+                            and _looks_lock_like(ctx, expr)
+                        ):
+                            findings.append(
+                                ctx.finding(
+                                    self.name,
+                                    node,
+                                    f"synchronous 'with' over lock context "
+                                    f".{expr.func.attr}() inside async def "
+                                    f"{func.name}; the RW-lock contexts are "
+                                    "async — use 'async with'",
+                                )
+                            )
+        return findings

@@ -1,0 +1,128 @@
+"""resource-hygiene: file handles live in ``with``; exceptions don't vanish.
+
+Two small disciplines with outsized debugging cost when violated:
+
+* ``open()`` / ``tempfile.NamedTemporaryFile`` (and friends) must be used
+  as context managers.  A handle bound to a local leaks on any exception
+  path between the call and ``.close()`` — on the serve layer that is a
+  file-descriptor leak per failed request.  Returning the handle directly
+  (``return open(...)``) transfers ownership to a caller who enters it
+  (the snapshot's ``_open_data`` factory pattern) and is allowed.
+* ``except Exception:`` / bare ``except:`` handlers must not swallow: a
+  handler that neither re-raises nor uses the caught exception object
+  (to wrap, report or record it) turns store corruption and serve faults
+  into silent wrong answers.  Narrow exception types are out of scope —
+  catching what you can actually handle is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import Checker, FileContext, Finding, dotted_name
+
+__all__ = ["ResourceHygieneChecker"]
+
+_HANDLE_FACTORIES = {
+    "open",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+    "tempfile.TemporaryDirectory",
+    "NamedTemporaryFile",
+    "TemporaryFile",
+    "TemporaryDirectory",
+}
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_ownership_transfer(ctx: FileContext, call: ast.Call) -> bool:
+    """Inside a ``with`` item, or directly returned/yielded to the caller."""
+
+    node: ast.AST = call
+    for ancestor in ctx.ancestors(call):
+        if isinstance(ancestor, ast.withitem) and ancestor.context_expr in (
+            node,
+            call,
+        ):
+            return True
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            # Wrapped (e.g. contextlib.closing(open(...))) under a with item.
+            if any(_contains(item.context_expr, call) for item in ancestor.items):
+                return True
+            return False
+        if isinstance(ancestor, (ast.Return, ast.Yield)):
+            return True
+        if isinstance(ancestor, ast.stmt):
+            return False
+        node = ancestor
+    return False
+
+
+def _contains(tree: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in ast.walk(tree))
+
+
+class ResourceHygieneChecker(Checker):
+    name = "resource-hygiene"
+    description = (
+        "open()/NamedTemporaryFile outside 'with', and broad except "
+        "handlers that swallow the exception"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _HANDLE_FACTORIES and not _is_ownership_transfer(
+                    ctx, node
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.name,
+                            node,
+                            f"{name}() outside a 'with' block; the handle "
+                            "leaks on any exception path — use a context "
+                            "manager (or return it directly to transfer "
+                            "ownership)",
+                        )
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                finding = self._check_handler(ctx, node)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _check_handler(
+        self, ctx: FileContext, handler: ast.ExceptHandler
+    ) -> Optional[Finding]:
+        if handler.type is None:
+            caught = "bare except"
+        else:
+            type_name = dotted_name(handler.type)
+            if type_name not in _BROAD:
+                return None
+            caught = f"except {type_name}"
+        has_raise = any(
+            isinstance(child, ast.Raise) for child in ast.walk(handler)
+        )
+        if has_raise:
+            return None
+        if handler.name is not None:
+            uses_exc = any(
+                isinstance(child, ast.Name)
+                and child.id == handler.name
+                and isinstance(child.ctx, ast.Load)
+                for child in ast.walk(handler)
+            )
+            if uses_exc:
+                return None
+        return ctx.finding(
+            self.name,
+            handler,
+            f"{caught} swallows the exception (no re-raise, caught object "
+            "unused); re-raise, narrow the type, or wrap it into the "
+            "structured error path so faults stay visible",
+        )

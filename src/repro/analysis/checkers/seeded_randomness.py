@@ -1,0 +1,110 @@
+"""seeded-randomness: all randomness flows from explicit seeds.
+
+Reproduction experiments must replay bit-for-bit: every random draw goes
+through :func:`repro.utils.rng.make_rng` (or an explicitly seeded
+``np.random.default_rng``).  The legacy global-state API
+(``np.random.seed`` / ``np.random.normal`` / ``np.random.RandomState`` …)
+couples unrelated call sites through hidden state and breaks replay under
+parallel execution, so it is flagged everywhere — with one carve-out: a
+``datasets/`` generator whose enclosing function accepts an explicit
+``seed``/``rng`` parameter may use it while migrating.  An unseeded
+``np.random.default_rng()`` (no argument → OS entropy) is flagged
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Checker, FileContext, Finding, dotted_name
+
+__all__ = ["SeededRandomnessChecker"]
+
+#: The global-state (legacy) np.random surface.
+_LEGACY = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "standard_normal",
+    "standard_cauchy",
+    "poisson",
+    "exponential",
+    "binomial",
+    "beta",
+    "gamma",
+    "lognormal",
+    "get_state",
+    "set_state",
+    "RandomState",
+}
+
+_SEED_PARAMS = {"seed", "rng", "random_state"}
+
+
+def _function_accepts_seed(func: ast.AST) -> bool:
+    args = getattr(func, "args", None)
+    if args is None:
+        return False
+    names = [a.arg for a in args.args + args.kwonlyargs + args.posonlyargs]
+    return any(name in _SEED_PARAMS for name in names)
+
+
+class SeededRandomnessChecker(Checker):
+    name = "seeded-randomness"
+    description = (
+        "randomness must flow from explicit seeds (make_rng / seeded "
+        "default_rng); the np.random global-state API breaks replay"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        in_datasets = "datasets" in ctx.display_path.replace("\\", "/").split("/")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, tail = name.rpartition(".")
+            if head not in ("np.random", "numpy.random"):
+                continue
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    findings.append(
+                        ctx.finding(
+                            self.name,
+                            node,
+                            "np.random.default_rng() without a seed draws OS "
+                            "entropy; pass an explicit seed (or use "
+                            "utils.rng.make_rng)",
+                        )
+                    )
+                continue
+            if tail not in _LEGACY:
+                continue
+            if in_datasets:
+                func = ctx.enclosing_function(node)
+                if func is not None and _function_accepts_seed(func):
+                    continue
+            findings.append(
+                ctx.finding(
+                    self.name,
+                    node,
+                    f"legacy global-state call np.random.{tail}(); draw from "
+                    "an explicit generator instead (utils.rng.make_rng(seed) "
+                    "/ np.random.default_rng(seed)) so experiments replay "
+                    "deterministically",
+                )
+            )
+        return findings

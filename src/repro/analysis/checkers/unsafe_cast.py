@@ -1,0 +1,242 @@
+"""unsafe-cast: float-valued expressions cast to integer dtypes unguarded.
+
+The PR 2 ZFP bug class: casting a non-finite float to ``int64`` is
+undefined behaviour in NumPy (values wrap silently — and the sign trap
+``np.abs(np.int64.min) < 0`` lets a *post*-cast magnitude check pass
+garbage through).  The fix that landed in
+:func:`repro.compressors.transform.quantize_block_coefficients` masks on
+the float ratios *before* the cast; this checker enforces that shape
+everywhere:
+
+A call ``X.astype(<int dtype>)`` (or ``np.int64(X)``-style construction)
+is flagged when
+
+* ``X`` is *float-sourced* — it contains a true division, a call to a
+  float-producing NumPy function (``rint``/``floor``/``ceil``/``log2``
+  …), a float literal inside ``np.where``, or a name assigned from such
+  an expression earlier in the same scope, **and**
+* no dominating finite/clip mask exists: no call to ``np.isfinite`` /
+  ``np.isnan`` / ``np.nan_to_num`` / ``np.clip`` appears in the same
+  scope at or before the cast line.
+
+Int-to-int and bool casts (``modes.astype(np.uint8)``) are deliberately
+not flagged: the checker stays quiet where it cannot see a float source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.core import Checker, FileContext, Finding, dotted_name
+
+__all__ = ["UnsafeCastChecker"]
+
+_INT_DTYPES = {
+    "int",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "intp",
+    "uintp",
+    "intc",
+    "longlong",
+}
+
+#: NumPy calls whose result is floating point even for integer inputs.
+_FLOAT_PRODUCERS = {
+    "rint",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "log",
+    "log2",
+    "log10",
+    "log1p",
+    "exp",
+    "exp2",
+    "expm1",
+    "sqrt",
+    "cbrt",
+    "ldexp",
+    "divide",
+    "true_divide",
+    "mean",
+    "nanmean",
+    "average",
+}
+
+_GUARDS = {"isfinite", "isnan", "nan_to_num", "clip"}
+
+_FLOAT_DTYPES = {"float", "float16", "float32", "float64", "double", "longdouble"}
+
+
+def _tail(name: Optional[str]) -> Optional[str]:
+    return None if name is None else name.rsplit(".", 1)[-1]
+
+
+def _is_int_dtype_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>=|") in _INT_DTYPES or node.value.lstrip(
+            "<>=|"
+        ) in {"i1", "i2", "i4", "i8", "u1", "u2", "u4", "u8"}
+    name = _tail(dotted_name(node))
+    return name in _INT_DTYPES
+
+
+def _is_float_dtype_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>=|") in _FLOAT_DTYPES | {"f2", "f4", "f8"}
+    return _tail(dotted_name(node)) in _FLOAT_DTYPES
+
+
+class UnsafeCastChecker(Checker):
+    name = "unsafe-cast"
+    description = (
+        "float-valued expression cast to an integer dtype with no dominating "
+        "finite/clip mask in the same scope (the PR 2 non-finite wrap bug)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target_dtype = self._int_cast_dtype(node)
+            if target_dtype is None:
+                continue
+            operand = self._cast_operand(node)
+            if operand is None:
+                continue
+            if not self._is_float_sourced(ctx, node, operand, set(), 0):
+                continue
+            if self._has_dominating_guard(ctx, node):
+                continue
+            findings.append(
+                ctx.finding(
+                    self.name,
+                    node,
+                    f"float-valued expression cast to {target_dtype} without a "
+                    "dominating finite/clip mask in this scope; mask with "
+                    "np.isfinite/np.clip on the float values *before* the cast "
+                    "(non-finite casts wrap silently)",
+                )
+            )
+        return findings
+
+    # -- cast recognition ------------------------------------------------
+    @staticmethod
+    def _int_cast_dtype(call: ast.Call) -> Optional[str]:
+        """The target int dtype when ``call`` is an int cast, else None."""
+
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            args = list(call.args) + [
+                kw.value for kw in call.keywords if kw.arg == "dtype"
+            ]
+            if len(args) == 1 and _is_int_dtype_expr(args[0]):
+                name = dotted_name(args[0])
+                if name is None and isinstance(args[0], ast.Constant):
+                    name = str(args[0].value)
+                return name
+            return None
+        name = dotted_name(func)
+        if name is not None:
+            head, _, tail = name.rpartition(".")
+            if tail in (_INT_DTYPES - {"int"}) and head in ("np", "numpy", ""):
+                if len(call.args) == 1:
+                    return name
+        return None
+
+    @staticmethod
+    def _cast_operand(call: ast.Call) -> Optional[ast.AST]:
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "astype":
+            return call.func.value
+        return call.args[0] if call.args else None
+
+    # -- float-source inference ------------------------------------------
+    def _is_float_sourced(
+        self,
+        ctx: FileContext,
+        site: ast.AST,
+        expr: ast.AST,
+        visited: Set[str],
+        depth: int,
+    ) -> bool:
+        if depth > 6:
+            return False
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                return True
+            return self._is_float_sourced(
+                ctx, site, expr.left, visited, depth + 1
+            ) or self._is_float_sourced(ctx, site, expr.right, visited, depth + 1)
+        if isinstance(expr, ast.UnaryOp):
+            return self._is_float_sourced(ctx, site, expr.operand, visited, depth + 1)
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, float)
+        if isinstance(expr, ast.Call):
+            func_tail = _tail(dotted_name(expr.func))
+            if func_tail in _FLOAT_PRODUCERS:
+                return True
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "astype"
+                and expr.args
+                and _is_float_dtype_expr(expr.args[0])
+            ):
+                return True
+            if func_tail == "where":
+                return any(
+                    self._is_float_sourced(ctx, site, arg, visited, depth + 1)
+                    for arg in expr.args
+                )
+            return False
+        if isinstance(expr, ast.Name):
+            if expr.id in visited:
+                return False
+            visited.add(expr.id)
+            assigned = self._last_assignment(ctx, site, expr.id)
+            if assigned is not None:
+                return self._is_float_sourced(ctx, site, assigned, visited, depth + 1)
+        return False
+
+    @staticmethod
+    def _last_assignment(
+        ctx: FileContext, site: ast.AST, name: str
+    ) -> Optional[ast.AST]:
+        """Value of the last ``name = ...`` in the scope before ``site``."""
+
+        scope = ctx.enclosing_scope(site)
+        site_line = getattr(site, "lineno", 0)
+        best: Optional[ast.AST] = None
+        best_line = -1
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name) and target.id == name):
+                continue
+            if best_line < node.lineno <= site_line:
+                best, best_line = node.value, node.lineno
+        return best
+
+    # -- guard search -----------------------------------------------------
+    @staticmethod
+    def _has_dominating_guard(ctx: FileContext, site: ast.AST) -> bool:
+        scope = ctx.enclosing_scope(site)
+        site_line = getattr(site, "lineno", 0)
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if getattr(node, "lineno", site_line + 1) > site_line:
+                continue
+            if _tail(dotted_name(node.func)) in _GUARDS:
+                return True
+        return False

@@ -1,0 +1,73 @@
+"""Per-file configuration of the invariant checkers.
+
+Kept as data (not code in each checker) so exemptions are reviewable in
+one place.  Paths are matched with :func:`fnmatch.fnmatch` against the
+display path (posix separators) and also by suffix, so both
+``src/repro/utils/rng.py`` and ``repro/utils/rng.py`` spellings work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "PER_FILE_IGNORES",
+    "FIXTURE_DATA_GLOB",
+    "BLOCKING_CALLS",
+    "BLOCKING_STORE_CLASSES",
+]
+
+#: Rules switched off wholesale for specific files.  Use sparingly — a
+#: targeted ``repro-lint: disable=<rule> -- <reason>`` comment is almost
+#: always better because it documents *why* at the site.
+PER_FILE_IGNORES: Dict[str, FrozenSet[str]] = {
+    # The rng helper is the designated owner of np.random state: it
+    # exists precisely to wrap default_rng/SeedSequence handling.
+    "repro/utils/rng.py": frozenset({"seeded-randomness"}),
+}
+
+#: Where golden fixtures live: any ``data`` directory under ``tests/``.
+FIXTURE_DATA_GLOB = "tests/*data*"
+
+#: Known-blocking callables that must not run directly on the event loop
+#: (route them through the executor helper — ``ArrayServer._in_executor``
+#: / ``loop.run_in_executor`` — by wrapping the work in a sync function).
+BLOCKING_CALLS: FrozenSet[str] = frozenset(
+    {
+        "open",
+        "time.sleep",
+        "os.listdir",
+        "os.scandir",
+        "os.stat",
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.replace",
+        "os.makedirs",
+        "os.mkdir",
+        "os.rmdir",
+        "os.fsync",
+        "os.walk",
+        "os.path.exists",
+        "os.path.isfile",
+        "os.path.isdir",
+        "os.path.getsize",
+        "os.path.getmtime",
+        "shutil.rmtree",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.copytree",
+        "shutil.move",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+    }
+)
+
+#: Store classes whose methods do file I/O / CPU-heavy decode: calling
+#: any classmethod (``ArrayStore.open(...)``) lexically inside an async
+#: body blocks the loop.
+BLOCKING_STORE_CLASSES: FrozenSet[str] = frozenset({"ArrayStore", "StoreSnapshot"})

@@ -22,6 +22,10 @@ writing any Python:
   --client-decode`` fetches compressed chunks and decodes locally).
 * ``serve``      — serve every store under a root directory over HTTP
   (see :mod:`repro.serve`).
+* ``lint``       — the repo-specific invariant checkers
+  (:mod:`repro.analysis`): dtype-cast safety, async-blocking discipline,
+  binary-format/golden pairing, worker-boundary hygiene, seeded
+  randomness, resource hygiene.  ``--format json`` for machines.
 
 The CLI intentionally exposes only the high-level entry points; everything
 it does is a thin wrapper over the public API, so scripts can always drop
@@ -32,7 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -269,6 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-mb", type=int, default=512,
         help="largest accepted request body / decoded response in MiB",
     )
+
+    # ---- lint ----------------------------------------------------------
+    lint = subparsers.add_parser(
+        "lint", help="repo-specific invariant checkers (static analysis)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     # ---- figure --------------------------------------------------------
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures (3-7)")
@@ -687,6 +699,12 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -731,6 +749,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _command_figure,
         "store": _command_store,
         "serve": _command_serve,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

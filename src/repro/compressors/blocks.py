@@ -320,7 +320,13 @@ def quantize_plane_coefficients(
 
     precisions = coefficient_precisions(error_bound, block_size, ndim)
     coeffs = np.asarray(coefficients, dtype=np.float64)
-    return np.rint(coeffs / precisions).astype(np.int64)
+    with np.errstate(invalid="ignore", over="ignore"):
+        ratios = np.rint(coeffs / precisions)
+    # Plane fits of a non-finite field yield non-finite coefficients; mask
+    # them before the int64 cast (which wraps silently) so the affected
+    # blocks carry a zero plane and lose in mode selection instead of
+    # corrupting the container.
+    return np.where(np.isfinite(ratios), ratios, 0.0).astype(np.int64)
 
 
 def dequantize_plane_coefficients(
@@ -672,6 +678,7 @@ class BlockCodec:
                 reg_coeff_codes, self.error_bound, bs, ndim
             )
             predictions = plane_predictions(quantized_coeffs, bs)
+            # repro-lint: disable=unsafe-cast -- predictions are dequantized int64 codes times validated positive precisions; finite by construction
             predicted_codes = np.rint(predictions / self.step).astype(np.int64)
             candidates["regression"] = code_blocks - predicted_codes
 
@@ -745,6 +752,7 @@ class BlockCodec:
                 coeff_codes, self.error_bound, bs, ndim
             ).reshape(-1, 1 + ndim)
             predictions = plane_predictions(quantized_coeffs, bs)
+            # repro-lint: disable=unsafe-cast -- predictions are dequantized int64 codes times validated positive precisions; finite by construction
             predicted_codes = np.rint(predictions / self.step).astype(np.int64)
             code_blocks[regression_mask] = (
                 residual_blocks[regression_mask] + predicted_codes

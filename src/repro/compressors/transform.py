@@ -202,7 +202,11 @@ def block_exponents(
     block_axes = tuple(range(1, ndim + 1))
     block_max = np.abs(blocks).max(axis=block_axes)
     emax = np.zeros(blocks.shape[0], dtype=np.int64)
-    nonzero = block_max > 0
+    # Non-finite block maxima (inf input, or NaN which already fails the
+    # > 0 test) would give an infinite exponent whose int64 cast wraps
+    # silently; leave emax at 0 so those blocks stay non-finite after
+    # normalisation and route to exact storage in quantization.
+    nonzero = (block_max > 0) & np.isfinite(block_max)
     emax[nonzero] = np.ceil(np.log2(block_max[nonzero])).astype(np.int64)
     negligible = block_max <= error_bound
     normalised = np.zeros_like(blocks)

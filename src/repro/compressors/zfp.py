@@ -47,7 +47,6 @@ verifies the bound on its own reconstruction before returning.
 from __future__ import annotations
 
 import struct
-from typing import Tuple
 
 import numpy as np
 

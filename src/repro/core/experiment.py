@@ -10,7 +10,7 @@ drivers (:mod:`repro.core.figures`) slice and fit them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,7 +18,6 @@ from repro.pressio.api import compress_and_measure
 from repro.pressio.metrics import CompressionMetrics
 from repro.stats.local import std_local_variogram_range
 from repro.stats.svd import std_local_svd_truncation
-from repro.stats.variogram import VariogramConfig
 from repro.stats.variogram_models import estimate_variogram_range
 from repro.utils.validation import ensure_2d
 

@@ -32,7 +32,7 @@ from repro.core.regression import LogRegressionFit, fit_log_regression
 from repro.datasets.gaussian import generate_gaussian_field
 from repro.datasets.registry import DatasetRegistry, default_registry
 from repro.stats.variogram import VariogramConfig, empirical_variogram
-from repro.stats.variogram_models import FittedVariogram, fit_variogram
+from repro.stats.variogram_models import fit_variogram
 from repro.utils.parallel import ParallelConfig
 from repro.utils.rng import SeedLike
 

@@ -73,7 +73,7 @@ def fit_log_regression(
     x: Sequence[float],
     cr: Sequence[float],
     *,
-    log_base: float = float(np.e),
+    log_base: float = np.e,
     weights: Optional[Sequence[float]] = None,
 ) -> LogRegressionFit:
     """Least-squares fit of ``CR = alpha + beta * log(x)``.

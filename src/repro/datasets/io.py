@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Sequence, Tuple, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.datasets.covariance import SquaredExponentialCovariance
 from repro.datasets.gaussian import GaussianFieldConfig, GaussianRandomFieldGenerator
-from repro.utils.rng import SeedLike, derive_seeds, make_rng
+from repro.utils.rng import SeedLike, derive_seeds
 from repro.utils.validation import ensure_positive
 
 __all__ = [

@@ -11,8 +11,6 @@ streams to their scalar counterparts applied element-wise.
 
 from __future__ import annotations
 
-from typing import Iterable, List
-
 import numpy as np
 
 __all__ = ["BitWriter", "BitReader"]

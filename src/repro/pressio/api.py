@@ -9,7 +9,6 @@ one-call path the experiment pipeline uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np

@@ -46,6 +46,11 @@ def quantized_entropy(field: np.ndarray, error_bound: float) -> float:
 
     arr = ensure_float_array(field, "field").ravel()
     ensure_positive(error_bound, "error_bound")
+    if not np.isfinite(arr).all():
+        raise ValueError(
+            "field contains non-finite values; quantized entropy is undefined "
+            "(their int64 bin codes would wrap silently)"
+        )
     step = 2.0 * error_bound
     codes = np.floor(arr / step + 0.5).astype(np.int64)
     return shannon_entropy(codes)

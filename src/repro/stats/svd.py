@@ -13,7 +13,6 @@ compression ratio and this statistic (Figures 6 and 7, right column).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -196,6 +196,7 @@ def _variogram_pairs(
     sq_diff = (za - zb) ** 2
 
     n_bins = int(np.ceil(max_lag / config.bin_width))
+    # repro-lint: disable=unsafe-cast -- lag distances are norms of finite integer grid offsets and bin_width is validated positive
     bin_index = np.minimum((dist / config.bin_width).astype(np.int64), n_bins - 1)
     bin_sums = np.bincount(bin_index, weights=sq_diff, minlength=n_bins)
     bin_counts = np.bincount(bin_index, minlength=n_bins)

@@ -21,8 +21,7 @@ implements that extension:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy.signal import fftconvolve

@@ -20,7 +20,7 @@ on the x-axis of the paper's Figures 3 and 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 import numpy as np
 from scipy.optimize import least_squares

@@ -122,16 +122,6 @@ class ChunkRecord:
 
 
 @dataclass(frozen=True)
-class ReadReport:
-    """What one :meth:`ArrayStore.read` call actually did."""
-
-    region: Tuple[Tuple[int, int], ...]
-    chunks_total: int
-    chunks_intersecting: int
-    chunks_decoded: int
-
-
-@dataclass(frozen=True)
 class _ChunkResult:
     """Worker output for one compressed chunk (cached and persisted).
 

@@ -22,7 +22,7 @@ chunk cache keys include — two adaptive policies with different
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 

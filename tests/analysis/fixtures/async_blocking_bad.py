@@ -1,0 +1,28 @@
+"""Deliberately BAD fixture: blocking work directly on the event loop —
+stdlib I/O, a store classmethod, raw lock acquisition and a sync 'with'
+over an async RW-lock context."""
+
+import time
+
+from repro.store import ArrayStore
+
+
+class Handler:
+    async def handle(self, path):
+        time.sleep(0.05)
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    async def load(self, root):
+        return ArrayStore.open(root)
+
+    async def locked(self, lock):
+        await lock.acquire()
+        try:
+            return None
+        finally:
+            lock.release()
+
+    async def guarded(self, dataset_lock):
+        with dataset_lock.read():
+            return None

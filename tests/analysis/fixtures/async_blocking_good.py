@@ -1,0 +1,16 @@
+"""GOOD fixture: the serve layer's sanctioned shapes — blocking work
+wrapped in a nested sync function routed through the executor, and locks
+entered with 'async with'."""
+
+
+class Handler:
+    async def handle(self, loop, path):
+        def work():
+            with open(path, "rb") as fh:
+                return fh.read()
+
+        return await loop.run_in_executor(None, work)
+
+    async def locked(self, lock):
+        async with lock.write():
+            return None

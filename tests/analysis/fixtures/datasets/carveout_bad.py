@@ -1,0 +1,6 @@
+"""Deliberately BAD fixture: even under datasets/, a module-level legacy
+draw (no seed-accepting enclosing function) is flagged."""
+
+import numpy as np
+
+WARMUP = np.random.normal(size=(4, 4))

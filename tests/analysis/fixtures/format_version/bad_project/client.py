@@ -1,0 +1,10 @@
+"""Deliberately BAD fixture: leaks the format module's struct layout and
+re-declares a registered tag as a loose literal."""
+
+from mypkg.store.format import _HEADER
+
+DEFAULT_TAG = b"XXQ1"
+
+
+def header_size():
+    return _HEADER.size

@@ -1,0 +1,4 @@
+"""Deliberately BAD fixture project: registers a container tag but the
+project has no golden fixture pinning its bytes."""
+
+CONTAINER_MAGIC = b"XXQ1"

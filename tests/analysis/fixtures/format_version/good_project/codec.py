@@ -1,0 +1,4 @@
+"""GOOD fixture project: the registered tag is pinned by a golden file
+under tests/data/."""
+
+CONTAINER_MAGIC = b"XXQ1"

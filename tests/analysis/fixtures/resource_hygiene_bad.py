@@ -1,0 +1,16 @@
+"""Deliberately BAD fixture: a leaked file handle and a swallowed broad
+except."""
+
+
+def read_all(path):
+    fh = open(path, "rb")
+    data = fh.read()
+    fh.close()
+    return data
+
+
+def ignore_errors(store):
+    try:
+        store.flush()
+    except Exception:
+        pass

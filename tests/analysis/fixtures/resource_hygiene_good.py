@@ -1,0 +1,19 @@
+"""GOOD fixture: handles in 'with' (or ownership-transferred via
+return), and broad excepts that keep the fault visible."""
+
+
+def read_all(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def open_stream(path):
+    # Ownership transfer: the caller enters the handle.
+    return open(path, "rb")
+
+
+def report_errors(store, log):
+    try:
+        store.flush()
+    except Exception as exc:
+        log.append(str(exc))

@@ -1,0 +1,13 @@
+"""Deliberately BAD fixture: global-state np.random calls and an
+unseeded default_rng outside the datasets/ carve-out."""
+
+import numpy as np
+
+
+def sample_field(shape):
+    np.random.seed(1234)
+    return np.random.normal(size=shape)
+
+
+def unseeded():
+    return np.random.default_rng()

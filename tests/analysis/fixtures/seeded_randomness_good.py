@@ -1,0 +1,8 @@
+"""GOOD fixture: all randomness flows from an explicit seed."""
+
+import numpy as np
+
+
+def sample_field(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape)

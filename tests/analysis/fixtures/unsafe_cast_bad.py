@@ -1,0 +1,13 @@
+"""Deliberately BAD fixture: the PR 2 pattern — float values cast to an
+integer dtype with no dominating finite/clip mask.  Never import this."""
+
+import numpy as np
+
+
+def quantize(values, step):
+    ratios = values / step
+    return ratios.astype(np.int64)
+
+
+def construct(values):
+    return np.int32(np.rint(values))

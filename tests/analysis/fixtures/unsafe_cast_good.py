@@ -1,0 +1,15 @@
+"""GOOD fixture: the same casts with the discipline applied — a finite
+mask dominates the cast, and int-to-int casts stay unflagged."""
+
+import numpy as np
+
+
+def quantize(values, step):
+    ratios = values / step
+    ratios = np.where(np.isfinite(ratios), ratios, 0.0)
+    return ratios.astype(np.int64)
+
+
+def shrink(codes):
+    # Int-to-int: no float source, no finding.
+    return codes.astype(np.uint8)

@@ -1,0 +1,25 @@
+"""Deliberately BAD fixture: unpicklable callables submitted to the
+worker pool, a rogue ProcessPoolExecutor, and a worker returning a bare
+ndarray instead of the documented payload tuple."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.utils.parallel import parallel_map
+
+
+def run_all(tiles, scale):
+    def encode(tile):
+        return tile * scale
+
+    results = list(parallel_map(encode, tiles))
+    results += list(parallel_map(lambda tile: tile * scale, tiles))
+    results += list(parallel_map(_encode_worker, tiles))
+    with ProcessPoolExecutor() as pool:
+        results += list(pool.map(_encode_worker, tiles))
+    return results
+
+
+def _encode_worker(tile):
+    return np.asarray(tile)

@@ -1,0 +1,16 @@
+"""GOOD fixture: the repo's worker protocol — a module-level function
+over self-contained task tuples, returning the documented payload tuple."""
+
+import numpy as np
+
+from repro.utils.parallel import parallel_map
+
+
+def run_all(tasks):
+    return list(parallel_map(_encode_worker, tasks))
+
+
+def _encode_worker(task):
+    tile, scale = task
+    payload = np.asarray(tile) * scale
+    return payload.tobytes(), payload.shape

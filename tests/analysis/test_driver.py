@@ -1,0 +1,227 @@
+"""Driver-level tests: suppression semantics (reason required, coverage
+rules, file-level disables), per-file config, rule filtering and the CLI
+text/JSON output contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import BAD_SUPPRESSION, all_checkers, run_lint
+from repro.analysis.cli import JSON_SCHEMA_VERSION
+from repro.cli import main
+
+BAD_CAST = (
+    "import numpy as np\n"
+    "\n"
+    "def quantize(values, step):\n"
+    "    ratios = values / step\n"
+    "    return ratios.astype(np.int64){trailer}\n"
+)
+
+
+def lint_file(path):
+    return run_lint([str(path)], all_checkers())
+
+
+def write(tmp_path, text, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestSuppressions:
+    def test_trailing_suppression_with_reason_suppresses(self, tmp_path):
+        path = write(
+            tmp_path,
+            BAD_CAST.format(
+                trailer="  # repro-lint: disable=unsafe-cast -- step validated finite"
+            ),
+        )
+        result = lint_file(path)
+        assert result.exit_code == 0
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.suppressed
+        assert finding.suppression_reason == "step validated finite"
+
+    def test_comment_only_line_covers_next_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "def quantize(values, step):\n"
+            "    ratios = values / step\n"
+            "    # repro-lint: disable=unsafe-cast -- inputs masked upstream\n"
+            "    return ratios.astype(np.int64)\n",
+        )
+        result = lint_file(path)
+        assert result.exit_code == 0
+        assert result.findings[0].suppressed
+
+    def test_suppression_without_reason_is_itself_a_finding(self, tmp_path):
+        path = write(
+            tmp_path,
+            BAD_CAST.format(trailer="  # repro-lint: disable=unsafe-cast"),
+        )
+        result = lint_file(path)
+        rules = sorted(f.rule for f in result.unsuppressed)
+        assert rules == [BAD_SUPPRESSION, "unsafe-cast"]
+        assert result.exit_code == 1
+
+    def test_unknown_rule_suppression_is_itself_a_finding(self, tmp_path):
+        path = write(
+            tmp_path,
+            BAD_CAST.format(
+                trailer="  # repro-lint: disable=made-up-rule -- because"
+            ),
+        )
+        result = lint_file(path)
+        rules = sorted(f.rule for f in result.unsuppressed)
+        assert rules == [BAD_SUPPRESSION, "unsafe-cast"]
+
+    def test_disable_file_covers_every_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "# repro-lint: disable-file=unsafe-cast -- generated lookup tables\n"
+            + BAD_CAST.format(trailer="")
+            + "\n"
+            "def again(values, step):\n"
+            "    return (values / step).astype(np.int64)\n",
+        )
+        result = lint_file(path)
+        assert result.exit_code == 0
+        assert len(result.findings) == 2
+        assert all(f.suppressed for f in result.findings)
+
+    def test_docstring_mention_of_syntax_is_not_a_suppression(self, tmp_path):
+        path = write(
+            tmp_path,
+            '"""Docs: write # repro-lint: disable=unsafe-cast -- reason."""\n'
+            + BAD_CAST.format(trailer=""),
+        )
+        result = lint_file(path)
+        assert [f.rule for f in result.unsuppressed] == ["unsafe-cast"]
+
+    def test_suppression_for_a_different_rule_does_not_apply(self, tmp_path):
+        path = write(
+            tmp_path,
+            BAD_CAST.format(
+                trailer="  # repro-lint: disable=resource-hygiene -- wrong rule"
+            ),
+        )
+        result = lint_file(path)
+        assert [f.rule for f in result.unsuppressed] == ["unsafe-cast"]
+
+
+class TestDriver:
+    def test_per_file_ignores_silence_the_configured_rule(self, tmp_path):
+        nest = tmp_path / "repro" / "utils"
+        nest.mkdir(parents=True)
+        path = write(
+            nest,
+            "import numpy as np\n\nSTATE = np.random.RandomState(0)\n",
+            name="rng.py",
+        )
+        assert lint_file(path).exit_code == 0
+        # The same content under any other name is flagged.
+        other = write(
+            nest,
+            "import numpy as np\n\nSTATE = np.random.RandomState(0)\n",
+            name="other.py",
+        )
+        assert [f.rule for f in lint_file(other).unsuppressed] == [
+            "seeded-randomness"
+        ]
+
+    def test_unknown_rule_filter_raises(self, tmp_path):
+        path = write(tmp_path, "x = 1\n")
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_lint([str(path)], all_checkers(), rules=["no-such-rule"])
+
+    def test_syntax_error_reported_as_parse_error(self, tmp_path):
+        path = write(tmp_path, "def broken(:\n")
+        result = lint_file(path)
+        assert [f.rule for f in result.unsuppressed] == ["parse-error"]
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        path = write(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "def a(values, step):\n"
+            "    fh = open('x', 'rb')\n"
+            "    return (values / step).astype(np.int64), fh\n",
+        )
+        result = lint_file(path)
+        assert [f.line for f in result.findings] == sorted(
+            f.line for f in result.findings
+        )
+
+
+class TestCLI:
+    def test_text_output_and_exit_code(self, tmp_path, capsys):
+        path = write(tmp_path, BAD_CAST.format(trailer=""))
+        code = main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unsafe-cast" in out
+        assert "1 finding(s)" in out
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        path = write(
+            tmp_path,
+            BAD_CAST.format(trailer="")
+            + "\n"
+            "def masked(values, step):\n"
+            "    # repro-lint: disable=unsafe-cast -- masked upstream\n"
+            "    return (values / step).astype(np.int64)\n",
+        )
+        code = main(["lint", "--format", "json", str(path)])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["schema_version"] == JSON_SCHEMA_VERSION
+        assert document["files_checked"] == 1
+        assert document["counts"] == {
+            "total": 2,
+            "unsuppressed": 1,
+            "suppressed": 1,
+        }
+        by_suppressed = {f["suppressed"]: f for f in document["findings"]}
+        live, muted = by_suppressed[False], by_suppressed[True]
+        for finding in (live, muted):
+            assert set(finding) == {
+                "rule",
+                "path",
+                "line",
+                "col",
+                "message",
+                "suppressed",
+                "suppression_reason",
+            }
+            assert finding["rule"] == "unsafe-cast"
+        assert muted["suppression_reason"] == "masked upstream"
+        assert live["suppression_reason"] is None
+
+    def test_rule_filter_flag(self, tmp_path, capsys):
+        path = write(
+            tmp_path,
+            "def leak(path):\n    fh = open(path)\n    return fh.name\n",
+        )
+        assert main(["lint", "--rule", "unsafe-cast", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--rule", "resource-hygiene", str(path)]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "unsafe-cast",
+            "async-blocking",
+            "format-version",
+            "worker-boundary",
+            "seeded-randomness",
+            "resource-hygiene",
+        ):
+            assert rule in out

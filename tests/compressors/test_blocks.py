@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compressors import blocks
 from repro.compressors.blocks import (
     DEFAULT_CODE_RADIUS,
     MODE_LORENZO,

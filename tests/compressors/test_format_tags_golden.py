@@ -1,0 +1,127 @@
+"""Golden pins for the halo-era zfp container tags (ZFR2 / ZFR3 / ZFV2).
+
+``volume_golden.npz`` pins the ``ZFV1`` container and
+``nd_refactor_golden.npz`` the SZ containers, but until this file the 2D
+zfp container (``ZFR2``) and the halo-coded variants (``ZFR3`` /
+``ZFV2``) had no pinned byte stream — the exact gap the ``format-version``
+lint rule exists to catch.  The fixture is a deterministic build: tile A
+is compressed standalone and donates its entropy context, tile B is
+compressed against that context, which is what flips the container tag to
+its halo variant.
+
+Regenerate the fixture ONLY alongside a deliberate container change (and
+then bump the tag, per the policy in tests/store/test_format.py)::
+
+    PYTHONPATH=src python tests/compressors/test_format_tags_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.compressors.base import CompressedField
+from repro.compressors.halo import TileHalo
+from repro.compressors.zfp import ZFPCompressor
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "format_tags_golden.npz"
+
+BOUND = 1e-3
+
+
+def _fields():
+    rng = np.random.default_rng(20260808)
+    plane_a = np.cumsum(rng.normal(size=(16, 16)), axis=1) / 4.0
+    plane_b = np.cumsum(rng.normal(size=(16, 16)), axis=0) / 4.0
+    volume_b = np.cumsum(rng.normal(size=(8, 8, 8)), axis=2) / 4.0
+    return plane_a, plane_b, volume_b
+
+
+def _build_payloads():
+    """``{name: container bytes}`` for the three unpinned tags."""
+
+    plane_a, plane_b, volume_b = _fields()
+    codec = ZFPCompressor(BOUND)
+    donor = codec.compress(plane_a, collect_context=True)
+    halo_2d = TileHalo.build(planes=[None, None], context=donor.entropy_context)
+
+    volume_donor = codec.compress(
+        np.broadcast_to(plane_a[:8, :8], (8, 8, 8)).copy(), collect_context=True
+    )
+    halo_3d = TileHalo.build(
+        planes=[None, None, None], context=volume_donor.entropy_context
+    )
+
+    return {
+        "zfr2_bytes": codec.compress(plane_a).data,
+        "zfr3_bytes": codec.compress(plane_b, halo=halo_2d).data,
+        "zfv2_bytes": codec.compress(volume_b, halo=halo_3d).data,
+    }
+
+
+def _as_field(blob: bytes, shape) -> CompressedField:
+    return CompressedField(
+        data=blob,
+        original_shape=tuple(shape),
+        original_dtype=np.dtype(np.float64),
+        compressor="zfp",
+        error_bound=BOUND,
+    )
+
+
+class TestFormatTagsGolden:
+    def test_fixture_pins_every_unpinned_tag(self):
+        with np.load(GOLDEN_PATH) as golden:
+            assert bytes(golden["zfr2_bytes"])[:4] == b"ZFR2"
+            assert bytes(golden["zfr3_bytes"])[:4] == b"ZFR3"
+            assert bytes(golden["zfv2_bytes"])[:4] == b"ZFV2"
+
+    def test_build_is_deterministic_and_matches_golden(self):
+        payloads = _build_payloads()
+        with np.load(GOLDEN_PATH) as golden:
+            for name, blob in payloads.items():
+                assert bytes(golden[name]) == blob, (
+                    f"{name} container bytes drifted from the pinned golden; "
+                    "a layout change needs a tag bump plus a regenerated "
+                    "fixture"
+                )
+
+    def test_pinned_halo_payloads_still_decode(self):
+        """Old halo-coded payloads must decode against a rebuilt context."""
+
+        plane_a, plane_b, volume_b = _fields()
+        codec = ZFPCompressor(BOUND)
+        donor = codec.compress(plane_a, collect_context=True)
+        halo_2d = TileHalo.build(planes=[None, None], context=donor.entropy_context)
+        volume_donor = codec.compress(
+            np.broadcast_to(plane_a[:8, :8], (8, 8, 8)).copy(), collect_context=True
+        )
+        halo_3d = TileHalo.build(
+            planes=[None, None, None], context=volume_donor.entropy_context
+        )
+        with np.load(GOLDEN_PATH) as golden:
+            plain = codec.decompress(_as_field(bytes(golden["zfr2_bytes"]), (16, 16)))
+            halo_plane = codec.decompress(
+                _as_field(bytes(golden["zfr3_bytes"]), (16, 16)), halo=halo_2d
+            )
+            halo_volume = codec.decompress(
+                _as_field(bytes(golden["zfv2_bytes"]), (8, 8, 8)), halo=halo_3d
+            )
+        assert np.abs(plain - plane_a).max() <= BOUND * (1 + 1e-9)
+        assert np.abs(halo_plane - plane_b).max() <= BOUND * (1 + 1e-9)
+        assert np.abs(halo_volume - volume_b).max() <= BOUND * (1 + 1e-9)
+
+
+if __name__ == "__main__":  # pragma: no cover — golden regeneration
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("usage: python test_format_tags_golden.py --regenerate")
+    payloads = _build_payloads()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        GOLDEN_PATH,
+        **{name: np.frombuffer(blob, dtype=np.uint8) for name, blob in payloads.items()},
+    )
+    print(f"wrote {GOLDEN_PATH} ({GOLDEN_PATH.stat().st_size} bytes)")

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compressors.base import CompressedField, Compressor, LosslessBackend
+from repro.compressors.base import (
+    CompressedField,
+    Compressor,
+    ErrorBoundExceededError,
+    LosslessBackend,
+)
 from repro.compressors.mgard import MGARDCompressor
 from repro.compressors.registry import available_compressors, make_compressor, register_compressor
 from repro.compressors.sz import SZCompressor
@@ -123,7 +128,7 @@ class TestLosslessBackend:
 class TestErrorBoundCheck:
     def test_check_error_bound_raises_on_violation(self, smooth_field):
         compressor = SZCompressor(1e-3)
-        with pytest.raises(Exception):
+        with pytest.raises(ErrorBoundExceededError):
             compressor.check_error_bound(smooth_field, smooth_field + 1.0)
 
     def test_check_error_bound_returns_max_error(self, smooth_field):

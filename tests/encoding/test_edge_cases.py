@@ -19,7 +19,6 @@ from repro.encoding.bitio import BitReader, BitWriter
 from repro.encoding.huffman import huffman_decode, huffman_encode
 from repro.encoding.rle import rle_decode, rle_encode
 from repro.encoding.varint import (
-    decode_signed_varint,
     decode_signed_varint_array,
     decode_varint,
     decode_varint_array,

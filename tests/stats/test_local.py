@@ -6,11 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.gaussian import generate_gaussian_field
-from repro.stats.local import (
-    LocalVariogramResult,
-    local_variogram_ranges,
-    std_local_variogram_range,
-)
+from repro.stats.local import local_variogram_ranges, std_local_variogram_range
 
 
 class TestLocalVariogramRanges:

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.gaussian import generate_gaussian_field
-from repro.stats.variogram import EmpiricalVariogram, VariogramConfig, empirical_variogram
+from repro.stats.variogram import EmpiricalVariogram, VariogramConfig
 from repro.stats.variogram_models import (
     estimate_variogram_range,
     exponential_variogram,

@@ -10,14 +10,19 @@ import pytest
 from repro.store.format import (
     INDEX_MAGIC,
     INDEX_VERSION,
+    INDEX_VERSION_HALO,
     IndexRecord,
     StoreCorruptionError,
     StoreFormatError,
+    halo_flags,
     pack_index,
     unpack_index,
 )
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "index_golden.bin")
+GOLDEN_V2_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "index_v2_golden.bin"
+)
 
 #: The records behind the golden file.  Regenerate the golden bytes with
 #: ``pack_index(GOLDEN_RECORDS)`` ONLY alongside an INDEX_VERSION bump —
@@ -28,6 +33,29 @@ GOLDEN_RECORDS = [
     IndexRecord(offset=1311, length=4096, codec="mgard", checksum=0xFFFFFFFF),
     # Dedup: shares the byte range of the first record.
     IndexRecord(offset=0, length=1234, codec="sz", checksum=0xDEADBEEF),
+]
+
+#: Records behind the version-2 golden file: same 32-byte record layout,
+#: but halo flags occupy the formerly-reserved trailing u32 (which is what
+#: flips ``pack_index`` to version 2).  Regeneration policy as above —
+#: only alongside an INDEX_VERSION_HALO bump.  Regenerate with
+#: ``PYTHONPATH=src python tests/store/test_format.py --regenerate``.
+GOLDEN_RECORDS_V2 = [
+    IndexRecord(offset=0, length=512, codec="zfp", checksum=0x12345678),
+    IndexRecord(
+        offset=512,
+        length=900,
+        codec="zfp",
+        checksum=0xCAFEF00D,
+        flags=halo_flags(0b011, 1),
+    ),
+    IndexRecord(
+        offset=1412,
+        length=64,
+        codec="sz",
+        checksum=7,
+        flags=halo_flags(0b001, None),
+    ),
 ]
 
 
@@ -147,3 +175,35 @@ class TestHaloFlags:
         struct.pack_into("<I", blob, 16 + 28, 7)
         with pytest.raises(StoreFormatError, match="version-1"):
             unpack_index(bytes(blob))
+
+
+class TestGoldenFileV2:
+    """Pin the on-disk v2 (halo-flagged) layout bit-for-bit."""
+
+    def test_pack_matches_golden(self):
+        with open(GOLDEN_V2_PATH, "rb") as handle:
+            golden = handle.read()
+        assert pack_index(GOLDEN_RECORDS_V2) == golden
+
+    def test_unpack_golden(self):
+        with open(GOLDEN_V2_PATH, "rb") as handle:
+            golden = handle.read()
+        assert unpack_index(golden) == GOLDEN_RECORDS_V2
+
+    def test_golden_header_carries_version_2(self):
+        with open(GOLDEN_V2_PATH, "rb") as handle:
+            golden = handle.read()
+        magic, version, _flags, n_chunks = struct.unpack_from("<4sHHQ", golden, 0)
+        assert magic == INDEX_MAGIC
+        assert version == INDEX_VERSION_HALO
+        assert n_chunks == len(GOLDEN_RECORDS_V2)
+
+
+if __name__ == "__main__":  # pragma: no cover — golden regeneration
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("usage: python test_format.py --regenerate")
+    with open(GOLDEN_V2_PATH, "wb") as handle:
+        handle.write(pack_index(GOLDEN_RECORDS_V2))
+    print(f"wrote {GOLDEN_V2_PATH}")
