@@ -6,7 +6,7 @@ cells (tiled 32^3, halo off and on, so the halo seam-recovery is tracked
 as data), the store put / partial-read cells, and the serve-layer load
 cells (warm-cache latency and decoded throughput at 1 vs 16 concurrent
 clients) — and writes a schema-versioned JSON trend file
-(``BENCH_PR6.json`` in CI, uploaded as a workflow artifact).  Against a
+(``BENCH_PR8.json`` in CI, uploaded as a workflow artifact).  Against a
 committed baseline (``benchmarks/baseline.json``) the script acts as the
 regression gate.
 
@@ -29,14 +29,16 @@ slower runner; catching that class would need a same-machine baseline
 are exported as trend data but not gated (they are pinned exactly by the
 test suite's golden files).
 
-``bar`` cells carry their own absolute floor (``value`` vs ``min``) and
-are gated without any baseline or calibration: the serve scaling cell
-asserts that 16 concurrent cached readers deliver >= 2x the decoded MB/s
-of one reader — a property of the coalescing design, not of the runner's
-speed, so it must hold on any machine.
+``bar`` cells carry their own absolute bound (``value`` vs ``min`` or
+``max``) and are gated without any baseline or calibration: the serve
+scaling cell asserts that 16 concurrent cached readers deliver >= 2x the
+decoded MB/s of one reader, and the tracing-overhead cell asserts that
+the *disabled* span instrumentation costs <= 2% of a 64^3 compress —
+both properties of the design, not of the runner's speed, so they must
+hold on any machine.
 
 Usage:
-    python benchmarks/export_trend.py --output BENCH_PR6.json
+    python benchmarks/export_trend.py --output BENCH_PR8.json
     python benchmarks/export_trend.py --update-baseline   # refresh baseline
 """
 
@@ -65,7 +67,7 @@ from repro.volumes.pipeline import compress_volume  # noqa: E402
 
 SCHEMA = "repro-bench-trend"
 SCHEMA_VERSION = 1
-LABEL = "PR6"
+LABEL = "PR8"
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
 #: Gate thresholds, applied to machine-calibrated per-cell ratios: any
 #: single cell beyond OUTLIER_THRESHOLD fails; more than
@@ -133,6 +135,36 @@ def collect_cells() -> dict:
             "kind": "ratio",
             "value": on.compression_ratio / off.compression_ratio,
         }
+
+    # -- tracing overhead: the disabled no-op span path ------------------
+    # Gate: the instrumentation left in the hot paths must be ~free when
+    # no tracer is installed.  Measured as (cost of one disabled span()
+    # call) x (spans one traced sz 64^3 compress actually records), as a
+    # fraction of that compress cell's wall time.
+    from repro.obs.trace import Tracer, install_tracer
+    from repro.obs.trace import span as obs_span
+
+    tracer = Tracer()
+    with install_tracer(tracer):
+        compress_volume(
+            volume, "sz", ERROR_BOUND, tile_shape=(32, 32, 32), cache=False
+        )
+    spans_per_compress = len(tracer.spans())
+    noop_calls = 200_000
+    start = time.perf_counter()
+    for _ in range(noop_calls):
+        with obs_span("bench.noop"):
+            pass
+    noop_ms = 1000.0 * (time.perf_counter() - start) / noop_calls
+    overhead = (
+        noop_ms * spans_per_compress / cells["sz-vol64-compress"]["ms"]
+    )
+    cells["tracing-overhead-disabled"] = {
+        "kind": "bar",
+        "value": overhead,
+        "max": 0.02,
+        "spans": spans_per_compress,
+    }
 
     # -- store put / partial read ----------------------------------------
     workdir = tempfile.mkdtemp(prefix="repro-trend-")
@@ -212,20 +244,27 @@ def gate(cells: dict, baseline: dict) -> int:
     """
 
     failed = False
-    # ``bar`` cells: absolute floors, no baseline or calibration needed.
+    # ``bar`` cells: absolute bounds, no baseline or calibration needed.
     for key, cell in sorted(cells.items()):
         if cell.get("kind") != "bar":
             continue
-        ok = cell["value"] >= cell["min"]
+        if "min" in cell:
+            ok = cell["value"] >= cell["min"]
+            bound_txt = f"floor {cell['min']:.4g}"
+            verdict = "is below its absolute floor" if not ok else ""
+        else:
+            ok = cell["value"] <= cell["max"]
+            bound_txt = f"ceiling {cell['max']:.4g}"
+            verdict = "is above its absolute ceiling" if not ok else ""
         print(
-            f"{key:<28} {cell['value']:>10.2f} (floor {cell['min']:.2f}) "
+            f"{key:<28} {cell['value']:>10.4g} ({bound_txt}) "
             f"{'ok' if ok else 'FAIL'}"
         )
         if not ok:
             failed = True
             print(
-                f"REGRESSION: {key} = {cell['value']:.2f} is below its "
-                f"absolute floor {cell['min']:.2f}",
+                f"REGRESSION: {key} = {cell['value']:.4g} {verdict} "
+                f"({bound_txt})",
                 file=sys.stderr,
             )
 

@@ -8,6 +8,7 @@ from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
 from repro.analysis.checkers.format_version import FormatVersionChecker
 from repro.analysis.checkers.resource_hygiene import ResourceHygieneChecker
 from repro.analysis.checkers.seeded_randomness import SeededRandomnessChecker
+from repro.analysis.checkers.timing_discipline import TimingDisciplineChecker
 from repro.analysis.checkers.unsafe_cast import UnsafeCastChecker
 from repro.analysis.checkers.worker_boundary import WorkerBoundaryChecker
 
@@ -24,4 +25,5 @@ def all_checkers() -> List:
         WorkerBoundaryChecker(),
         SeededRandomnessChecker(),
         ResourceHygieneChecker(),
+        TimingDisciplineChecker(),
     ]

@@ -1,0 +1,82 @@
+"""timing-discipline: durations must come from monotonic clocks.
+
+The observability layer (PR 8) standardises on ``time.perf_counter()``
+for every duration the repo measures — span starts, latency histograms,
+benchmark cells, cache timings.  ``time.time()`` is wall clock: NTP can
+step it backwards mid-measurement, and a negative "duration" silently
+corrupts a benchmark trend or a latency histogram.  On Linux
+``perf_counter`` is ``CLOCK_MONOTONIC``, which also makes worker-side
+span timestamps comparable to the parent process's.
+
+The checker flags every call to ``time.time()`` / ``time.time_ns()``,
+including bare ``time()`` after ``from time import time`` (and aliased
+variants of both the module and the function).  Wall clock is still the
+right tool for *timestamps* people read — access-log lines, snapshot
+metadata — so those few sites carry an inline
+``# repro-lint: disable=timing-discipline -- <reason>`` stating that the
+value is a point in time, not a duration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Checker, FileContext, Finding, dotted_name
+
+__all__ = ["TimingDisciplineChecker"]
+
+_WALL_CLOCK_ATTRS = {"time", "time_ns"}
+
+
+class TimingDisciplineChecker(Checker):
+    name = "timing-discipline"
+    description = (
+        "wall-clock time.time()/time_ns() call; measure durations with "
+        "time.perf_counter() or time.monotonic() (suppress with a reason "
+        "at genuine timestamp sites such as the access log)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        module_aliases = set()
+        function_aliases = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_ATTRS:
+                            function_aliases[alias.asname or alias.name] = alias.name
+
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offender = self._wall_clock_name(node, module_aliases, function_aliases)
+            if offender is not None:
+                findings.append(
+                    ctx.finding(
+                        self.name,
+                        node,
+                        f"wall-clock {offender}() — durations must use "
+                        "time.perf_counter() or time.monotonic(); if this is "
+                        "a human-readable timestamp (access log, metadata), "
+                        "suppress with a reason",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _wall_clock_name(call, module_aliases, function_aliases):
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        if name in function_aliases:
+            return f"time.{function_aliases[name]}"
+        head, _, attr = name.rpartition(".")
+        if head in module_aliases and attr in _WALL_CLOCK_ATTRS:
+            return f"{head}.{attr}"
+        return None

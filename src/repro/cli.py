@@ -25,7 +25,8 @@ writing any Python:
 * ``lint``       — the repo-specific invariant checkers
   (:mod:`repro.analysis`): dtype-cast safety, async-blocking discipline,
   binary-format/golden pairing, worker-boundary hygiene, seeded
-  randomness, resource hygiene.  ``--format json`` for machines.
+  randomness, resource hygiene, timing discipline.  ``--format json``
+  for machines.
 
 The CLI intentionally exposes only the high-level entry points; everything
 it does is a thin wrapper over the public API, so scripts can always drop
@@ -113,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="halo-aware tiling: wavefront-ordered tiles predict and "
         "entropy code across tile seams (with --volume)",
+    )
+    compress.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record nested timing spans of the compression and write them "
+        "as Chrome trace-event JSON (open in Perfetto or chrome://tracing)",
     )
 
     # ---- stats ---------------------------------------------------------
@@ -273,6 +281,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-mb", type=int, default=512,
         help="largest accepted request body / decoded response in MiB",
     )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per handled request to this file",
+    )
+    serve.add_argument(
+        "--metrics",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="expose GET /metrics in Prometheus text format "
+        "(--no-metrics disables the endpoint)",
+    )
 
     # ---- lint ----------------------------------------------------------
     lint = subparsers.add_parser(
@@ -371,6 +392,19 @@ def _command_compress_volume(args: argparse.Namespace, volume: np.ndarray) -> in
 
 
 def _command_compress(args: argparse.Namespace) -> int:
+    if args.trace_out:
+        from repro.obs.trace import Tracer, install_tracer
+
+        tracer = Tracer()
+        with install_tracer(tracer):
+            code = _run_compress(args)
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote {len(tracer.spans())} spans to {args.trace_out}")
+        return code
+    return _run_compress(args)
+
+
+def _run_compress(args: argparse.Namespace) -> int:
     if args.volume:
         volume = _load_any_field(args)
         if volume.ndim != 3:
@@ -719,6 +753,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         decode_workers=args.decode_workers,
         max_body_nbytes=args.max_body_mb * 1024 * 1024,
         max_response_nbytes=args.max_body_mb * 1024 * 1024,
+        access_log=args.access_log,
+        metrics=args.metrics,
     )
 
     async def run() -> None:

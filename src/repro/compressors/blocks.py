@@ -41,6 +41,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import span as obs_span
 from repro.utils.blocking import block_view, pad_to_multiple, reassemble_blocks
 from repro.utils.validation import ensure_ndim, ensure_positive
 
@@ -647,8 +648,9 @@ class BlockCodec:
 
         values = ensure_ndim(values, (2, 3), "values")
         ndim = values.ndim
-        padded, original_shape = pad_to_multiple(values, self.block_size)
-        q = quantize_to_grid(padded, self.step)
+        with obs_span("codec.encode.quantize", "codec"):
+            padded, original_shape = pad_to_multiple(values, self.block_size)
+            q = quantize_to_grid(padded, self.step)
         if q is None:
             return None
 
@@ -659,32 +661,34 @@ class BlockCodec:
 
         candidates: Dict[str, np.ndarray] = {}
         reg_coeff_codes = None
-        if "lorenzo" in self.predictors:
-            lorenzo = lorenzo_residuals(code_blocks, block_ndim=ndim)
-            halo_codes = self._halo_code_planes(
-                halo_planes, original_shape, padded.shape
-            )
-            if halo_codes is not None:
-                lorenzo = lorenzo + halo_lorenzo_correction(
-                    halo_codes, n_blocks, bs
+        with obs_span("codec.encode.predict", "codec"):
+            if "lorenzo" in self.predictors:
+                lorenzo = lorenzo_residuals(code_blocks, block_ndim=ndim)
+                halo_codes = self._halo_code_planes(
+                    halo_planes, original_shape, padded.shape
                 )
-            candidates["lorenzo"] = lorenzo
-        if "regression" in self.predictors:
-            coefficients = fit_block_planes(value_blocks, block_ndim=ndim)
-            reg_coeff_codes = quantize_plane_coefficients(
-                coefficients, self.error_bound, bs, ndim
-            )
-            quantized_coeffs = dequantize_plane_coefficients(
-                reg_coeff_codes, self.error_bound, bs, ndim
-            )
-            predictions = plane_predictions(quantized_coeffs, bs)
-            # repro-lint: disable=unsafe-cast -- predictions are dequantized int64 codes times validated positive precisions; finite by construction
-            predicted_codes = np.rint(predictions / self.step).astype(np.int64)
-            candidates["regression"] = code_blocks - predicted_codes
+                if halo_codes is not None:
+                    lorenzo = lorenzo + halo_lorenzo_correction(
+                        halo_codes, n_blocks, bs
+                    )
+                candidates["lorenzo"] = lorenzo
+            if "regression" in self.predictors:
+                coefficients = fit_block_planes(value_blocks, block_ndim=ndim)
+                reg_coeff_codes = quantize_plane_coefficients(
+                    coefficients, self.error_bound, bs, ndim
+                )
+                quantized_coeffs = dequantize_plane_coefficients(
+                    reg_coeff_codes, self.error_bound, bs, ndim
+                )
+                predictions = plane_predictions(quantized_coeffs, bs)
+                # repro-lint: disable=unsafe-cast -- predictions are dequantized int64 codes times validated positive precisions; finite by construction
+                predicted_codes = np.rint(predictions / self.step).astype(np.int64)
+                candidates["regression"] = code_blocks - predicted_codes
 
-        modes, residual_blocks = select_block_modes(candidates, block_ndim=ndim)
-        flat = residual_blocks.reshape(int(np.prod(n_blocks)), bs**ndim)
-        symbols, outliers = split_unpredictable(flat, self.code_radius)
+        with obs_span("codec.encode.backend", "codec"):
+            modes, residual_blocks = select_block_modes(candidates, block_ndim=ndim)
+            flat = residual_blocks.reshape(int(np.prod(n_blocks)), bs**ndim)
+            symbols, outliers = split_unpredictable(flat, self.code_radius)
 
         coeff_codes = None
         if reg_coeff_codes is not None:
@@ -726,38 +730,41 @@ class BlockCodec:
             raise ValueError(
                 f"modes shape {modes.shape} does not match a {ndim}D field"
             )
-        residuals = merge_unpredictable(symbols, outliers, self.code_radius)
-        residual_blocks = residuals.reshape(n_blocks + (bs,) * ndim)
+        with obs_span("codec.decode.backend", "codec"):
+            residuals = merge_unpredictable(symbols, outliers, self.code_radius)
+            residual_blocks = residuals.reshape(n_blocks + (bs,) * ndim)
 
-        code_blocks = np.empty_like(residual_blocks)
-        lorenzo_mask = modes == MODE_LORENZO
-        if lorenzo_mask.any():
-            lorenzo_residual_blocks = residual_blocks
-            padded_shape = tuple(n * bs for n in n_blocks)
-            halo_codes = self._halo_code_planes(
-                halo_planes, original_shape, padded_shape
-            )
-            if halo_codes is not None:
-                lorenzo_residual_blocks = residual_blocks - halo_lorenzo_correction(
-                    halo_codes, n_blocks, bs
+        with obs_span("codec.decode.predict", "codec"):
+            code_blocks = np.empty_like(residual_blocks)
+            lorenzo_mask = modes == MODE_LORENZO
+            if lorenzo_mask.any():
+                lorenzo_residual_blocks = residual_blocks
+                padded_shape = tuple(n * bs for n in n_blocks)
+                halo_codes = self._halo_code_planes(
+                    halo_planes, original_shape, padded_shape
                 )
-            code_blocks[lorenzo_mask] = lorenzo_reconstruct(
-                lorenzo_residual_blocks[lorenzo_mask], block_ndim=ndim
-            )
-        regression_mask = modes == MODE_REGRESSION
-        if regression_mask.any():
-            if coeff_codes is None:
-                raise ValueError("regression blocks present but no coefficients given")
-            quantized_coeffs = dequantize_plane_coefficients(
-                coeff_codes, self.error_bound, bs, ndim
-            ).reshape(-1, 1 + ndim)
-            predictions = plane_predictions(quantized_coeffs, bs)
-            # repro-lint: disable=unsafe-cast -- predictions are dequantized int64 codes times validated positive precisions; finite by construction
-            predicted_codes = np.rint(predictions / self.step).astype(np.int64)
-            code_blocks[regression_mask] = (
-                residual_blocks[regression_mask] + predicted_codes
-            )
+                if halo_codes is not None:
+                    lorenzo_residual_blocks = residual_blocks - halo_lorenzo_correction(
+                        halo_codes, n_blocks, bs
+                    )
+                code_blocks[lorenzo_mask] = lorenzo_reconstruct(
+                    lorenzo_residual_blocks[lorenzo_mask], block_ndim=ndim
+                )
+            regression_mask = modes == MODE_REGRESSION
+            if regression_mask.any():
+                if coeff_codes is None:
+                    raise ValueError("regression blocks present but no coefficients given")
+                quantized_coeffs = dequantize_plane_coefficients(
+                    coeff_codes, self.error_bound, bs, ndim
+                ).reshape(-1, 1 + ndim)
+                predictions = plane_predictions(quantized_coeffs, bs)
+                # repro-lint: disable=unsafe-cast -- predictions are dequantized int64 codes times validated positive precisions; finite by construction
+                predicted_codes = np.rint(predictions / self.step).astype(np.int64)
+                code_blocks[regression_mask] = (
+                    residual_blocks[regression_mask] + predicted_codes
+                )
 
-        q = merge_field(code_blocks, tuple(n * bs for n in n_blocks))
-        field = q.astype(np.float64) * self.step
-        return field[tuple(slice(0, s) for s in original_shape)]
+        with obs_span("codec.decode.dequantize", "codec"):
+            q = merge_field(code_blocks, tuple(n * bs for n in n_blocks))
+            field = q.astype(np.float64) * self.step
+            return field[tuple(slice(0, s) for s in original_shape)]

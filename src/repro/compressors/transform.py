@@ -45,6 +45,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.obs.trace import traced
 from repro.utils.validation import ensure_positive
 
 __all__ = [
@@ -102,6 +103,7 @@ def orthonormal_dct_matrix(size: int) -> np.ndarray:
     return matrix
 
 
+@traced("codec.transform.forward", "codec")
 def forward_block_transform(blocks: np.ndarray) -> np.ndarray:
     """Apply the separable orthonormal transform to a stack of square blocks.
 
@@ -119,6 +121,7 @@ def forward_block_transform(blocks: np.ndarray) -> np.ndarray:
     return np.einsum("ab,cd,ef,nbdf->nace", basis, basis, basis, blocks, optimize=True)
 
 
+@traced("codec.transform.inverse", "codec")
 def inverse_block_transform(coefficients: np.ndarray) -> np.ndarray:
     """Inverse of :func:`forward_block_transform`."""
 

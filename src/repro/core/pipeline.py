@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.experiment import CompressionRecord, ExperimentConfig, measure_field
 from repro.datasets.registry import DatasetRegistry, default_registry
+from repro.obs.metrics import REGISTRY, publish_cache_counters
 from repro.utils.parallel import ParallelConfig, parallel_map
 from repro.utils.rng import SeedLike
 
@@ -189,6 +190,13 @@ def memoized_map(items, key_fn, compute_many, cache: Optional[ExperimentCache]):
 
 
 _DEFAULT_CACHE = ExperimentCache()
+
+
+def _publish_experiment_cache(registry) -> None:
+    publish_cache_counters(registry, "experiment", _DEFAULT_CACHE.counters())
+
+
+REGISTRY.register_collector(_publish_experiment_cache)
 
 
 def default_cache() -> ExperimentCache:

@@ -1,0 +1,94 @@
+"""JSON-lines access log for the serve layer.
+
+One JSON object per line, one line per finished request.  The schema is
+deliberately small and stable (tests assert it):
+
+``ts``
+    Wall-clock timestamp, ISO-8601 UTC with a ``Z`` suffix.  This is the
+    one place the serve path reads the wall clock — log lines must be
+    correlatable with external systems, so ``time.time`` is the right
+    clock here (latencies elsewhere use ``perf_counter``).
+``request_id``
+    The request id echoed in ``X-Request-Id``.
+``method`` / ``path``
+    Request line fields.
+``status``
+    Response status code (integer).
+``duration_ms``
+    Request latency in milliseconds (``perf_counter``-based, float).
+``bytes``
+    Response body size in bytes.
+
+Writes are line-buffered and serialized under a lock, so concurrent
+executor threads never interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import threading
+import time
+from typing import Optional, TextIO
+
+__all__ = ["AccessLog"]
+
+
+class AccessLog:
+    """Thread-safe JSON-lines access-log writer.
+
+    ``path`` may be a filesystem path (opened append, line-buffered) or
+    an already-open text stream (test use: ``io.StringIO``).  Closing is
+    idempotent and only closes streams this writer opened itself.
+    """
+
+    def __init__(self, path, stream: Optional[TextIO] = None) -> None:
+        self._lock = threading.Lock()
+        if stream is not None:
+            self._stream = stream
+            self._owns_stream = False
+        else:
+            # repro-lint: disable=resource-hygiene -- handle lives for the writer's lifetime, closed in close()
+            self._stream = open(path, "a", buffering=1, encoding="utf-8")
+            self._owns_stream = True
+
+    def log(
+        self,
+        *,
+        request_id: str,
+        method: str,
+        path: str,
+        status: int,
+        duration_ms: float,
+        nbytes: int,
+    ) -> None:
+        """Append one request record as a single JSON line."""
+
+        # Wall clock on purpose: access-log lines are correlated with
+        # clients and other services, not compared against span clocks.
+        # repro-lint: disable=timing-discipline -- access-log timestamps must be wall-clock
+        now = time.time()
+        record = {
+            "ts": _iso_utc(now),
+            "request_id": request_id,
+            "method": method,
+            "path": path,
+            "status": int(status),
+            "duration_ms": round(float(duration_ms), 3),
+            "bytes": int(nbytes),
+        }
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()
+
+
+def _iso_utc(epoch_seconds: float) -> str:
+    moment = datetime.datetime.fromtimestamp(
+        epoch_seconds, tz=datetime.timezone.utc
+    )
+    return moment.isoformat(timespec="milliseconds").replace("+00:00", "Z")

@@ -31,6 +31,7 @@ import json
 import os
 import re
 import threading
+import time
 import zlib
 from contextlib import asynccontextmanager
 from dataclasses import dataclass
@@ -38,6 +39,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.accesslog import AccessLog
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    publish_cache_counters,
+    render_prometheus,
+)
+from repro.obs.trace import span as obs_span
 from repro.serve.cache import HotChunkCache
 from repro.serve.http import (
     HttpError,
@@ -67,6 +76,10 @@ class ServerConfig:
     decode_workers: int = 2
     max_body_nbytes: int = 512 * 1024 * 1024
     max_response_nbytes: int = 512 * 1024 * 1024
+    #: JSON-lines access-log path (``None`` disables the log).
+    access_log: Optional[str] = None
+    #: Expose ``GET /metrics`` (Prometheus text exposition).
+    metrics: bool = True
 
 
 class _DatasetLock:
@@ -129,6 +142,15 @@ class ArrayServer:
         self.decoded_bytes_served = 0
         self.gate_active = 0
         self.gate_peak = 0
+        # Per-server metrics registry (fresh per instance, so parallel
+        # test servers never share counters); the plain ints above stay
+        # the source of truth and are published via a collector.
+        self.registry = MetricsRegistry()
+        self.registry.register_collector(self._collect_metrics)
+        self._request_seq = 0
+        self._access_log: Optional[AccessLog] = (
+            AccessLog(config.access_log) if config.access_log else None
+        )
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -172,6 +194,8 @@ class ArrayServer:
             await asyncio.gather(*self._connections, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._access_log is not None:
+            self._access_log.close()
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -197,7 +221,20 @@ class ArrayServer:
                 if request is None:
                     return
                 self.requests_total += 1
-                head, body, keep = await self._gated_dispatch(request)
+                request_id = (
+                    request.headers.get("x-request-id") or self._make_request_id()
+                )
+                began = time.perf_counter()
+                head, body, keep, status = await self._gated_dispatch(
+                    request, request_id
+                )
+                self._observe_request(
+                    request,
+                    request_id=request_id,
+                    status=status,
+                    duration=time.perf_counter() - began,
+                    nbytes=len(body),
+                )
                 writer.write(head + body)
                 await writer.drain()
                 if not keep:
@@ -221,34 +258,50 @@ class ArrayServer:
             except (ConnectionError, TimeoutError, asyncio.CancelledError):
                 pass
 
-    async def _gated_dispatch(self, request: Request) -> Tuple[bytes, bytes, bool]:
+    async def _gated_dispatch(
+        self, request: Request, request_id: str = ""
+    ) -> Tuple[bytes, bytes, bool, int]:
         assert self._gate is not None
         async with self._gate:
             self.gate_active += 1
             self.gate_peak = max(self.gate_peak, self.gate_active)
             try:
-                status, body, content_type, extra = await self._dispatch(request)
+                with obs_span(
+                    "serve.request",
+                    "serve",
+                    route=self._route_label(request),
+                    request_id=request_id,
+                ):
+                    status, body, content_type, extra = await self._dispatch(
+                        request
+                    )
             except HttpError as exc:
                 status = exc.status
                 head, body = self._error_response(
-                    exc.status, exc.message, request.keep_alive
+                    exc.status, exc.message, request.keep_alive, request_id
                 )
-                return head, body, request.keep_alive and status < 500
+                return head, body, request.keep_alive and status < 500, status
             except (StoreCorruptionError,) as exc:
-                head, body = self._error_response(500, str(exc), request.keep_alive)
-                self._count_status(500)
-                return head, body, request.keep_alive
+                head, body = self._error_response(
+                    500, str(exc), request.keep_alive, request_id
+                )
+                return head, body, request.keep_alive, 500
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 — last-resort 500
                 head, body = self._error_response(
-                    500, f"{type(exc).__name__}: {exc}", request.keep_alive
+                    500,
+                    f"{type(exc).__name__}: {exc}",
+                    request.keep_alive,
+                    request_id,
                 )
-                self._count_status(500)
-                return head, body, request.keep_alive
+                return head, body, request.keep_alive, 500
             finally:
                 self.gate_active -= 1
         self._count_status(status)
+        extra = dict(extra or {})
+        if request_id:
+            extra.setdefault("x-request-id", request_id)
         head, body = render_response(
             status,
             body,
@@ -256,15 +309,28 @@ class ArrayServer:
             extra_headers=extra,
             keep_alive=request.keep_alive,
         )
-        return head, body, request.keep_alive
+        return head, body, request.keep_alive, status
 
     def _count_status(self, status: int) -> None:
+        """Count one response — the legacy dict AND the registry.
+
+        Every response path funnels through here exactly once (the 4xx/5xx
+        branches of :meth:`_gated_dispatch` count via
+        :meth:`_error_response` only — they used to double-count 500s),
+        so error responses can never vanish from, or inflate, the stats.
+        """
+
         self.responses_by_status[status] = (
             self.responses_by_status.get(status, 0) + 1
         )
+        self.registry.counter(
+            "repro_serve_responses_total",
+            labels={"class": f"{status // 100}xx"},
+            help="Responses sent, by status class.",
+        )
 
     def _error_response(
-        self, status: int, message: str, keep_alive: bool
+        self, status: int, message: str, keep_alive: bool, request_id: str = ""
     ) -> Tuple[bytes, bytes]:
         self._count_status(status)
         payload = json.dumps({"error": message, "status": status}).encode("utf-8")
@@ -272,7 +338,105 @@ class ArrayServer:
             status,
             payload,
             content_type="application/json",
+            extra_headers={"x-request-id": request_id} if request_id else None,
             keep_alive=keep_alive,
+        )
+
+    def _make_request_id(self) -> str:
+        """Generate a request id for requests that did not send one.
+
+        A per-server sequence number, hex-encoded with a short prefix —
+        deterministic (no RNG to keep seeded), unique within the server's
+        lifetime, and cheap.
+        """
+
+        self._request_seq += 1
+        return f"req-{self._request_seq:08x}"
+
+    @staticmethod
+    def _route_label(request: Request) -> str:
+        """Low-cardinality route label for latency histograms."""
+
+        segments = [s for s in request.path.split("/") if s]
+        if not segments:
+            return "other"
+        if segments[0] in ("healthz", "stats", "metrics"):
+            return segments[0]
+        if segments[0] != "ds":
+            return "other"
+        if len(segments) == 1:
+            return "ls"
+        if len(segments) == 2:
+            return "put" if request.method == "PUT" else "read"
+        if len(segments) >= 3 and segments[2] in (
+            "info",
+            "append",
+            "compact",
+            "chunk",
+        ):
+            return segments[2]
+        return "other"
+
+    def _observe_request(
+        self,
+        request: Request,
+        *,
+        request_id: str,
+        status: int,
+        duration: float,
+        nbytes: int,
+    ) -> None:
+        """Per-request observability: latency histogram + access log."""
+
+        self.registry.observe(
+            "repro_serve_request_seconds",
+            duration,
+            labels={"route": self._route_label(request)},
+            help="Request latency by route.",
+        )
+        if self._access_log is not None:
+            self._access_log.log(
+                request_id=request_id,
+                method=request.method,
+                path=request.path,
+                status=status,
+                duration_ms=duration * 1000.0,
+                nbytes=nbytes,
+            )
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Publish the live plain-int counters into the registry."""
+
+        publish_cache_counters(registry, "hot-chunk", self.cache.counters())
+        registry.set_counter(
+            "repro_serve_requests_total",
+            self.requests_total,
+            help="Requests accepted by this server.",
+        )
+        registry.set_counter(
+            "repro_serve_coalesced_reads_total",
+            self.coalesced_reads,
+            help="Reads served by joining an identical in-flight read.",
+        )
+        registry.set_counter(
+            "repro_serve_decoded_bytes_total",
+            self.decoded_bytes_served,
+            help="Decoded payload bytes served by region reads.",
+        )
+        registry.gauge(
+            "repro_serve_gate_active",
+            self.gate_active,
+            help="Requests currently inside the concurrency gate.",
+        )
+        registry.gauge(
+            "repro_serve_gate_peak",
+            self.gate_peak,
+            help="Peak concurrent requests inside the gate.",
+        )
+        registry.gauge(
+            "repro_serve_gate_max_concurrency",
+            self.config.max_concurrency,
+            help="Configured concurrency gate size.",
         )
 
     # -- routing ---------------------------------------------------------
@@ -284,6 +448,11 @@ class ArrayServer:
             return 200, b'{"status":"ok"}\n', "application/json", None
         if segments == ["stats"]:
             return await self._handle_stats()
+        if segments == ["metrics"]:
+            if not self.config.metrics:
+                raise HttpError(404, "metrics endpoint disabled")
+            self._require_method(request, "GET")
+            return self._handle_metrics()
         if not segments or segments[0] != "ds":
             raise HttpError(404, f"no such route: {request.path}")
         if len(segments) == 1:
@@ -387,8 +556,25 @@ class ArrayServer:
         body = json.dumps(self.stats()).encode("utf-8")
         return 200, body, "application/json", None
 
+    def _handle_metrics(self):
+        """Prometheus text exposition: per-server + library-layer metrics.
+
+        The per-server registry (requests, latencies, gate, hot-chunk
+        cache) and the process-wide :data:`~repro.obs.metrics.REGISTRY`
+        (experiment/volume/store caches, store op counters) use disjoint
+        metric names, so their concatenation is valid exposition output.
+        """
+
+        body = render_prometheus((self.registry, REGISTRY)).encode("utf-8")
+        return 200, body, "text/plain; version=0.0.4; charset=utf-8", None
+
     def stats(self) -> Dict:
-        """Gate / cache / request counters (the ``/stats`` payload)."""
+        """Gate / cache / request counters (the ``/stats`` payload).
+
+        ``metrics`` carries the same numbers under the unified registry
+        names (``repro_serve_*``, ``repro_cache_*{cache="hot-chunk"}``);
+        the surrounding legacy keys stay as aliases for one release.
+        """
 
         return {
             "requests_total": self.requests_total,
@@ -403,6 +589,7 @@ class ArrayServer:
                 "max_concurrency": self.config.max_concurrency,
             },
             "hot_chunk_cache": self.cache.counters(),
+            "metrics": self.registry.snapshot(),
         }
 
     async def _handle_info(self, name: str):

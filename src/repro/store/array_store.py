@@ -58,6 +58,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.pipeline import ExperimentCache, memoized_map
+from repro.obs.metrics import REGISTRY, publish_cache_counters
+from repro.obs.trace import span as obs_span
 from repro.pressio.api import PressioCompressor
 from repro.pressio.options import CompressorOptions
 from repro.compressors.halo import TileHalo, reconstruction_faces
@@ -105,6 +107,13 @@ def default_store_cache() -> ExperimentCache:
     """The process-wide chunk-compression memo used when none is passed."""
 
     return _STORE_CACHE
+
+
+def _publish_store_cache(registry) -> None:
+    publish_cache_counters(registry, "store-chunk", _STORE_CACHE.counters())
+
+
+REGISTRY.register_collector(_publish_store_cache)
 
 
 @dataclass(frozen=True)
@@ -692,26 +701,38 @@ class ArrayStore:
         """(Re)write the full array, replacing any existing content."""
 
         array = self._check_array(array)
-        chunk_shape = _normalize_chunk_shape(self._meta["chunk_shape"], array.ndim)
-        offsets = grid_offsets(array.shape, chunk_shape)
-        chunks = [
-            np.ascontiguousarray(
-                array[tuple(slice(o, o + e) for o, e in zip(offset, chunk_shape))]
+        with obs_span("store.write", "store", nbytes=int(array.nbytes)):
+            chunk_shape = _normalize_chunk_shape(
+                self._meta["chunk_shape"], array.ndim
             )
-            for offset in offsets
-        ]
-        results = self._compress_block(
-            offsets, chunks, None, parallel, cache, chunk_shape
-        )
+            offsets = grid_offsets(array.shape, chunk_shape)
+            chunks = [
+                np.ascontiguousarray(
+                    array[
+                        tuple(
+                            slice(o, o + e)
+                            for o, e in zip(offset, chunk_shape)
+                        )
+                    ]
+                )
+                for offset in offsets
+            ]
+            results = self._compress_block(
+                offsets, chunks, None, parallel, cache, chunk_shape
+            )
 
-        self._meta["shape"] = [int(s) for s in array.shape]
-        self._meta["chunk_shape"] = [int(c) for c in chunk_shape]
-        index, chunk_meta, data = self._layout_payloads(
-            offsets, chunks, results, base_offset=0, existing_digests={}
+            self._meta["shape"] = [int(s) for s in array.shape]
+            self._meta["chunk_shape"] = [int(c) for c in chunk_shape]
+            index, chunk_meta, data = self._layout_payloads(
+                offsets, chunks, results, base_offset=0, existing_digests={}
+            )
+            self._index = index
+            self._meta["chunks"] = chunk_meta
+            self._flush(data=data, truncate=True)
+        REGISTRY.counter(
+            "repro_store_writes_total",
+            help="Full-array store writes performed by this process.",
         )
-        self._index = index
-        self._meta["chunks"] = chunk_meta
-        self._flush(data=data, truncate=True)
         return self
 
     def append(
@@ -738,6 +759,20 @@ class ArrayStore:
         if self.shape is None:
             return self.write(array, parallel=parallel, cache=cache)
         array = self._check_array(array)
+        with obs_span("store.append", "store", nbytes=int(array.nbytes)):
+            self._append_checked(array, parallel, cache)
+        REGISTRY.counter(
+            "repro_store_appends_total",
+            help="Store appends (axis-0 growth) performed by this process.",
+        )
+        return self
+
+    def _append_checked(
+        self,
+        array: np.ndarray,
+        parallel: Optional[ParallelConfig],
+        cache: Union[ExperimentCache, bool, None],
+    ) -> None:
         shape = self.shape
         chunk_shape = self.chunk_shape
         if array.ndim != len(shape) or tuple(array.shape[1:]) != shape[1:]:
@@ -794,7 +829,6 @@ class ArrayStore:
         self._meta["chunks"].extend(chunk_meta)
         self._meta["shape"][0] = int(shape[0] + array.shape[0])
         self._flush(data=data, truncate=False)
-        return self
 
     def _layout_payloads(
         self,
@@ -900,37 +934,47 @@ class ArrayStore:
 
         if not self._index:
             return {"reclaimed_nbytes": 0, "data_file_nbytes": 0, "n_ranges": 0}
-        before = self.data_file_nbytes
-        data_path = os.path.join(self.path, DATA_NAME)
-        new_offsets: Dict[Tuple[int, int], int] = {}
-        data = bytearray()
-        with open(data_path, "rb") as handle:
-            for record in self._index:
-                key = (record.offset, record.length)
-                if key in new_offsets:
-                    continue
-                handle.seek(record.offset)
-                payload = handle.read(record.length)
-                if len(payload) != record.length or (
-                    zlib.crc32(payload) != record.checksum
-                ):
-                    raise StoreCorruptionError(
-                        f"refusing to compact: live chunk at offset "
-                        f"{record.offset} (+{record.length}) is corrupt"
-                    )
-                new_offsets[key] = len(data)
-                data.extend(payload)
-        self._index = [
-            IndexRecord(
-                offset=new_offsets[(record.offset, record.length)],
-                length=record.length,
-                codec=record.codec,
-                checksum=record.checksum,
-                flags=record.flags,
-            )
-            for record in self._index
-        ]
-        self._flush(data=bytes(data), truncate=True)
+        with obs_span("store.compact", "store"):
+            before = self.data_file_nbytes
+            data_path = os.path.join(self.path, DATA_NAME)
+            new_offsets: Dict[Tuple[int, int], int] = {}
+            data = bytearray()
+            with open(data_path, "rb") as handle:
+                for record in self._index:
+                    key = (record.offset, record.length)
+                    if key in new_offsets:
+                        continue
+                    handle.seek(record.offset)
+                    payload = handle.read(record.length)
+                    if len(payload) != record.length or (
+                        zlib.crc32(payload) != record.checksum
+                    ):
+                        raise StoreCorruptionError(
+                            f"refusing to compact: live chunk at offset "
+                            f"{record.offset} (+{record.length}) is corrupt"
+                        )
+                    new_offsets[key] = len(data)
+                    data.extend(payload)
+            self._index = [
+                IndexRecord(
+                    offset=new_offsets[(record.offset, record.length)],
+                    length=record.length,
+                    codec=record.codec,
+                    checksum=record.checksum,
+                    flags=record.flags,
+                )
+                for record in self._index
+            ]
+            self._flush(data=bytes(data), truncate=True)
+        REGISTRY.counter(
+            "repro_store_compactions_total",
+            help="Store compactions performed by this process.",
+        )
+        REGISTRY.counter(
+            "repro_store_reclaimed_nbytes_total",
+            before - len(data),
+            help="Bytes reclaimed from the data file by compaction.",
+        )
         return {
             "reclaimed_nbytes": before - len(data),
             "data_file_nbytes": len(data),
@@ -958,9 +1002,23 @@ class ArrayStore:
         :class:`~repro.store.snapshot.StoreSnapshot`.
         """
 
-        values, report = self.snapshot().read(region, chunk_cache=chunk_cache)
+        with obs_span("store.read", "store") as read_span:
+            values, report = self.snapshot().read(region, chunk_cache=chunk_cache)
+            read_span.add(
+                chunks_intersecting=report.chunks_intersecting,
+                chunks_decoded=report.chunks_decoded,
+            )
         self.last_read = report
         self.chunks_decoded_total += report.chunks_decoded
+        REGISTRY.counter(
+            "repro_store_reads_total",
+            help="Store region reads performed by this process.",
+        )
+        REGISTRY.counter(
+            "repro_store_chunks_decoded_total",
+            report.chunks_decoded,
+            help="Chunk payload decodes performed by store reads.",
+        )
         return values
 
     # -- inspection ------------------------------------------------------
@@ -1023,6 +1081,23 @@ class ArrayStore:
             "chunks": records,
             "cache_counters": self.last_write_cache_counters,
             "store_cache_counters": _STORE_CACHE.counters(),
+            # Canonical observability names (the unified registry naming
+            # scheme); the legacy keys above stay as aliases for one
+            # release.
+            "metrics": {
+                "repro_store_chunks_decoded_total": self.chunks_decoded_total,
+                "repro_store_orphaned_nbytes": self.orphaned_nbytes,
+                "repro_store_data_file_nbytes": self.data_file_nbytes,
+                'repro_cache_hits_total{cache="store-chunk"}': (
+                    _STORE_CACHE.counters()["hits"]
+                ),
+                'repro_cache_misses_total{cache="store-chunk"}': (
+                    _STORE_CACHE.counters()["misses"]
+                ),
+                'repro_cache_evictions_total{cache="store-chunk"}': (
+                    _STORE_CACHE.counters()["evictions"]
+                ),
+            },
         }
         if estimate_errors:
             info["estimate_rel_error_mean"] = float(np.mean(estimate_errors))

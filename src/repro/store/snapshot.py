@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.compressors.base import CompressedField
 from repro.compressors.halo import TileHalo
+from repro.obs.trace import span as obs_span
 from repro.pressio.api import PressioCompressor
 from repro.pressio.options import CompressorOptions
 from repro.store.format import (
@@ -608,6 +609,21 @@ class StoreSnapshot:
     ):
         """Decode one payload; returns ``(values, entropy_context_or_None)``."""
 
+        with obs_span(
+            "store.decode_chunk", "store", codec=record.codec, nbytes=record.length
+        ):
+            return self._decode_chunk_inner(
+                handle, record, chunk_extent, halo, want_context
+            )
+
+    def _decode_chunk_inner(
+        self,
+        handle,
+        record: IndexRecord,
+        chunk_extent: Tuple[int, ...],
+        halo: Optional[TileHalo],
+        want_context: bool,
+    ):
         handle.seek(record.offset)
         payload = handle.read(record.length)
         if len(payload) != record.length:

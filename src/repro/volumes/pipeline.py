@@ -26,6 +26,7 @@ around them:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,13 @@ import numpy as np
 from repro.compressors.base import CompressedField
 from repro.compressors.registry import make_compressor
 from repro.core.pipeline import ExperimentCache, memoized_map
+from repro.obs.metrics import REGISTRY, publish_cache_counters
+from repro.obs.trace import (
+    active_tracer,
+    span as obs_span,
+    tracing_enabled,
+    worker_capture,
+)
 from repro.pressio.metrics import CompressionMetrics, error_statistics
 from repro.utils.blocking import grid_offsets
 from repro.utils.parallel import ParallelConfig, parallel_map
@@ -63,6 +71,13 @@ def default_volume_cache() -> ExperimentCache:
     """The process-wide tile cache used when no cache is passed."""
 
     return _VOLUME_CACHE
+
+
+def _publish_volume_cache(registry) -> None:
+    publish_cache_counters(registry, "volume-tile", _VOLUME_CACHE.counters())
+
+
+REGISTRY.register_collector(_publish_volume_cache)
 
 
 @dataclass(frozen=True)
@@ -115,6 +130,28 @@ class CompressedVolume:
         if compressed == 0:
             return float("inf")
         return self.original_nbytes / compressed
+
+    @property
+    def metrics(self) -> Dict[str, int]:
+        """``cache_counters`` under the unified registry names.
+
+        The canonical observability names for the tile memo (the legacy
+        ``cache_counters`` keys stay available as aliases for one
+        release); empty when memoization was disabled.
+        """
+
+        counters = self.cache_counters or {}
+        names = {
+            "hits": 'repro_cache_hits_total{cache="volume-tile"}',
+            "misses": 'repro_cache_misses_total{cache="volume-tile"}',
+            "evictions": 'repro_cache_evictions_total{cache="volume-tile"}',
+            "in_call_duplicates": (
+                'repro_cache_in_call_duplicates_total{cache="volume-tile"}'
+            ),
+        }
+        return {
+            names[key]: value for key, value in counters.items() if key in names
+        }
 
 
 def _check_volume(volume: np.ndarray) -> np.ndarray:
@@ -188,6 +225,57 @@ def _compress_tile_halo(task):
     return replace(compressed, reconstruction=None, entropy_context=None), faces, context
 
 
+def _compress_tile_traced(task):
+    """Traced variant of :func:`_compress_tile` (top-level, picklable).
+
+    Returns the documented ``(compressed, span_tuples)`` payload: the
+    worker records its own span capture — a fresh tracer installed for
+    the duration of the task, so the per-stage codec spans land in it —
+    and ships the capture back as picklable tuples for the submitting
+    side to adopt under its wave span.
+    """
+
+    with worker_capture() as tracer:
+        with tracer.span("volume.tile", "volume", shape=repr(task[3].shape)):
+            result = _compress_tile(task)
+    return result, tracer.export_tuples()
+
+
+def _compress_tile_halo_traced(task):
+    """Traced variant of :func:`_compress_tile_halo`.
+
+    Returns ``((compressed, faces, context), span_tuples)`` — the halo
+    worker's documented triple plus the worker-side span capture.
+    """
+
+    with worker_capture() as tracer:
+        with tracer.span("volume.tile", "volume", shape=repr(task[3].shape)):
+            result = _compress_tile_halo(task)
+    return result, tracer.export_tuples()
+
+
+def _run_traced_workers(worker, tasks, parallel, wave: int):
+    """Run traced tile workers and adopt their span captures.
+
+    Workers return ``(result, span_tuples)``; each capture is merged into
+    the active tracer as soon as the batch returns — re-parented under
+    the caller's current (wave) span, one display lane per tile — so the
+    caller, and the memo cache behind it, only ever see the bare results.
+    """
+
+    tracer = active_tracer()
+    submit = time.perf_counter()
+    payloads = parallel_map(worker, tasks, parallel)
+    results = []
+    for index, (result, tuples) in enumerate(payloads):
+        if tracer is not None:
+            tracer.adopt(
+                tuples, lane=f"wave{wave}.tile{index}", submit_time=submit
+            )
+        results.append(result)
+    return results
+
+
 def _reference_axis(offset: Tuple[int, ...]) -> Optional[int]:
     """Deterministic choice of the context reference neighbour's axis.
 
@@ -246,10 +334,52 @@ def compress_volume(
     config_key = f"{compressor}:{error_bound!r}:{sorted(options.items())!r}"
     shards = shard_volume(vol, tile)
 
-    if halo:
-        tiles, cache_counters = _compress_volume_halo(
-            shards, tile, compressor, error_bound, options, config_key,
-            parallel, cache,
+    with obs_span(
+        "volume.compress",
+        "volume",
+        compressor=compressor,
+        tiles=len(shards),
+        halo=halo,
+    ):
+        if halo:
+            tiles, cache_counters = _compress_volume_halo(
+                shards, tile, compressor, error_bound, options, config_key,
+                parallel, cache,
+            )
+            return CompressedVolume(
+                shape=tuple(vol.shape),
+                tile_shape=tile,
+                compressor=compressor,
+                error_bound=float(error_bound),
+                tiles=tiles,
+                cache_counters=cache_counters,
+                halo=True,
+            )
+
+        def key_fn(shard) -> str:
+            return ExperimentCache.key("volume-tile", config_key, shard[1], "")
+
+        def compute_many(pending) -> List[CompressedField]:
+            tasks = [
+                (compressor, error_bound, options, tile_values)
+                for _, tile_values in pending
+            ]
+            if tracing_enabled():
+                return _run_traced_workers(
+                    _compress_tile_traced, tasks, parallel, wave=0
+                )
+            return parallel_map(_compress_tile, tasks, parallel)
+
+        # The non-halo grid is one single independent batch — traced as
+        # wave 0 so halo-off traces show the same wave/tile hierarchy.
+        with obs_span("volume.wave", "volume", wave=0, tiles=len(shards)):
+            results, cache_counters = memoized_map(
+                shards, key_fn, compute_many, cache
+            )
+
+        tiles = tuple(
+            VolumeTile(offset=offset, compressed=results[idx])
+            for idx, (offset, _) in enumerate(shards)
         )
         return CompressedVolume(
             shape=tuple(vol.shape),
@@ -258,33 +388,7 @@ def compress_volume(
             error_bound=float(error_bound),
             tiles=tiles,
             cache_counters=cache_counters,
-            halo=True,
         )
-
-    def key_fn(shard) -> str:
-        return ExperimentCache.key("volume-tile", config_key, shard[1], "")
-
-    def compute_many(pending) -> List[CompressedField]:
-        tasks = [
-            (compressor, error_bound, options, tile_values)
-            for _, tile_values in pending
-        ]
-        return parallel_map(_compress_tile, tasks, parallel)
-
-    results, cache_counters = memoized_map(shards, key_fn, compute_many, cache)
-
-    tiles = tuple(
-        VolumeTile(offset=offset, compressed=results[idx])
-        for idx, (offset, _) in enumerate(shards)
-    )
-    return CompressedVolume(
-        shape=tuple(vol.shape),
-        tile_shape=tile,
-        compressor=compressor,
-        error_bound=float(error_bound),
-        tiles=tiles,
-        cache_counters=cache_counters,
-    )
 
 
 def _compress_volume_halo(
@@ -349,9 +453,16 @@ def _compress_volume_halo(
                 (compressor, error_bound, options, tile_values, halo)
                 for _, tile_values, halo in pending
             ]
+            if tracing_enabled():
+                return _run_traced_workers(
+                    _compress_tile_halo_traced, tasks, parallel, wave=wave
+                )
             return parallel_map(_compress_tile_halo, tasks, parallel)
 
-        wave_results, counters = memoized_map(items, key_fn, compute_many, cache)
+        with obs_span("volume.wave", "volume", wave=wave, tiles=len(indices)):
+            wave_results, counters = memoized_map(
+                items, key_fn, compute_many, cache
+            )
         if counters is not None:
             total_counters = total_counters or {}
             for key, value in counters.items():

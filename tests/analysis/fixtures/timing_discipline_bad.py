@@ -1,0 +1,30 @@
+"""Deliberately BAD fixture: wall-clock durations in four spellings."""
+
+import time
+import time as clock
+from time import time as now
+from time import time_ns
+
+
+def measure_encode(codec, block):
+    start = time.time()
+    codec.encode(block)
+    return time.time() - start
+
+
+def measure_aliased(codec, block):
+    start = clock.time()
+    codec.encode(block)
+    return clock.time() - start
+
+
+def measure_from_import(codec, block):
+    start = now()
+    codec.encode(block)
+    return now() - start
+
+
+def measure_nanoseconds(codec, block):
+    start = time_ns()
+    codec.encode(block)
+    return time_ns() - start

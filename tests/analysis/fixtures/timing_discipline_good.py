@@ -1,0 +1,20 @@
+"""GOOD fixture: monotonic clocks for durations, and the one legitimate
+wall-clock timestamp suppressed with a reason."""
+
+import time
+
+
+def measure_encode(codec, block):
+    start = time.perf_counter()
+    codec.encode(block)
+    return time.perf_counter() - start
+
+
+def poll_deadline(deadline):
+    return time.monotonic() >= deadline
+
+
+def stamp_log_line(record):
+    # repro-lint: disable=timing-discipline -- log timestamp is a point in time, not a duration
+    record["ts"] = time.time()
+    return record

@@ -38,6 +38,12 @@ PAIRS = [
         "resource_hygiene_good.py",
         2,
     ),
+    (
+        "timing-discipline",
+        "timing_discipline_bad.py",
+        "timing_discipline_good.py",
+        8,
+    ),
 ]
 
 

@@ -1,0 +1,76 @@
+"""Counter-name unification: every layer reports through the canonical
+``repro_*`` registry names while its legacy dict keys stay as aliases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.gaussian import generate_gaussian_field
+from repro.obs.metrics import REGISTRY
+from repro.store import ArrayStore
+from repro.volumes.pipeline import compress_volume
+
+
+@pytest.fixture()
+def field():
+    return generate_gaussian_field((64, 64), correlation_range=8.0, seed=11)
+
+
+class TestStoreInfo:
+    def test_canonical_metrics_alongside_legacy_keys(self, tmp_path, field):
+        store = ArrayStore.create(
+            tmp_path / "s", chunk_shape=32, codec="sz", error_bound=1e-3
+        )
+        store.write(field)
+        store.read((slice(0, 16), slice(0, 16)))
+        info = store.info()
+
+        metrics = info["metrics"]
+        assert metrics["repro_store_chunks_decoded_total"] >= 1
+        assert metrics["repro_store_orphaned_nbytes"] == info["orphaned_nbytes"]
+        assert (
+            metrics["repro_store_data_file_nbytes"] == info["data_file_nbytes"]
+        )
+        for quantity in ("hits", "misses", "evictions"):
+            assert f'repro_cache_{quantity}_total{{cache="store-chunk"}}' in metrics
+
+        # Legacy surfaces survive for one release: the attribute counter
+        # and the old cache-counter dicts still carry the same numbers.
+        assert store.chunks_decoded_total == (
+            metrics["repro_store_chunks_decoded_total"]
+        )
+        assert info["store_cache_counters"]["hits"] == (
+            metrics['repro_cache_hits_total{cache="store-chunk"}']
+        )
+
+
+class TestVolumeMetrics:
+    def test_cache_counters_published_under_canonical_names(self):
+        volume = generate_gaussian_field((16, 16), seed=3)
+        cube = np.broadcast_to(volume, (16, 16, 16)).copy()
+        compressed = compress_volume(cube, "sz", 1e-3, tile_shape=(8, 8, 8))
+
+        legacy = compressed.cache_counters
+        canonical = compressed.metrics
+        assert set(legacy) == {
+            "hits",
+            "misses",
+            "evictions",
+            "in_call_duplicates",
+        }
+        for key, value in legacy.items():
+            assert canonical[f'repro_cache_{key}_total{{cache="volume-tile"}}'] == value
+
+
+class TestProcessRegistry:
+    def test_library_collectors_feed_the_process_registry(self, tmp_path, field):
+        store = ArrayStore.create(
+            tmp_path / "reg", chunk_shape=32, codec="sz", error_bound=1e-3
+        )
+        store.write(field)
+        snapshot = REGISTRY.snapshot()
+        assert snapshot["repro_store_writes_total"] >= 1
+        assert 'repro_cache_hits_total{cache="experiment"}' in snapshot
+        assert 'repro_cache_hits_total{cache="store-chunk"}' in snapshot
+        assert 'repro_cache_hits_total{cache="volume-tile"}' in snapshot

@@ -198,3 +198,51 @@ class TestDisconnects:
         while server.server.gate_active and time.monotonic() < deadline:
             time.sleep(0.01)
         assert server.server.gate_active == 0
+
+
+class TestStatusClassAccounting:
+    """Regression for the vanishing error paths: before PR 8 the 500
+    branches in ``_gated_dispatch`` bypassed the stats counters (and the
+    corruption branch double-counted once the registry landed), so error
+    rates were invisible to ``/stats``.  Every response — success, 4xx,
+    5xx — must now count exactly once in its status class."""
+
+    @pytest.fixture(scope="class")
+    def counting_server(self, tmp_path_factory, field_2d):
+        root = tmp_path_factory.mktemp("counting-root")
+        build_store(root / "healthy", field_2d)
+        build_store(root / "rotten", np.asarray(field_2d)[::-1].copy())
+        last = ArrayStore.open(root / "rotten").n_chunks - 1
+        _corrupt_chunk(root / "rotten", last)
+        config = ServerConfig(root=str(root), max_concurrency=4)
+        with ThreadedServer(config) as threaded:
+            yield threaded
+
+    def test_every_status_class_counts_exactly_once(self, counting_server):
+        with StoreClient(counting_server.url) as client:
+            assert client.healthz()                                   # 200
+            client.get("healthy", (slice(0, 8), slice(0, 8)))         # 200
+            status, _ = client._request("GET", "/ds/absent")          # 404
+            assert status == 404
+            status, _ = client._request("GET", "/ds/healthy?region=banana")
+            assert status == 400
+            with pytest.raises(ServeError) as err:                    # 500
+                client.get("rotten")
+            assert err.value.status == 500
+            # The stats call snapshots before its own 200 is counted.
+            stats = client.stats()
+
+        metrics = stats["metrics"]
+        by_class = {
+            cls: metrics.get(
+                f'repro_serve_responses_total{{class="{cls}"}}', 0
+            )
+            for cls in ("2xx", "4xx", "5xx")
+        }
+        assert by_class["4xx"] == 2
+        assert by_class["5xx"] == 1
+        assert by_class["2xx"] == 2
+        # No request vanishes and none double-counts: classes partition
+        # the requests that have finished responding (the in-flight
+        # /stats request itself has not counted yet).
+        assert sum(by_class.values()) == stats["requests_total"] - 1
