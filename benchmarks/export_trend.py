@@ -6,7 +6,7 @@ cells (tiled 32^3, halo off and on, so the halo seam-recovery is tracked
 as data), the store put / partial-read cells, and the serve-layer load
 cells (warm-cache latency and decoded throughput at 1 vs 16 concurrent
 clients) — and writes a schema-versioned JSON trend file
-(``BENCH_PR8.json`` in CI, uploaded as a workflow artifact).  Against a
+(``BENCH_PR9.json`` in CI, uploaded as a workflow artifact).  Against a
 committed baseline (``benchmarks/baseline.json``) the script acts as the
 regression gate.
 
@@ -32,13 +32,14 @@ test suite's golden files).
 ``bar`` cells carry their own absolute bound (``value`` vs ``min`` or
 ``max``) and are gated without any baseline or calibration: the serve
 scaling cell asserts that 16 concurrent cached readers deliver >= 2x the
-decoded MB/s of one reader, and the tracing-overhead cell asserts that
-the *disabled* span instrumentation costs <= 2% of a 64^3 compress —
-both properties of the design, not of the runner's speed, so they must
-hold on any machine.
+decoded MB/s of one reader, the tracing-overhead cell asserts that the
+*disabled* span instrumentation costs <= 2% of a 64^3 compress, and the
+profiler-overhead cell asserts that a *live* sampling profiler at the
+default rate costs <= 5% of the same compress — all properties of the
+design, not of the runner's speed, so they must hold on any machine.
 
 Usage:
-    python benchmarks/export_trend.py --output BENCH_PR8.json
+    python benchmarks/export_trend.py --output BENCH_PR9.json
     python benchmarks/export_trend.py --update-baseline   # refresh baseline
 """
 
@@ -67,7 +68,7 @@ from repro.volumes.pipeline import compress_volume  # noqa: E402
 
 SCHEMA = "repro-bench-trend"
 SCHEMA_VERSION = 1
-LABEL = "PR8"
+LABEL = "PR9"
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
 #: Gate thresholds, applied to machine-calibrated per-cell ratios: any
 #: single cell beyond OUTLIER_THRESHOLD fails; more than
@@ -164,6 +165,48 @@ def collect_cells() -> dict:
         "value": overhead,
         "max": 0.02,
         "spans": spans_per_compress,
+    }
+
+    # -- profiler overhead: live sampling at the default rate ------------
+    # Gate: a SamplingProfiler at DEFAULT_HZ must cost <= 5% of the
+    # sampled workload's wall time.  Timing a compress with and without
+    # the sampler would difference two measurements whose run-to-run
+    # noise (~20%) dwarfs the true overhead (~0.1%), so the cell instead
+    # measures the per-sample stack-walk cost directly — against live
+    # compress stacks on a worker thread — and scales by the rate: the
+    # workload loses at most the GIL time the sampler holds, which is
+    # ``sample_ms * hz`` per second of wall time.
+    import threading
+
+    from repro.obs.profile import DEFAULT_HZ, SamplingProfiler
+
+    stop = threading.Event()
+
+    def churn() -> None:
+        while not stop.is_set():
+            compress_volume(
+                volume, "sz", ERROR_BOUND, tile_shape=(32, 32, 32), cache=False
+            )
+
+    worker = threading.Thread(target=churn, name="bench-load", daemon=True)
+    worker.start()
+    try:
+        profiler = SamplingProfiler(hz=DEFAULT_HZ)
+        own_id = threading.get_ident()
+        rounds = 500
+        start = time.perf_counter()
+        for _ in range(rounds):
+            profiler._sample_once(own_id)
+        sample_ms = 1000.0 * (time.perf_counter() - start) / rounds
+    finally:
+        stop.set()
+        worker.join()
+    cells["profiler-overhead"] = {
+        "kind": "bar",
+        "value": sample_ms * DEFAULT_HZ / 1000.0,
+        "max": 0.05,
+        "hz": DEFAULT_HZ,
+        "sample_ms": sample_ms,
     }
 
     # -- store put / partial read ----------------------------------------

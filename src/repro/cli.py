@@ -21,7 +21,14 @@ writing any Python:
   running ``repro serve`` instead of a local directory (``get --url
   --client-decode`` fetches compressed chunks and decodes locally).
 * ``serve``      — serve every store under a root directory over HTTP
-  (see :mod:`repro.serve`).
+  (see :mod:`repro.serve`), including the ``/debug`` flight-recorder
+  endpoints (dashboard, metrics history, slow-request capture, on-demand
+  profiler).
+* ``profile``    — re-run another repro invocation in-process under the
+  sampling profiler and write a speedscope JSON profile
+  (``repro profile --out prof.json -- compress field.npy --volume``).
+* ``top``        — poll a running server's ``/metrics`` into a live
+  terminal view (request rates, route latency quantiles, cache hits).
 * ``lint``       — the repo-specific invariant checkers
   (:mod:`repro.analysis`): dtype-cast safety, async-blocking discipline,
   binary-format/golden pairing, worker-boundary hygiene, seeded
@@ -121,6 +128,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record nested timing spans of the compression and write them "
         "as Chrome trace-event JSON (open in Perfetto or chrome://tracing)",
+    )
+    compress.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="sample the run with the stdlib sampling profiler and write a "
+        "speedscope JSON profile (open at https://www.speedscope.app)",
+    )
+    compress.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        help="profiler sampling rate in Hz (default 99)",
+    )
+
+    # ---- profile -------------------------------------------------------
+    profile = subparsers.add_parser(
+        "profile",
+        help="run another repro command under the sampling profiler",
+        description="Re-runs the repro invocation after '--' in-process "
+        "with the sampling profiler attached and writes a speedscope JSON "
+        "profile, e.g.: repro profile --out prof.json -- compress field.npy "
+        "--volume",
+    )
+    profile.add_argument(
+        "--out", required=True, metavar="PATH", help="speedscope JSON output"
+    )
+    profile.add_argument(
+        "--hz", type=float, default=None, help="sampling rate in Hz (default 99)"
+    )
+    profile.add_argument(
+        "command_argv",
+        nargs=argparse.REMAINDER,
+        metavar="-- <repro subcommand ...>",
+        help="the repro invocation to profile",
+    )
+
+    # ---- top -----------------------------------------------------------
+    top = subparsers.add_parser(
+        "top", help="live terminal view of a serving instance's /metrics"
+    )
+    top.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8787")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="poll interval in seconds"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting (0 = run until interrupted)",
     )
 
     # ---- stats ---------------------------------------------------------
@@ -288,11 +345,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per handled request to this file",
     )
     serve.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the access log before it exceeds N bytes "
+        "(path -> path.1 -> ...; default: never rotate)",
+    )
+    serve.add_argument(
+        "--access-log-backups",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated access-log files kept (with --access-log-max-bytes)",
+    )
+    serve.add_argument(
         "--metrics",
         action=argparse.BooleanOptionalAction,
         default=True,
         help="expose GET /metrics in Prometheus text format "
         "(--no-metrics disables the endpoint)",
+    )
+    serve.add_argument(
+        "--latency-buckets",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="SECONDS",
+        help="request-latency histogram bucket bounds in seconds "
+        "(default: the built-in 1ms..5s set; shown in GET /stats)",
+    )
+    serve.add_argument(
+        "--debug",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="expose the /debug flight-recorder endpoints (dashboard, "
+        "metrics history, slow requests, on-demand profiler)",
+    )
+    serve.add_argument(
+        "--slow-requests",
+        type=int,
+        default=8,
+        metavar="N",
+        help="slowest span trees retained per route for GET /debug/requests "
+        "(0 disables capture)",
+    )
+    serve.add_argument(
+        "--history-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="metrics-history snapshot interval for GET /debug/vars",
     )
 
     # ---- lint ----------------------------------------------------------
@@ -392,6 +495,26 @@ def _command_compress_volume(args: argparse.Namespace, volume: np.ndarray) -> in
 
 
 def _command_compress(args: argparse.Namespace) -> int:
+    if args.profile_out:
+        from repro.obs.profile import DEFAULT_HZ, SamplingProfiler
+
+        profiler = SamplingProfiler(hz=args.profile_hz or DEFAULT_HZ)
+        with profiler:
+            code = _compress_with_trace(args)
+        profiler.write_speedscope(
+            args.profile_out, name=f"repro compress {args.field}"
+        )
+        print(
+            f"wrote {profiler.sample_count} samples "
+            f"({profiler.elapsed:.2f}s @ {profiler.hz:g}Hz) to "
+            f"{args.profile_out}"
+        )
+        _print_hot_functions(profiler)
+        return code
+    return _compress_with_trace(args)
+
+
+def _compress_with_trace(args: argparse.Namespace) -> int:
     if args.trace_out:
         from repro.obs.trace import Tracer, install_tracer
 
@@ -402,6 +525,77 @@ def _command_compress(args: argparse.Namespace) -> int:
         print(f"wrote {len(tracer.spans())} spans to {args.trace_out}")
         return code
     return _run_compress(args)
+
+
+def _print_hot_functions(profiler, top: int = 8) -> None:
+    rows = profiler.hot_functions(top)
+    if not rows:
+        return
+    print("hot functions (self samples / total samples):")
+    for label, self_samples, total_samples in rows:
+        print(f"  {self_samples:>6} / {total_samples:>6}  {label}")
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import DEFAULT_HZ, SamplingProfiler
+
+    argv = list(args.command_argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        raise SystemExit(
+            "usage: repro profile --out prof.json -- <repro subcommand ...>"
+        )
+    if argv[0] == "profile":
+        raise SystemExit("refusing to profile 'repro profile' recursively")
+    profiler = SamplingProfiler(hz=args.hz or DEFAULT_HZ)
+    with profiler:
+        code = main(argv)
+    profiler.write_speedscope(args.out, name="repro " + " ".join(argv))
+    print(
+        f"profiled 'repro {' '.join(argv)}': {profiler.sample_count} samples "
+        f"over {profiler.elapsed:.2f}s -> {args.out}"
+    )
+    _print_hot_functions(profiler)
+    return code
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.top import parse_prometheus, render_frame
+    from repro.serve.client import ServeError, StoreClient
+
+    previous = None
+    previous_at = 0.0
+    frames = 0
+    try:
+        with StoreClient(args.url) as client:
+            while True:
+                try:
+                    text = client.metrics_text()
+                except (ServeError, ConnectionError, OSError) as exc:
+                    raise SystemExit(f"cannot scrape {args.url}/metrics: {exc}")
+                now = time.perf_counter()
+                scrape = parse_prometheus(text)
+                frame = render_frame(
+                    scrape,
+                    previous,
+                    now - previous_at if previous is not None else 0.0,
+                    title=f"repro top — {args.url}",
+                )
+                # ANSI clear + home keeps the frame in place on real
+                # terminals; harmless noise when piped to a file.
+                if sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                previous, previous_at = scrape, now
+                frames += 1
+                if args.iterations and frames >= args.iterations:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _run_compress(args: argparse.Namespace) -> int:
@@ -754,7 +948,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_body_nbytes=args.max_body_mb * 1024 * 1024,
         max_response_nbytes=args.max_body_mb * 1024 * 1024,
         access_log=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
+        access_log_backups=args.access_log_backups,
         metrics=args.metrics,
+        latency_buckets=(
+            tuple(args.latency_buckets) if args.latency_buckets else None
+        ),
+        debug=args.debug,
+        slow_requests_per_route=args.slow_requests,
+        history_interval=args.history_interval,
     )
 
     async def run() -> None:
@@ -786,6 +988,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "store": _command_store,
         "serve": _command_serve,
         "lint": _command_lint,
+        "profile": _command_profile,
+        "top": _command_top,
     }
     return handlers[args.command](args)
 

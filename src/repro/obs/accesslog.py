@@ -21,12 +21,18 @@ deliberately small and stable (tests assert it):
 
 Writes are line-buffered and serialized under a lock, so concurrent
 executor threads never interleave partial lines.
+
+Size-based rotation: with ``max_bytes`` set, a write that would push the
+file past the limit first rotates ``path -> path.1 -> ... -> path.N``
+(``backups`` rotations kept, oldest dropped), so a long-lived server's
+log stays bounded without an external logrotate.
 """
 
 from __future__ import annotations
 
 import datetime
 import json
+import os
 import threading
 import time
 from typing import Optional, TextIO
@@ -35,22 +41,64 @@ __all__ = ["AccessLog"]
 
 
 class AccessLog:
-    """Thread-safe JSON-lines access-log writer.
+    """Thread-safe JSON-lines access-log writer with size-based rotation.
 
     ``path`` may be a filesystem path (opened append, line-buffered) or
-    an already-open text stream (test use: ``io.StringIO``).  Closing is
+    an already-open text stream (test use: ``io.StringIO``; streams never
+    rotate).  ``max_bytes`` enables rotation: when the next line would
+    push the file past the limit, the file is renamed to ``path.1``
+    (existing rotations shifting to ``.2`` … ``.backups``, the oldest
+    unlinked) and a fresh file is opened.  Rotation happens *before* the
+    write, so every line lands whole in exactly one file.  Closing is
     idempotent and only closes streams this writer opened itself.
     """
 
-    def __init__(self, path, stream: Optional[TextIO] = None) -> None:
+    def __init__(
+        self,
+        path,
+        stream: Optional[TextIO] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups}")
         self._lock = threading.Lock()
+        self._path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.rotations = 0
         if stream is not None:
             self._stream = stream
             self._owns_stream = False
+            self.max_bytes = None  # streams have no path to rotate
+            self._nbytes = 0
         else:
-            # repro-lint: disable=resource-hygiene -- handle lives for the writer's lifetime, closed in close()
-            self._stream = open(path, "a", buffering=1, encoding="utf-8")
+            self._stream = self._open()
             self._owns_stream = True
+            self._nbytes = os.path.getsize(path)
+
+    def _open(self) -> TextIO:
+        # repro-lint: disable=resource-hygiene -- handle lives for the writer's lifetime, closed in close()
+        return open(self._path, "a", buffering=1, encoding="utf-8")
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path -> .1 -> ... -> .backups`` and reopen fresh."""
+
+        self._stream.close()
+        oldest = f"{self._path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.backups - 1, 0, -1):
+            source = f"{self._path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self._path}.{index + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self._stream = self._open()
+        self._nbytes = 0
+        self.rotations += 1
 
     def log(
         self,
@@ -77,9 +125,17 @@ class AccessLog:
             "duration_ms": round(float(duration_ms), 3),
             "bytes": int(nbytes),
         }
-        line = json.dumps(record, separators=(",", ":"))
+        line = json.dumps(record, separators=(",", ":")) + "\n"
         with self._lock:
-            self._stream.write(line + "\n")
+            if (
+                self.max_bytes is not None
+                and self._owns_stream
+                and self._nbytes > 0
+                and self._nbytes + len(line) > self.max_bytes
+            ):
+                self._rotate_locked()
+            self._stream.write(line)
+            self._nbytes += len(line)
 
     def close(self) -> None:
         with self._lock:

@@ -1,0 +1,216 @@
+"""``GET /debug``: a dependency-free single-page HTML dashboard.
+
+One self-contained page — inline CSS, inline vanilla JS, no external
+fetches beyond the server's own debug endpoints — that polls
+``/debug/vars`` (metrics history), ``/stats`` and ``/debug/requests``
+and renders:
+
+* sparklines (inline SVG, drawn by the page's own JS) for request rate,
+  gate occupancy and cache hit rate over the history window;
+* a per-route latency table (p50/p90/p99 from the newest history point);
+* the captured slow requests per route, with their span trees one click
+  away (the raw JSON endpoints remain the machine interface).
+
+Python's job here is only to serve the template with the poll interval
+injected; everything live happens client-side so the endpoint stays a
+cheap static-bytes response.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_dashboard"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro /debug</title>
+<style>
+  body { font: 13px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5em auto; max-width: 72em; padding: 0 1em;
+         background: #11151a; color: #d8dee6; }
+  h1 { font-size: 1.2em; } h2 { font-size: 1em; margin: 1.4em 0 .4em; }
+  a { color: #7aa2f7; text-decoration: none; }
+  .cards { display: flex; flex-wrap: wrap; gap: 1em; }
+  .card { background: #1a2028; border: 1px solid #2a3442; border-radius: 6px;
+          padding: .7em 1em; min-width: 15em; }
+  .card .big { font-size: 1.5em; }
+  .muted { color: #71808f; }
+  svg.spark { display: block; margin-top: .3em; }
+  svg.spark path { fill: none; stroke: #7aa2f7; stroke-width: 1.5; }
+  svg.spark polygon { fill: rgba(122,162,247,.15); stroke: none; }
+  table { border-collapse: collapse; margin-top: .4em; }
+  th, td { text-align: right; padding: .15em .8em; }
+  th:first-child, td:first-child { text-align: left; }
+  th { color: #71808f; font-weight: normal; border-bottom: 1px solid #2a3442; }
+  tr.slow td { cursor: pointer; }
+  pre.spans { background: #0d1117; border: 1px solid #2a3442; padding: .6em;
+              margin: .2em 0 .6em; overflow-x: auto; }
+  #err { color: #f7768e; }
+</style>
+</head>
+<body>
+<h1>repro /debug <span class="muted" id="updated"></span></h1>
+<div id="err"></div>
+<div class="cards">
+  <div class="card"><div>requests / s</div>
+    <div class="big" id="rps">–</div><svg class="spark" id="spark-rps"></svg></div>
+  <div class="card"><div>gate occupancy</div>
+    <div class="big" id="gate">–</div><svg class="spark" id="spark-gate"></svg></div>
+  <div class="card"><div>hot-chunk cache hit %</div>
+    <div class="big" id="hit">–</div><svg class="spark" id="spark-hit"></svg></div>
+</div>
+<h2>route latency (newest history point)</h2>
+<table id="routes"><thead>
+<tr><th>route</th><th>count</th><th>req/s</th><th>p50 ms</th><th>p90 ms</th>
+<th>p99 ms</th></tr></thead><tbody></tbody></table>
+<h2>slow requests <span class="muted">(tail capture, slowest per route —
+<a href="/debug/requests">raw</a>)</span></h2>
+<table id="slow"><thead>
+<tr><th>route</th><th>request</th><th>status</th><th>ms</th><th>captured</th>
+</tr></thead><tbody></tbody></table>
+<p class="muted">endpoints: <a href="/debug/vars?window=600">/debug/vars</a>
+· <a href="/debug/requests">/debug/requests</a>
+· <a href="/debug/profile?seconds=2">/debug/profile</a>
+· <a href="/metrics">/metrics</a> · <a href="/stats">/stats</a></p>
+<script>
+"use strict";
+const CFG = __CONFIG__;
+const fmt = (v, d) => (v === null || v === undefined || Number.isNaN(v))
+  ? "–" : v.toFixed(d === undefined ? 1 : d);
+
+function spark(id, values) {
+  const svg = document.getElementById(id);
+  const W = 220, H = 36;
+  svg.setAttribute("width", W); svg.setAttribute("height", H);
+  svg.textContent = "";
+  if (values.length < 2) return;
+  const max = Math.max(...values, 1e-9);
+  const pts = values.map((v, i) =>
+    [(i / (values.length - 1)) * W, H - 2 - (v / max) * (H - 6)]);
+  const d = "M" + pts.map(p => p[0].toFixed(1) + " " + p[1].toFixed(1)).join(" L");
+  const ns = "http://www.w3.org/2000/svg";
+  const area = document.createElementNS(ns, "polygon");
+  area.setAttribute("points",
+    "0," + H + " " + pts.map(p => p[0].toFixed(1) + "," + p[1].toFixed(1)).join(" ")
+    + " " + W + "," + H);
+  svg.appendChild(area);
+  const path = document.createElementNS(ns, "path");
+  path.setAttribute("d", d);
+  svg.appendChild(path);
+}
+
+function sum(obj, prefix) {
+  let total = 0;
+  for (const k in obj) if (k.startsWith(prefix)) total += obj[k];
+  return total;
+}
+
+function routeOf(key) {
+  const m = /route="([^"]*)"/.exec(key);
+  return m ? m[1] : key;
+}
+
+async function refresh() {
+  try {
+    const [vars_, stats, slow] = await Promise.all([
+      fetch("/debug/vars?window=" + CFG.window).then(r => r.json()),
+      fetch("/stats").then(r => r.json()),
+      fetch("/debug/requests").then(r => r.json()),
+    ]);
+    const pts = vars_.points;
+    const newest = pts.length ? pts[pts.length - 1] : null;
+
+    spark("spark-rps", pts.map(p =>
+      sum(p.rates, "repro_serve_requests_total")));
+    spark("spark-gate", pts.map(p =>
+      p.gauges["repro_serve_gate_active"] || 0));
+    spark("spark-hit", pts.map(p => {
+      const h = p.rates['repro_cache_hits_total{cache="hot-chunk"}'] || 0;
+      const m = p.rates['repro_cache_misses_total{cache="hot-chunk"}'] || 0;
+      return h + m ? (100 * h) / (h + m) : 0;
+    }));
+    document.getElementById("rps").textContent = newest
+      ? fmt(sum(newest.rates, "repro_serve_requests_total")) : "–";
+    document.getElementById("gate").textContent =
+      stats.gate.active + "/" + stats.gate.max_concurrency
+      + " (peak " + stats.gate.peak + ")";
+    const cc = stats.hot_chunk_cache;
+    document.getElementById("hit").textContent = (cc.hits + cc.misses)
+      ? fmt((100 * cc.hits) / (cc.hits + cc.misses)) + "%" : "–";
+
+    const routes = document.querySelector("#routes tbody");
+    routes.textContent = "";
+    if (newest) {
+      const keys = Object.keys(newest.quantiles)
+        .filter(k => k.startsWith("repro_serve_request_seconds{")).sort();
+      for (const key of keys) {
+        const q = newest.quantiles[key];
+        const tr = document.createElement("tr");
+        for (const cell of [routeOf(key), fmt(q.count, 0), fmt(q.rate),
+                            fmt(q.p50 * 1000, 2), fmt(q.p90 * 1000, 2),
+                            fmt(q.p99 * 1000, 2)]) {
+          const td = document.createElement("td");
+          td.textContent = cell;
+          tr.appendChild(td);
+        }
+        routes.appendChild(tr);
+      }
+    }
+
+    const tbody = document.querySelector("#slow tbody");
+    tbody.textContent = "";
+    for (const route of Object.keys(slow.routes).sort()) {
+      for (const entry of slow.routes[route]) {
+        const tr = document.createElement("tr");
+        tr.className = "slow";
+        for (const cell of [route,
+                            entry.method + " " + entry.path,
+                            String(entry.status),
+                            fmt(entry.duration_ms, 2),
+                            entry.request_id]) {
+          const td = document.createElement("td");
+          td.textContent = cell;
+          tr.appendChild(td);
+        }
+        tr.addEventListener("click", () => {
+          const next = tr.nextSibling;
+          if (next && next.className === "detail") { next.remove(); return; }
+          const dtr = document.createElement("tr");
+          dtr.className = "detail";
+          const td = document.createElement("td");
+          td.colSpan = 5;
+          const pre = document.createElement("pre");
+          pre.className = "spans";
+          pre.textContent = JSON.stringify(entry.spans, null, 1);
+          td.appendChild(pre);
+          dtr.appendChild(td);
+          tr.after(dtr);
+        });
+        tbody.appendChild(tr);
+      }
+    }
+    document.getElementById("updated").textContent =
+      "· updated " + new Date().toLocaleTimeString();
+    document.getElementById("err").textContent = "";
+  } catch (exc) {
+    document.getElementById("err").textContent = "refresh failed: " + exc;
+  }
+}
+refresh();
+setInterval(refresh, CFG.poll_ms);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard(
+    *, poll_ms: int = 3000, window_seconds: int = 600
+) -> str:
+    """The dashboard page with its polling config injected."""
+
+    config = json.dumps({"poll_ms": poll_ms, "window": window_seconds})
+    return _PAGE.replace("__CONFIG__", config)

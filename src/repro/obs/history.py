@@ -1,0 +1,274 @@
+"""Metrics history: a bounded ring buffer of registry snapshots.
+
+``GET /metrics`` is a point-in-time scrape; without a scrape collector
+running, "why was the server slow five minutes ago" has no answer.  This
+module keeps the answer in-process: a background ticker snapshots one or
+more :class:`~repro.obs.metrics.MetricsRegistry` instances on a fixed
+interval into a ``deque(maxlen=capacity)`` — bounded memory by
+construction, always on, and cheap (one collector pass per tick, a few
+hundred series at most).
+
+At query time (``GET /debug/vars?window=N``):
+
+* **counters** are reported as per-second *rates* between consecutive
+  snapshots (a cumulative total is unreadable on a sparkline);
+* **gauges** are reported as sampled values;
+* **histograms** are reported as windowed quantiles (p50/p90/p99 via
+  :func:`~repro.obs.metrics.histogram_quantile` over the *delta* of the
+  cumulative buckets between ticks — the latency of requests handled in
+  that tick, not since process start) plus an observation rate.
+
+Timestamps: rate math uses ``perf_counter`` deltas; each point also
+carries a wall-clock epoch for display, the same sanctioned exception
+the access log documents.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, histogram_quantile
+
+__all__ = ["MetricsHistory", "HistoryPoint"]
+
+#: Quantiles reported for each histogram series.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class HistoryPoint:
+    """One snapshot tick: raw cumulative values plus its clocks."""
+
+    __slots__ = ("mono", "epoch", "counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        mono: float,
+        epoch: float,
+        counters: Dict[str, float],
+        gauges: Dict[str, float],
+        histograms: Dict[str, Dict],
+    ) -> None:
+        self.mono = mono
+        self.epoch = epoch
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+
+
+class MetricsHistory:
+    """Snapshot ``registries`` every ``interval`` seconds, keep ``capacity``.
+
+    The ticker is a daemon thread (:meth:`start` / :meth:`stop`); tests
+    and the serve layer may also drive :meth:`sample_now` directly for
+    deterministic points.  All reads go through :meth:`series`, which
+    converts the retained raw snapshots into rate/value/quantile series.
+    """
+
+    def __init__(
+        self,
+        registries: Iterable[MetricsRegistry],
+        *,
+        interval: float = 5.0,
+        capacity: int = 720,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        if not interval > 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.registries = tuple(registries)
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.quantiles = tuple(quantiles)
+        self._points: Deque[HistoryPoint] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "MetricsHistory":
+        if self._thread is not None:
+            raise RuntimeError("history ticker already started")
+        self.sample_now()  # a queryable point exists immediately
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-history", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.sample_now()
+
+    # -- recording -------------------------------------------------------
+    def sample_now(self) -> HistoryPoint:
+        """Take one snapshot of every registry and append it to the ring."""
+
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict] = {}
+        for registry in self.registries:
+            snapshot = registry.snapshot()
+            # snapshot() flattens counters and gauges together; split by
+            # consulting the registry's typed tables via histogram_
+            # snapshot for histograms and value() semantics for the rest.
+            counters_gauges = snapshot
+            typed = _typed_names(registry)
+            for key, value in counters_gauges.items():
+                name = key.split("{", 1)[0]
+                if name in typed["gauges"]:
+                    gauges[key] = value
+                else:
+                    counters[key] = value
+            histograms.update(registry.histogram_snapshot(run_collectors=False))
+        # repro-lint: disable=timing-discipline -- display timestamp for history points, not a duration
+        epoch = time.time()
+        point = HistoryPoint(
+            mono=time.perf_counter(),
+            epoch=epoch,
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+        )
+        with self._lock:
+            self._points.append(point)
+        return point
+
+    def points(self) -> List[HistoryPoint]:
+        with self._lock:
+            return list(self._points)
+
+    def ensure_fresh(self, max_age: Optional[float] = None) -> None:
+        """Sample now if the newest point is older than ``max_age``.
+
+        Default ``max_age`` is the ticker interval, so an on-demand query
+        (``GET /debug/vars``) always sees current data while adding at
+        most one extra point per interval to the ring.
+        """
+
+        limit = self.interval if max_age is None else max_age
+        retained = self.points()
+        if not retained or time.perf_counter() - retained[-1].mono >= limit:
+            self.sample_now()
+
+    # -- querying --------------------------------------------------------
+    def series(self, window: Optional[float] = None) -> Dict:
+        """Rate/value/quantile series for the trailing ``window`` seconds.
+
+        Returns a JSON-safe document::
+
+            {"interval": 5.0, "capacity": 720, "points": [
+               {"age": 12.3, "ts": 1690000000.0,
+                "rates": {counter-series: per-second rate},
+                "gauges": {gauge-series: value},
+                "quantiles": {histogram-series: {"p50": s, ..., "rate": n/s}}},
+               ...]}
+
+        Each point's rates are deltas against the *previous retained
+        point* (so the first point inside the window still has a rate);
+        the oldest point overall has none and is reported with empty
+        rates.  ``age`` is seconds before the query.
+        """
+
+        now = time.perf_counter()
+        retained = self.points()
+        out_points: List[Dict] = []
+        previous: Optional[HistoryPoint] = None
+        for point in retained:
+            age = now - point.mono
+            if window is not None and age > window:
+                previous = point
+                continue
+            out_points.append(self._render_point(point, previous, age))
+            previous = point
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "window": window,
+            "quantiles": list(self.quantiles),
+            "points": out_points,
+        }
+
+    def _render_point(
+        self,
+        point: HistoryPoint,
+        previous: Optional[HistoryPoint],
+        age: float,
+    ) -> Dict:
+        rates: Dict[str, float] = {}
+        quantiles: Dict[str, Dict[str, float]] = {}
+        dt = point.mono - previous.mono if previous is not None else 0.0
+        if previous is not None and dt > 0:
+            for key, value in point.counters.items():
+                delta = value - previous.counters.get(key, 0.0)
+                # A counter reset (server restart inside the ring) shows
+                # as a negative delta; clamp instead of spiking negative.
+                rates[key] = max(0.0, delta) / dt
+            for key, hist in point.histograms.items():
+                quantiles[key] = self._histogram_point(
+                    hist, previous.histograms.get(key), dt
+                )
+        else:
+            for key, hist in point.histograms.items():
+                quantiles[key] = self._histogram_point(hist, None, 0.0)
+        return {
+            "age": round(age, 3),
+            "ts": point.epoch,
+            "rates": rates,
+            "gauges": dict(point.gauges),
+            "quantiles": quantiles,
+        }
+
+    def _histogram_point(
+        self, hist: Dict, previous: Optional[Dict], dt: float
+    ) -> Dict[str, float]:
+        buckets = hist["buckets"]
+        count = hist["count"]
+        if previous is not None:
+            prev_cum = dict(previous["buckets"])
+            deltas = [
+                (bound, cum - prev_cum.get(bound, 0.0)) for bound, cum in buckets
+            ]
+            delta_count = count - previous["count"]
+            if delta_count > 0 and all(c >= 0 for _, c in deltas):
+                buckets, count = deltas, delta_count
+            else:
+                # Nothing observed this tick (or a reset): fall through
+                # to the cumulative distribution rather than reporting
+                # NaN quantiles for an idle interval.
+                delta_count = 0
+        out = {
+            f"p{int(q * 100)}": histogram_quantile(buckets, count, q)
+            for q in self.quantiles
+        }
+        if previous is not None and dt > 0:
+            out["rate"] = max(0.0, hist["count"] - previous["count"]) / dt
+        else:
+            out["rate"] = 0.0
+        out["count"] = float(hist["count"])
+        return out
+
+
+def _typed_names(registry: MetricsRegistry) -> Dict[str, set]:
+    """Names by kind, read off the registry's internal tables.
+
+    The registry deliberately exposes a flat snapshot; history is the
+    one consumer that must distinguish counters (rates) from gauges
+    (values), so it peeks at the typed tables under the registry lock.
+    """
+
+    with registry._lock:
+        return {
+            "counters": set(registry._counters),
+            "gauges": set(registry._gauges),
+        }

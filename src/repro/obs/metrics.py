@@ -42,6 +42,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "render_prometheus",
+    "histogram_quantile",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -238,6 +239,38 @@ class MetricsRegistry:
                         flat[name + _format_labels(items)] = value
         return flat
 
+    def histogram_snapshot(
+        self, run_collectors: bool = True
+    ) -> Dict[str, Dict]:
+        """Flat ``name{labels} -> histogram state`` map.
+
+        Each value carries ``buckets`` (``(upper bound, cumulative
+        count)`` pairs, ascending, finite bounds only), ``count`` and
+        ``sum`` — exactly what :func:`histogram_quantile` and the
+        metrics-history layer need to derive quantiles and rates without
+        re-parsing exposition text.
+        """
+
+        if run_collectors:
+            self._run_collectors()
+        flat: Dict[str, Dict] = {}
+        with self._lock:
+            for name, series in self._histograms.items():
+                for items, histogram in series.items():
+                    cumulative = 0
+                    buckets = []
+                    for bound, count in zip(
+                        histogram.buckets, histogram.bucket_counts
+                    ):
+                        cumulative += count
+                        buckets.append((bound, cumulative))
+                    flat[name + _format_labels(items)] = {
+                        "buckets": buckets,
+                        "count": histogram.count,
+                        "sum": histogram.total,
+                    }
+        return flat
+
     def render(self) -> str:
         """Prometheus text exposition (version 0.0.4) of everything."""
 
@@ -323,6 +356,38 @@ def render_prometheus(
         registries = (REGISTRY,)
     parts = [registry.render() for registry in registries]
     return "".join(part for part in parts if part)
+
+
+def histogram_quantile(
+    buckets: Sequence[Tuple[float, float]], count: float, q: float
+) -> float:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    ``buckets`` is ascending ``(upper bound, cumulative count)`` pairs
+    (finite bounds; observations above the last bound live only in
+    ``count``).  Linear interpolation within the containing bucket —
+    the same estimator as PromQL's ``histogram_quantile`` — so the
+    result is exact only at bucket boundaries, which is the resolution
+    histograms have anyway.  Returns NaN for an empty histogram; values
+    beyond the last finite bound clamp to it (the +Inf bucket has no
+    upper edge to interpolate toward).
+    """
+
+    if count <= 0 or not 0.0 <= q <= 1.0:
+        return float("nan")
+    rank = q * count
+    previous_bound = 0.0
+    previous_cum = 0.0
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            in_bucket = cumulative - previous_cum
+            if in_bucket <= 0:
+                return bound
+            fraction = (rank - previous_cum) / in_bucket
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound = bound
+        previous_cum = cumulative
+    return buckets[-1][0] if buckets else float("nan")
 
 
 def publish_cache_counters(

@@ -50,6 +50,8 @@ __all__ = [
     "tracing_enabled",
     "install_tracer",
     "active_tracer",
+    "request_tracer",
+    "use_request_tracer",
     "worker_capture",
 ]
 
@@ -371,30 +373,72 @@ def _json_safe(value: object) -> object:
 # ----------------------------------------------------------------------
 _ACTIVE: Optional[Tracer] = None
 
+#: Request-scoped tracer: set per asyncio task (serve's slow-request
+#: capture) via :func:`use_request_tracer`.  Takes priority over the
+#: process-global tracer inside its context, so a request's spans land in
+#: that request's capture even when a global tracer is also installed.
+_REQUEST_TRACER: "contextvars.ContextVar[Optional[Tracer]]" = (
+    contextvars.ContextVar("repro_request_tracer", default=None)
+)
+
 
 def tracing_enabled() -> bool:
     """Whether a tracer is installed (i.e. spans are being recorded)."""
 
-    return _ACTIVE is not None
+    return _ACTIVE is not None or _REQUEST_TRACER.get() is not None
 
 
 def active_tracer() -> Optional[Tracer]:
-    """The installed tracer, or ``None``."""
+    """The installed process-global tracer, or ``None``."""
 
     return _ACTIVE
 
 
-def span(name: str, category: str = "", **args):
-    """Record a span on the installed tracer; no-op when tracing is off.
+def request_tracer() -> Optional[Tracer]:
+    """The tracer bound to the current context, or ``None``."""
 
-    The disabled path is one global load and one identity return — cheap
-    enough for per-tile and per-request call sites (per-element loops
-    should still never be instrumented).
+    return _REQUEST_TRACER.get()
+
+
+class use_request_tracer:
+    """Bind ``tracer`` to the current context for a ``with`` block.
+
+    Context-local (a :mod:`contextvars` var, copied per asyncio task and
+    propagated by ``contextvars.copy_context().run`` across executor
+    hops), so concurrent serve requests each record into their own
+    tracer without touching the process-global one.
     """
 
-    tracer = _ACTIVE
+    def __init__(self, tracer: Optional[Tracer]) -> None:
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[Tracer]:
+        self._token = _REQUEST_TRACER.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._token is not None:
+            _REQUEST_TRACER.reset(self._token)
+        return False
+
+
+def span(name: str, category: str = "", **args):
+    """Record a span on the bound tracer; no-op when tracing is off.
+
+    The request-scoped tracer (if the current context has one) wins over
+    the process-global tracer, so serve requests capture their own
+    subtree.  The fully disabled path is one global load, one contextvar
+    load and one identity return — cheap enough for per-tile and
+    per-request call sites (per-element loops should still never be
+    instrumented).
+    """
+
+    tracer = _REQUEST_TRACER.get()
     if tracer is None:
-        return _NOOP
+        tracer = _ACTIVE
+        if tracer is None:
+            return _NOOP
     return tracer.span(name, category, **args)
 
 
@@ -404,7 +448,7 @@ def traced(name: str, category: str = "") -> Callable:
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*fn_args, **fn_kwargs):
-            tracer = _ACTIVE
+            tracer = _REQUEST_TRACER.get() or _ACTIVE
             if tracer is None:
                 return fn(*fn_args, **fn_kwargs)
             with tracer.span(name, category):

@@ -136,6 +136,23 @@ class StoreClient:
     def stats(self) -> Dict:
         return self._json(*self._request("GET", "/stats"))
 
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — Prometheus exposition text (``repro top``)."""
+
+        status, payload = self._request("GET", "/metrics")
+        return self._check(status, payload).decode("utf-8")
+
+    def debug_vars(self, window: Optional[float] = None) -> Dict:
+        """``GET /debug/vars`` — the server's metrics-history series."""
+
+        query = {"window": str(window)} if window is not None else None
+        return self._json(*self._request("GET", "/debug/vars", query))
+
+    def debug_requests(self) -> Dict:
+        """``GET /debug/requests`` — captured slow requests by route."""
+
+        return self._json(*self._request("GET", "/debug/requests"))
+
     def ls(self) -> List[str]:
         return self._json(*self._request("GET", "/ds"))["datasets"]
 

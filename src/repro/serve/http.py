@@ -36,6 +36,7 @@ STATUS_PHRASES = {
     408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",

@@ -26,8 +26,11 @@ Architecture (one event loop, one thread pool):
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import heapq
 import io
 import json
+import math
 import os
 import re
 import threading
@@ -40,12 +43,17 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs.accesslog import AccessLog
+from repro.obs.dash import render_dashboard
+from repro.obs.history import MetricsHistory
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
     REGISTRY,
     MetricsRegistry,
     publish_cache_counters,
     render_prometheus,
 )
+from repro.obs.profile import DEFAULT_HZ, SamplingProfiler
+from repro.obs.trace import Tracer, use_request_tracer
 from repro.obs.trace import span as obs_span
 from repro.serve.cache import HotChunkCache
 from repro.serve.http import (
@@ -59,9 +67,26 @@ from repro.store.format import StoreCorruptionError, StoreFormatError
 from repro.store.region import format_region, parse_region_text
 from repro.store.snapshot import StoreSnapshot
 
-__all__ = ["ServerConfig", "ArrayServer", "ThreadedServer"]
+__all__ = ["ServerConfig", "ArrayServer", "SlowRequestLog", "ThreadedServer"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _json_finite(value):
+    """Replace non-finite floats with ``None`` (strict-JSON safety).
+
+    History quantiles are NaN for idle histograms; browsers' strict
+    ``response.json()`` rejects bare ``NaN`` tokens, so the debug
+    endpoints null them out instead.
+    """
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_finite(item) for item in value]
+    return value
 
 
 @dataclass
@@ -78,8 +103,73 @@ class ServerConfig:
     max_response_nbytes: int = 512 * 1024 * 1024
     #: JSON-lines access-log path (``None`` disables the log).
     access_log: Optional[str] = None
+    #: Rotate the access log before it would exceed this size (``None``
+    #: disables rotation).
+    access_log_max_bytes: Optional[int] = None
+    #: Rotated access-log files kept (``path.1`` … ``path.N``).
+    access_log_backups: int = 3
     #: Expose ``GET /metrics`` (Prometheus text exposition).
     metrics: bool = True
+    #: Request-latency histogram bucket bounds in seconds (``None`` =
+    #: :data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS`).
+    latency_buckets: Optional[Tuple[float, ...]] = None
+    #: Expose the ``/debug`` flight-recorder endpoints.
+    debug: bool = True
+    #: Metrics-history snapshot interval, seconds.
+    history_interval: float = 5.0
+    #: Metrics-history ring capacity, points.
+    history_capacity: int = 720
+    #: Slowest span trees retained per route (0 disables capture).
+    slow_requests_per_route: int = 8
+    #: Upper bound on ``GET /debug/profile?seconds=N``.
+    profile_max_seconds: float = 60.0
+
+
+class SlowRequestLog:
+    """Tail-based retention: only the slowest-N entries per route survive.
+
+    Every request *may* be offered; a per-route min-heap keyed on
+    duration keeps the ``per_route`` slowest and evicts the fastest of
+    the retained set when a slower one arrives.  :meth:`qualifies` is
+    the cheap pre-check — callers build the (comparatively expensive)
+    span-tree entry only for requests that would actually be retained.
+    """
+
+    def __init__(self, per_route: int = 8) -> None:
+        if per_route < 1:
+            raise ValueError(f"per_route must be >= 1, got {per_route}")
+        self.per_route = per_route
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._heaps: Dict[str, List[Tuple[float, int, Dict]]] = {}
+
+    def qualifies(self, route: str, duration: float) -> bool:
+        """Would a request of ``duration`` on ``route`` be retained?"""
+
+        with self._lock:
+            heap = self._heaps.get(route)
+            if heap is None or len(heap) < self.per_route:
+                return True
+            return duration > heap[0][0]
+
+    def record(self, route: str, duration: float, entry: Dict) -> None:
+        with self._lock:
+            heap = self._heaps.setdefault(route, [])
+            self._seq += 1
+            item = (duration, self._seq, entry)
+            if len(heap) < self.per_route:
+                heapq.heappush(heap, item)
+            elif duration > heap[0][0]:
+                heapq.heapreplace(heap, item)
+
+    def snapshot(self) -> Dict[str, List[Dict]]:
+        """``{route: [entry, ...]}``, slowest first within each route."""
+
+        with self._lock:
+            return {
+                route: [item[2] for item in sorted(heap, reverse=True)]
+                for route, heap in self._heaps.items()
+            }
 
 
 class _DatasetLock:
@@ -149,8 +239,32 @@ class ArrayServer:
         self.registry.register_collector(self._collect_metrics)
         self._request_seq = 0
         self._access_log: Optional[AccessLog] = (
-            AccessLog(config.access_log) if config.access_log else None
+            AccessLog(
+                config.access_log,
+                max_bytes=config.access_log_max_bytes,
+                backups=config.access_log_backups,
+            )
+            if config.access_log
+            else None
         )
+        self._latency_buckets: Tuple[float, ...] = (
+            tuple(sorted(config.latency_buckets))
+            if config.latency_buckets
+            else DEFAULT_LATENCY_BUCKETS
+        )
+        # Flight recorder: metrics history ticker + slow-request capture
+        # + on-demand profiler (one run in flight at a time).
+        self.history = MetricsHistory(
+            (self.registry, REGISTRY),
+            interval=config.history_interval,
+            capacity=config.history_capacity,
+        )
+        self._slow_log: Optional[SlowRequestLog] = (
+            SlowRequestLog(config.slow_requests_per_route)
+            if config.slow_requests_per_route > 0
+            else None
+        )
+        self._profiling = False
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -179,8 +293,10 @@ class ArrayServer:
             # length-framed and unaffected.
             limit=64 * 1024,
         )
+        self.history.start()
 
     async def close(self) -> None:
+        self.history.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -224,17 +340,42 @@ class ArrayServer:
                 request_id = (
                     request.headers.get("x-request-id") or self._make_request_id()
                 )
-                began = time.perf_counter()
-                head, body, keep, status = await self._gated_dispatch(
-                    request, request_id
+                # Flight recorder: every request gets a private tracer
+                # (context-local, so concurrent requests never mix), but
+                # the span tree is only exported if the request turns out
+                # to be among the slowest-N for its route.
+                tracer: Optional[Tracer] = (
+                    Tracer(request_id) if self._slow_log is not None else None
                 )
+                began = time.perf_counter()
+                if tracer is not None:
+                    with use_request_tracer(tracer):
+                        head, body, keep, status = await self._gated_dispatch(
+                            request, request_id
+                        )
+                else:
+                    head, body, keep, status = await self._gated_dispatch(
+                        request, request_id
+                    )
+                duration = time.perf_counter() - began
                 self._observe_request(
                     request,
                     request_id=request_id,
                     status=status,
-                    duration=time.perf_counter() - began,
+                    duration=duration,
                     nbytes=len(body),
                 )
+                if tracer is not None and self._slow_log is not None:
+                    route = self._route_label(request)
+                    if self._slow_log.qualifies(route, duration):
+                        self._slow_log.record(
+                            route,
+                            duration,
+                            self._slow_entry(
+                                request, request_id, status, duration, began,
+                                tracer,
+                            ),
+                        )
                 writer.write(head + body)
                 await writer.drain()
                 if not keep:
@@ -360,7 +501,7 @@ class ArrayServer:
         segments = [s for s in request.path.split("/") if s]
         if not segments:
             return "other"
-        if segments[0] in ("healthz", "stats", "metrics"):
+        if segments[0] in ("healthz", "stats", "metrics", "debug"):
             return segments[0]
         if segments[0] != "ds":
             return "other"
@@ -392,6 +533,7 @@ class ArrayServer:
             "repro_serve_request_seconds",
             duration,
             labels={"route": self._route_label(request)},
+            buckets=self._latency_buckets,
             help="Request latency by route.",
         )
         if self._access_log is not None:
@@ -403,6 +545,68 @@ class ArrayServer:
                 duration_ms=duration * 1000.0,
                 nbytes=nbytes,
             )
+
+    def _slow_entry(
+        self,
+        request: Request,
+        request_id: str,
+        status: int,
+        duration: float,
+        began: float,
+        tracer: Tracer,
+    ) -> Dict:
+        """Materialize one slow-request capture (span tree included).
+
+        Only built for requests that qualified for retention, so the
+        export cost is paid per *retained* request, not per request.
+        """
+
+        # repro-lint: disable=timing-discipline -- capture timestamp shown to operators, not a duration
+        captured = time.time()
+        return {
+            "request_id": request_id,
+            "method": request.method,
+            "path": request.path,
+            "status": status,
+            "duration_ms": round(duration * 1000.0, 3),
+            "captured_at": captured,
+            "spans": self._span_tree(tracer, began),
+        }
+
+    @staticmethod
+    def _span_tree(tracer: Tracer, base: float) -> List[Dict]:
+        """The tracer's finished spans as a nested JSON-safe tree.
+
+        Timestamps are milliseconds relative to ``base`` (the request's
+        arrival), so the tree reads as a waterfall.
+        """
+
+        grouped = tracer.span_tree()
+
+        def render(record) -> Dict:
+            node = {
+                "name": record.name,
+                "category": record.category,
+                "lane": record.lane,
+                "start_ms": round((record.start - base) * 1000.0, 3),
+                "duration_ms": round(record.duration * 1000.0, 3),
+            }
+            if record.args:
+                node["args"] = {
+                    key: (
+                        value
+                        if isinstance(value, (str, int, float, bool))
+                        or value is None
+                        else repr(value)
+                    )
+                    for key, value in record.args.items()
+                }
+            children = grouped.get(record.span_id)
+            if children:
+                node["children"] = [render(child) for child in children]
+            return node
+
+        return [render(root) for root in grouped.get(None, [])]
 
     def _collect_metrics(self, registry: MetricsRegistry) -> None:
         """Publish the live plain-int counters into the registry."""
@@ -453,6 +657,19 @@ class ArrayServer:
                 raise HttpError(404, "metrics endpoint disabled")
             self._require_method(request, "GET")
             return self._handle_metrics()
+        if segments[0] == "debug":
+            if not self.config.debug:
+                raise HttpError(404, "debug endpoints disabled")
+            self._require_method(request, "GET")
+            if len(segments) == 1:
+                return self._handle_dashboard()
+            if segments == ["debug", "vars"]:
+                return self._handle_vars(request)
+            if segments == ["debug", "requests"]:
+                return self._handle_slow_requests()
+            if segments == ["debug", "profile"]:
+                return await self._handle_profile(request)
+            raise HttpError(404, f"no such route: {request.path}")
         if not segments or segments[0] != "ds":
             raise HttpError(404, f"no such route: {request.path}")
         if len(segments) == 1:
@@ -498,8 +715,12 @@ class ArrayServer:
         return lock
 
     async def _in_executor(self, fn, *args):
+        # copy_context() carries the request-scoped tracer (and any other
+        # contextvars) across the executor hop, so spans recorded inside
+        # blocking store work land in the right request's capture.
+        context = contextvars.copy_context()
         return await asyncio.get_running_loop().run_in_executor(
-            self._executor, fn, *args
+            self._executor, lambda: context.run(fn, *args)
         )
 
     def _open_snapshot(self, name: str) -> StoreSnapshot:
@@ -568,6 +789,87 @@ class ArrayServer:
         body = render_prometheus((self.registry, REGISTRY)).encode("utf-8")
         return 200, body, "text/plain; version=0.0.4; charset=utf-8", None
 
+    # -- flight recorder (GET /debug*) -----------------------------------
+    def _handle_dashboard(self):
+        poll_ms = max(1000, int(self.config.history_interval * 1000))
+        body = render_dashboard(
+            poll_ms=poll_ms,
+            window_seconds=int(
+                self.config.history_interval * self.config.history_capacity
+            ),
+        ).encode("utf-8")
+        return 200, body, "text/html; charset=utf-8", None
+
+    def _handle_vars(self, request: Request):
+        window: Optional[float] = None
+        if "window" in request.query:
+            try:
+                window = float(request.query["window"])
+            except ValueError as exc:
+                raise HttpError(
+                    400, f"bad window {request.query['window']!r}"
+                ) from exc
+            if not window > 0:
+                raise HttpError(400, "window must be positive seconds")
+        self.history.ensure_fresh()
+        payload = _json_finite(self.history.series(window))
+        body = json.dumps(payload).encode("utf-8")
+        return 200, body, "application/json", None
+
+    def _handle_slow_requests(self):
+        if self._slow_log is None:
+            raise HttpError(404, "slow-request capture disabled")
+        payload = {
+            "per_route": self._slow_log.per_route,
+            "routes": self._slow_log.snapshot(),
+        }
+        body = json.dumps(payload).encode("utf-8")
+        return 200, body, "application/json", None
+
+    async def _handle_profile(self, request: Request):
+        """On-demand sampling profile: block this request, sample the rest.
+
+        The profiler thread samples every *other* thread (the loop, the
+        decode executor, pool workers) while this handler awaits an
+        ``asyncio.sleep`` — so the loop keeps serving and the profile
+        shows where concurrent traffic actually spends its time.  One
+        run in flight at a time (429 otherwise); duration is capped by
+        ``profile_max_seconds``.
+        """
+
+        try:
+            seconds = float(request.query.get("seconds", "2"))
+            hz = float(request.query.get("hz", str(DEFAULT_HZ)))
+        except ValueError as exc:
+            raise HttpError(400, f"bad profile parameter: {exc}") from exc
+        if not 0 < seconds <= self.config.profile_max_seconds:
+            raise HttpError(
+                400,
+                f"seconds must be in (0, {self.config.profile_max_seconds}]",
+            )
+        if not 0 < hz <= 1000:
+            raise HttpError(400, "hz must be in (0, 1000]")
+        if self._profiling:
+            raise HttpError(429, "a profile run is already in flight")
+        self._profiling = True
+        try:
+            profiler = SamplingProfiler(hz=hz)
+            profiler.start()
+            try:
+                await asyncio.sleep(seconds)
+            finally:
+                profiler.stop()
+        finally:
+            self._profiling = False
+        document = profiler.speedscope(f"repro serve ({seconds:g}s @ {hz:g}Hz)")
+        body = json.dumps(document).encode("utf-8")
+        extra = {
+            "content-disposition": (
+                'attachment; filename="repro-profile.speedscope.json"'
+            )
+        }
+        return 200, body, "application/json", extra
+
     def stats(self) -> Dict:
         """Gate / cache / request counters (the ``/stats`` payload).
 
@@ -589,6 +891,7 @@ class ArrayServer:
                 "max_concurrency": self.config.max_concurrency,
             },
             "hot_chunk_cache": self.cache.counters(),
+            "latency_buckets": list(self._latency_buckets),
             "metrics": self.registry.snapshot(),
         }
 

@@ -1,0 +1,122 @@
+"""Access-log size-based rotation: shifting, bounding, validation."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.accesslog import AccessLog
+
+
+def _log_line(log: AccessLog, request_id: str = "r", path: str = "/x") -> None:
+    log.log(
+        request_id=request_id,
+        method="GET",
+        path=path,
+        status=200,
+        duration_ms=1.25,
+        nbytes=64,
+    )
+
+
+def _lines(path) -> list:
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestRotation:
+    def test_rotates_when_next_line_would_exceed_max_bytes(self, tmp_path):
+        target = tmp_path / "access.log"
+        log = AccessLog(str(target), max_bytes=256)
+        try:
+            while log.rotations == 0:
+                _log_line(log)
+        finally:
+            log.close()
+        assert (tmp_path / "access.log.1").exists()
+        # Every file holds whole JSON lines — rotation never splits one.
+        for name in ("access.log", "access.log.1"):
+            for record in _lines(tmp_path / name):
+                assert record["method"] == "GET"
+        # The rotated file respects the bound; the live file is smaller.
+        assert (tmp_path / "access.log.1").stat().st_size <= 256
+
+    def test_backups_shift_and_oldest_is_dropped(self, tmp_path):
+        target = tmp_path / "access.log"
+        log = AccessLog(str(target), max_bytes=150, backups=2)
+        try:
+            count = 0
+            while log.rotations < 4:
+                _log_line(log, request_id=f"req-{count:04d}")
+                count += 1
+        finally:
+            log.close()
+        assert (tmp_path / "access.log.1").exists()
+        assert (tmp_path / "access.log.2").exists()
+        assert not (tmp_path / "access.log.3").exists()
+        # .1 is newer than .2: its request ids come later in sequence.
+        newest = _lines(tmp_path / "access.log.1")[0]["request_id"]
+        older = _lines(tmp_path / "access.log.2")[0]["request_id"]
+        assert newest > older
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        target = tmp_path / "access.log"
+        log = AccessLog(str(target))
+        try:
+            for _ in range(50):
+                _log_line(log)
+        finally:
+            log.close()
+        assert log.rotations == 0
+        assert not (tmp_path / "access.log.1").exists()
+        assert len(_lines(target)) == 50
+
+    def test_oversized_single_line_still_lands_whole(self, tmp_path):
+        target = tmp_path / "access.log"
+        log = AccessLog(str(target), max_bytes=16)  # smaller than any line
+        try:
+            _log_line(log)
+            _log_line(log)
+        finally:
+            log.close()
+        # Each line rotates the previous file out but is written intact.
+        assert len(_lines(target)) == 1
+        assert len(_lines(tmp_path / "access.log.1")) == 1
+
+    def test_resumes_byte_accounting_across_reopen(self, tmp_path):
+        target = tmp_path / "access.log"
+        first = AccessLog(str(target), max_bytes=4096)
+        _log_line(first)
+        first.close()
+        second = AccessLog(str(target), max_bytes=4096)
+        try:
+            assert second._nbytes == target.stat().st_size
+            _log_line(second)
+        finally:
+            second.close()
+        assert len(_lines(target)) == 2
+
+
+class TestStreamsAndValidation:
+    def test_stream_mode_never_rotates(self):
+        buffer = io.StringIO()
+        log = AccessLog("ignored", stream=buffer, max_bytes=8)
+        for _ in range(10):
+            _log_line(log)
+        assert log.max_bytes is None
+        assert log.rotations == 0
+        assert len(buffer.getvalue().splitlines()) == 10
+
+    @pytest.mark.parametrize("max_bytes", (0, -1))
+    def test_nonpositive_max_bytes_rejected(self, tmp_path, max_bytes):
+        with pytest.raises(ValueError):
+            AccessLog(str(tmp_path / "a.log"), max_bytes=max_bytes)
+
+    def test_backups_below_one_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            AccessLog(str(tmp_path / "a.log"), max_bytes=100, backups=0)

@@ -1,0 +1,96 @@
+"""``repro top`` internals: exposition parsing and frame rendering."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import parse_prometheus, render_frame
+
+
+def _registry_text() -> str:
+    registry = MetricsRegistry()
+    registry.counter("repro_serve_requests_total", 120)
+    registry.counter(
+        "repro_serve_responses_total", 110, labels={"class": "2xx"}
+    )
+    registry.counter(
+        "repro_serve_responses_total", 10, labels={"class": "5xx"}
+    )
+    registry.gauge("repro_serve_gate_active", 2)
+    registry.gauge("repro_serve_gate_peak", 5)
+    registry.gauge("repro_serve_gate_max_concurrency", 8)
+    registry.counter(
+        "repro_cache_hits_total", 30, labels={"cache": "hot-chunk"}
+    )
+    registry.counter(
+        "repro_cache_misses_total", 10, labels={"cache": "hot-chunk"}
+    )
+    for _ in range(10):
+        registry.observe(
+            "repro_serve_request_seconds", 0.03, labels={"route": "read"}
+        )
+    return registry.render()
+
+
+class TestParse:
+    def test_round_trips_counters_and_gauges(self):
+        scrape = parse_prometheus(_registry_text())
+        assert scrape.value("repro_serve_requests_total") == 120
+        assert (
+            scrape.value('repro_serve_responses_total{class="2xx"}') == 110
+        )
+        assert scrape.value("repro_serve_gate_active") == 2
+
+    def test_reassembles_histograms(self):
+        scrape = parse_prometheus(_registry_text())
+        key = 'repro_serve_request_seconds{route="read"}'
+        hist = scrape.histograms[key]
+        assert hist["count"] == 10
+        assert abs(hist["sum"] - 0.3) < 1e-9
+        bounds = [bound for bound, _ in hist["buckets"]]
+        assert bounds == sorted(bounds)
+        assert math.inf not in bounds  # +Inf folded into count
+        # All observations were 0.03 -> p50 interpolates inside (.01,.05]
+        q = scrape.quantile(key, 0.5)
+        assert 0.01 < q <= 0.05
+
+    def test_quantile_of_unknown_series_is_nan(self):
+        scrape = parse_prometheus("")
+        assert math.isnan(scrape.quantile("nope", 0.5))
+
+    def test_ignores_comments_and_garbage(self):
+        scrape = parse_prometheus(
+            "# HELP x y\n# TYPE x counter\nnot a sample line\nx 5\n"
+        )
+        assert scrape.value("x") == 5
+
+
+class TestRenderFrame:
+    def test_single_scrape_shows_totals(self):
+        scrape = parse_prometheus(_registry_text())
+        frame = render_frame(scrape, title="t")
+        assert frame.startswith("t\n")
+        assert "120.0 total" in frame
+        assert "gate: 2/8 (peak 5)" in frame
+        assert "read" in frame
+        assert "cache hot-chunk: 75.0% hit" in frame
+
+    def test_two_scrapes_show_rates(self):
+        early = MetricsRegistry()
+        early.counter("repro_serve_requests_total", 100)
+        late = MetricsRegistry()
+        late.counter("repro_serve_requests_total", 150)
+        frame = render_frame(
+            parse_prometheus(late.render()),
+            parse_prometheus(early.render()),
+            dt=10.0,
+        )
+        assert "requests: 5.0/s" in frame
+
+    def test_route_table_has_quantile_columns(self):
+        frame = render_frame(parse_prometheus(_registry_text()))
+        header = [
+            line for line in frame.splitlines() if line.startswith("route")
+        ]
+        assert header and "p99 ms" in header[0]

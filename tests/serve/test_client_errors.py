@@ -1,0 +1,123 @@
+"""StoreClient failure paths: error statuses, dead endpoints, truncated
+bodies, and the retry-once-on-stale-keep-alive rule."""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import ServeError, StoreClient
+
+
+def _scripted_server(responses):
+    """Serve canned bytes: one accepted connection per response, then close.
+
+    Returns ``(port, thread)``; the thread exits after the script runs dry.
+    """
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    port = sock.getsockname()[1]
+
+    def run() -> None:
+        try:
+            for payload in responses:
+                conn, _ = sock.accept()
+                conn.recv(65536)  # drain the request; content is irrelevant
+                conn.sendall(payload)
+                conn.close()
+        finally:
+            sock.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return port, thread
+
+
+def _response(status_line: str, body: bytes, *, declared_length=None) -> bytes:
+    length = len(body) if declared_length is None else declared_length
+    return (
+        f"HTTP/1.1 {status_line}\r\n"
+        f"Content-Length: {length}\r\n"
+        "Content-Type: application/json\r\n"
+        "\r\n"
+    ).encode("ascii") + body
+
+
+class TestErrorStatuses:
+    def test_json_error_body_is_parsed_into_the_message(self, server):
+        with StoreClient(server.url) as client:
+            with pytest.raises(ServeError) as err:
+                client.info("missing-dataset")
+        assert err.value.status == 404
+        assert err.value.message == "no such dataset: missing-dataset"
+        assert "HTTP 404" in str(err.value)
+
+    def test_non_json_error_body_is_kept_verbatim(self):
+        port, thread = _scripted_server(
+            [_response("503 Service Unavailable", b"boom town")]
+        )
+        with StoreClient(f"http://127.0.0.1:{port}") as client:
+            with pytest.raises(ServeError) as err:
+                client.stats()
+        thread.join(timeout=5)
+        assert err.value.status == 503
+        assert err.value.message == "boom town"
+
+    def test_error_without_error_key_falls_back_to_raw_json(self):
+        port, thread = _scripted_server(
+            [_response("500 Internal Server Error", b'{"detail":"x"}')]
+        )
+        with StoreClient(f"http://127.0.0.1:{port}") as client:
+            with pytest.raises(ServeError) as err:
+                client.stats()
+        thread.join(timeout=5)
+        assert err.value.message == '{"detail":"x"}'
+
+
+class TestDeadEndpoints:
+    def test_connection_refused_raises_oserror(self):
+        # Bind-then-close guarantees the port exists but nothing listens.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with StoreClient(f"http://127.0.0.1:{port}", timeout=2.0) as client:
+            with pytest.raises(OSError):
+                client.healthz()
+
+    def test_truncated_body_propagates_incomplete_read(self):
+        port, thread = _scripted_server(
+            [_response("200 OK", b"short", declared_length=64)]
+        )
+        with StoreClient(f"http://127.0.0.1:{port}") as client:
+            with pytest.raises(http.client.IncompleteRead):
+                client.stats()
+        thread.join(timeout=5)
+
+
+class TestStaleKeepAlive:
+    def test_second_request_retries_on_a_fresh_connection(self):
+        # Each scripted connection serves exactly one response then
+        # closes — so the client's second request hits a dead keep-alive
+        # socket and must transparently retry on a new connection.
+        ok = _response("200 OK", b"{}")
+        port, thread = _scripted_server([ok, ok])
+        with StoreClient(f"http://127.0.0.1:{port}") as client:
+            assert client.stats() == {}
+            assert client.stats() == {}
+        thread.join(timeout=5)
+
+    def test_persistent_failure_is_raised_after_one_retry(self):
+        # One good response, then the listener goes away entirely: the
+        # retry also fails and the underlying error surfaces.
+        port, thread = _scripted_server([_response("200 OK", b"{}")])
+        with StoreClient(f"http://127.0.0.1:{port}", timeout=2.0) as client:
+            assert client.stats() == {}
+            thread.join(timeout=5)  # listener closed after the script
+            with pytest.raises(OSError):
+                client.stats()
