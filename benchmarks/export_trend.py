@@ -3,10 +3,11 @@
 
 Runs the timed smoke subset — the sz/zfp/mgard 2D cells, the 64^3 volume
 cells (tiled 32^3, halo off and on, so the halo seam-recovery is tracked
-as data), the store put / partial-read cells, and the serve-layer load
-cells (warm-cache latency and decoded throughput at 1 vs 16 concurrent
+as data), the volume decode rate, the store put / partial-read cells,
+the streaming-compress peak-RSS cell and the serve-layer load cells
+(warm-cache latency and decoded throughput at 1 vs 16 concurrent
 clients) — and writes a schema-versioned JSON trend file
-(``BENCH_PR9.json`` in CI, uploaded as a workflow artifact).  Against a
+(``BENCH_PR10.json`` in CI, uploaded as a workflow artifact).  Against a
 committed baseline (``benchmarks/baseline.json``) the script acts as the
 regression gate.
 
@@ -29,17 +30,22 @@ slower runner; catching that class would need a same-machine baseline
 are exported as trend data but not gated (they are pinned exactly by the
 test suite's golden files).
 
-``bar`` cells carry their own absolute bound (``value`` vs ``min`` or
-``max``) and are gated without any baseline or calibration: the serve
-scaling cell asserts that 16 concurrent cached readers deliver >= 2x the
-decoded MB/s of one reader, the tracing-overhead cell asserts that the
-*disabled* span instrumentation costs <= 2% of a 64^3 compress, and the
-profiler-overhead cell asserts that a *live* sampling profiler at the
-default rate costs <= 5% of the same compress — all properties of the
-design, not of the runner's speed, so they must hold on any machine.
+``bar`` and ``mem`` cells carry their own absolute bound (``value`` vs
+``min`` or ``max``) and are gated without any baseline or calibration:
+the serve scaling cell asserts that 16 concurrent cached readers deliver
+>= 2x the decoded MB/s of one reader, the tracing-overhead cell asserts
+that the *disabled* span instrumentation costs <= 2% of a 64^3 compress,
+the profiler-overhead cell asserts that a *live* sampling profiler at
+the default rate costs <= 5% of the same compress, the decode-speedup
+cell (skipped on single-CPU runners) asserts that the parallel wavefront
+decode of a 64^3 halo volume beats the serial decoder >= 1.5x, and the
+``stream-peak-rss`` memory cell asserts that streaming a 256^3 compress
+from a ``.npy`` file holds its peak RSS growth under twice one slab's
+working set — all properties of the design, not of the runner's speed,
+so they must hold on any machine.
 
 Usage:
-    python benchmarks/export_trend.py --output BENCH_PR9.json
+    python benchmarks/export_trend.py --output BENCH_PR10.json
     python benchmarks/export_trend.py --update-baseline   # refresh baseline
 """
 
@@ -64,11 +70,12 @@ from repro.compressors.registry import make_compressor  # noqa: E402
 from repro.datasets.gaussian import generate_gaussian_field  # noqa: E402
 from repro.datasets.miranda import generate_miranda_like_volume  # noqa: E402
 from repro.store.array_store import ArrayStore  # noqa: E402
-from repro.volumes.pipeline import compress_volume  # noqa: E402
+from repro.utils.parallel import ParallelConfig  # noqa: E402
+from repro.volumes.pipeline import compress_volume, decompress_volume  # noqa: E402
 
 SCHEMA = "repro-bench-trend"
 SCHEMA_VERSION = 1
-LABEL = "PR9"
+LABEL = "PR10"
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
 #: Gate thresholds, applied to machine-calibrated per-cell ratios: any
 #: single cell beyond OUTLIER_THRESHOLD fails; more than
@@ -136,6 +143,37 @@ def collect_cells() -> dict:
             "kind": "ratio",
             "value": on.compression_ratio / off.compression_ratio,
         }
+
+    # -- volume decode: serial rate, and the parallel wavefront speedup --
+    halo_vol = compress_volume(
+        volume, "sz", ERROR_BOUND, tile_shape=(32, 32, 32), cache=False, halo=True
+    )
+    serial_ms = _best_ms(lambda: decompress_volume(halo_vol))
+    cells["vol-decode-gbps"] = {
+        "kind": "rate",
+        "value": volume.nbytes / 1e9 / (serial_ms / 1000.0),
+    }
+    n_cpu = os.cpu_count() or 1
+    if n_cpu >= 2:
+        # Gate: the shared-memory anti-diagonal decode must beat the
+        # serial scan-order decoder on a multi-core runner.  The pool is
+        # created once per call, so startup cost is charged to the cell —
+        # the speedup bar holds it to honest, end-to-end gains.
+        parallel = ParallelConfig(workers=min(4, n_cpu))
+        parallel_ms = _best_ms(
+            lambda: decompress_volume(halo_vol, parallel=parallel)
+        )
+        cells["vol-decode-speedup"] = {
+            "kind": "bar",
+            "value": serial_ms / parallel_ms,
+            "min": 1.5,
+            "workers": parallel.workers,
+        }
+    else:
+        print(
+            "vol-decode-speedup skipped: single-CPU runner cannot "
+            "demonstrate parallel decode gains"
+        )
 
     # -- tracing overhead: the disabled no-op span path ------------------
     # Gate: the instrumentation left in the hot paths must be ~free when
@@ -233,6 +271,76 @@ def collect_cells() -> dict:
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
+    # -- streaming compress: bounded peak memory -------------------------
+    # Gate: streaming a 256^3 (128 MiB) volume from a .npy file must keep
+    # its peak RSS growth under twice the *one-slab working set* — the
+    # measured peak of pushing a single slab-sized volume through the
+    # same pipeline (slab rows + tile copies + the codec's own transient
+    # buffers; the entropy coder's bit-expansion intermediates dwarf the
+    # raw slab bytes, so a static slab-sized ceiling would gate the codec,
+    # not the streaming layer).  A run that accumulated per-slab state —
+    # e.g. held every slab, or retained reconstructions — blows straight
+    # past 2x.  Both peaks are measured in fresh subprocesses via VmHWM,
+    # which execve resets (ru_maxrss survives fork+exec on Linux and
+    # would report this parent's high-water mark instead); a tiny warmup
+    # first pins the interpreter/NumPy baseline into the mark, so each
+    # delta attributes only the streaming run itself.
+    import subprocess
+
+    if not os.path.exists("/proc/self/status"):
+        print("stream-peak-rss skipped: no /proc VmHWM on this platform")
+    else:
+        stream_tile = (32, 32, 32)
+        slab_nbytes = stream_tile[0] * 256 * 256 * 8
+        workdir = tempfile.mkdtemp(prefix="repro-trend-stream-")
+        try:
+            big = generate_miranda_like_volume((256, 256, 256), seed=2021)
+            full_path = os.path.join(workdir, "vol256.npy")
+            np.save(full_path, big)
+            slab_path = os.path.join(workdir, "slab.npy")
+            np.save(slab_path, np.ascontiguousarray(big[: stream_tile[0]]))
+            del big
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH", "")]
+            )
+
+            def peak_of(path: str) -> int:
+                probe = (
+                    "import numpy as np\n"
+                    "from repro.volumes.streaming import compress_volume_stream\n"
+                    "def peak_kb():\n"
+                    "    with open('/proc/self/status') as fh:\n"
+                    "        line = [l for l in fh if l.startswith('VmHWM')][0]\n"
+                    "    return int(line.split()[1])\n"
+                    "compress_volume_stream(np.ones((8, 8, 8)), 'sz', 1e-3,\n"
+                    "                       tile_shape=(8, 8, 8), cache=False)\n"
+                    "before = peak_kb()\n"
+                    f"compress_volume_stream({path!r}, 'sz', {ERROR_BOUND!r},\n"
+                    f"                       tile_shape={stream_tile!r}, cache=False)\n"
+                    "print((peak_kb() - before) * 1024)\n"
+                )
+                result = subprocess.run(
+                    [sys.executable, "-c", probe],
+                    capture_output=True,
+                    text=True,
+                    env=env,
+                    check=True,
+                )
+                return int(result.stdout.strip())
+
+            one_slab_peak = peak_of(slab_path)
+            stream_peak = peak_of(full_path)
+            cells["stream-peak-rss"] = {
+                "kind": "mem",
+                "value": stream_peak,
+                "max": 2 * one_slab_peak,
+                "one_slab_peak": one_slab_peak,
+                "slab_nbytes": slab_nbytes,
+            }
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
     # -- serve layer: warm-cache load at 1 vs 16 clients -----------------
     from benchmarks.test_serve import MIN_SCALING_16C, best_load  # noqa: E402
     from repro.serve.client import StoreClient  # noqa: E402
@@ -287,9 +395,10 @@ def gate(cells: dict, baseline: dict) -> int:
     """
 
     failed = False
-    # ``bar`` cells: absolute bounds, no baseline or calibration needed.
+    # ``bar``/``mem`` cells: absolute bounds, no baseline or calibration
+    # needed (a mem cell is a bar over bytes rather than a ratio).
     for key, cell in sorted(cells.items()):
-        if cell.get("kind") != "bar":
+        if cell.get("kind") not in ("bar", "mem"):
             continue
         if "min" in cell:
             ok = cell["value"] >= cell["min"]

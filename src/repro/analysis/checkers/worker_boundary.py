@@ -9,14 +9,27 @@ and halo workers return the documented payload tuple — payload plus
 faces plus context — never a bare ndarray whose meaning the scheduler
 has to guess.
 
+Since the zero-copy refactor, bulk arrays cross the boundary as
+*descriptors*: a :class:`~repro.utils.parallel.SharedArraySpec` names a
+shared segment, workers ``read_shared`` their region in place and
+``write_shared`` results back, and the segment lifecycle belongs to the
+submitting side's :class:`~repro.utils.parallel.SharedArraySession`.
+That discipline only holds if nobody constructs ``SharedMemory`` by
+hand, so the checker enforces it alongside the pickle rules.
+
 Flags:
 
 * a ``lambda`` or a nested (closure) function passed as the callable to
-  ``parallel_map`` / ``memoized_map``'s compute path / ``Executor.submit``;
+  ``parallel_map`` / a ``WorkerPool``'s ``.map`` / ``memoized_map``'s
+  compute path / ``Executor.submit``;
 * ``functools.partial`` over such a callable;
 * ``ProcessPoolExecutor`` construction outside ``utils/parallel.py`` —
   parallelism routes through the one wrapper so worker hygiene has a
   single enforcement point;
+* ``SharedMemory`` construction outside ``utils/parallel.py`` — shared
+  segments route through ``SharedArraySession`` / ``read_shared`` /
+  ``write_shared`` so naming, cleanup (unlink on every exit path) and
+  the pickle fallback have one enforcement point;
 * inside a worker function (a module-level function submitted to
   ``parallel_map`` in the same file): ``return np.<...>(...)`` /
   ``return <x>.astype(...)`` bare-ndarray returns where the protocol
@@ -80,12 +93,38 @@ class WorkerBoundaryChecker(Checker):
                     )
                 )
                 continue
+            if func_tail == "SharedMemory" and not ctx.path.endswith(
+                _PARALLEL_MODULE_SUFFIX
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.name,
+                        node,
+                        "direct SharedMemory construction; shared segments "
+                        "route through utils/parallel.SharedArraySession and "
+                        "the read_shared/write_shared descriptor protocol so "
+                        "cleanup and fallback have one enforcement point",
+                    )
+                )
+                continue
             if func_tail in _SUBMIT_FUNCS and node.args:
                 findings.extend(
                     self._check_submitted(ctx, node.args[0], worker_names,
                                           nested_funcs)
                 )
             elif func_tail == "submit" and node.args:
+                findings.extend(
+                    self._check_submitted(ctx, node.args[0], worker_names,
+                                          nested_funcs)
+                )
+            elif (
+                func_tail == "map"
+                and isinstance(node.func, ast.Attribute)
+                and node.args
+            ):
+                # Pool-style `.map` submission (WorkerPool / Executor).
+                # The builtin `map(...)` is a plain Name call and stays
+                # out of scope.
                 findings.extend(
                     self._check_submitted(ctx, node.args[0], worker_names,
                                           nested_funcs)

@@ -117,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report the slice-by-slice baseline CR (with --volume)",
     )
     compress.add_argument(
+        "--stream",
+        action="store_true",
+        help="with --volume and a .npy field: stream the volume slab by "
+        "slab (bounded memory — at most one slab of tiles plus halo "
+        "planes resident); output is bit-identical to the one-shot path",
+    )
+    compress.add_argument(
         "--halo",
         action="store_true",
         help="halo-aware tiling: wavefront-ordered tiles predict and "
@@ -246,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     put.add_argument("--workers", type=int, default=1, help="parallel chunk workers")
     put.add_argument(
+        "--stream",
+        action="store_true",
+        help="with a 3D .npy --field: stream the volume into the store "
+        "slab by slab (chunk-edge-aligned appends, bounded memory) "
+        "instead of loading it whole",
+    )
+    put.add_argument(
         "--no-chunk-stats", action="store_true",
         help="skip the per-chunk correlation statistics",
     )
@@ -279,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     get.add_argument(
         "--client-decode", action="store_true",
         help="with --url: fetch still-compressed chunks and decode locally",
+    )
+    get.add_argument(
+        "--workers", type=int, default=1,
+        help="local reads: decode chunks with this many workers (two-wave "
+        "parallel decode over shared memory; 1 = serial)",
     )
 
     append = store_sub.add_parser(
@@ -456,6 +475,90 @@ def _load_any_field(args: argparse.Namespace) -> np.ndarray:
     return np.asarray(field, dtype=np.float64)
 
 
+def _command_compress_volume_stream(args: argparse.Namespace) -> int:
+    """Streaming volume compress: slab-by-slab, bounded memory.
+
+    Never loads the full volume: the source ``.npy`` is read slab by slab
+    for compression, and the error metrics come from a second streaming
+    pass comparing each reconstructed slab against a re-read source slab.
+    """
+
+    from repro.utils.parallel import ParallelConfig
+    from repro.volumes.streaming import (
+        compress_volume_stream,
+        decompress_volume_stream,
+        open_slab_source,
+    )
+
+    if args.raw_shape is not None:
+        raise SystemExit("--stream needs a .npy field (raw binaries are not supported)")
+    if args.baseline:
+        raise SystemExit("--baseline needs the full volume; drop it with --stream")
+    try:
+        reader = open_slab_source(args.field)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"cannot stream {args.field}: {exc}") from exc
+
+    bound = args.error_bound
+    if args.mode == "rel":
+        lo, hi = np.inf, -np.inf
+        for row_start in range(0, reader.shape[0], args.tile):
+            slab = reader.read(row_start, min(args.tile, reader.shape[0] - row_start))
+            lo, hi = min(lo, float(slab.min())), max(hi, float(slab.max()))
+        bound = args.error_bound * (hi - lo)
+
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
+    compressed = compress_volume_stream(
+        args.field,
+        args.compressor,
+        bound,
+        tile_shape=(args.tile,) * 3,
+        parallel=parallel,
+        halo=args.halo,
+    )
+
+    max_abs_error = 0.0
+    sq_sum = 0.0
+    lo, hi = np.inf, -np.inf
+    count = 0
+    for row_start, slab in decompress_volume_stream(compressed):
+        source = np.asarray(
+            reader.read(row_start, slab.shape[0]), dtype=np.float64
+        )
+        diff = np.abs(source - slab)
+        max_abs_error = max(max_abs_error, float(diff.max()))
+        sq_sum += float(np.square(diff, out=diff).sum())
+        lo, hi = min(lo, float(source.min())), max(hi, float(source.max()))
+        count += source.size
+    rmse = (sq_sum / count) ** 0.5 if count else 0.0
+    value_range = hi - lo
+    psnr = (
+        20.0 * np.log10(value_range / rmse)
+        if rmse > 0 and value_range > 0
+        else float("inf")
+    )
+    bound_satisfied = max_abs_error <= bound * (1.0 + 1e-9)
+
+    rows = [
+        ("compressor", args.compressor),
+        ("error bound", f"{bound:g} (abs)"),
+        ("volume shape", "x".join(str(s) for s in compressed.shape)),
+        ("tiles", f"{compressed.n_tiles} ({args.tile}^3, streamed)"),
+        ("halo", str(bool(args.halo))),
+        ("compression ratio", f"{compressed.compression_ratio:.3f}"),
+        (
+            "bit rate (bits/value)",
+            f"{8.0 * compressed.compressed_nbytes / count:.3f}",
+        ),
+        ("max abs error", f"{max_abs_error:.3e}"),
+        ("RMSE", f"{rmse:.3e}"),
+        ("PSNR (dB)", f"{psnr:.2f}"),
+        ("bound satisfied", str(bound_satisfied)),
+    ]
+    print(format_table(("quantity", "value"), rows))
+    return 0 if bound_satisfied else 1
+
+
 def _command_compress_volume(args: argparse.Namespace, volume: np.ndarray) -> int:
     from repro.utils.parallel import ParallelConfig
     from repro.volumes.pipeline import compress_volume, slice_baseline, volume_metrics
@@ -599,7 +702,11 @@ def _command_top(args: argparse.Namespace) -> int:
 
 
 def _run_compress(args: argparse.Namespace) -> int:
+    if args.stream and not args.volume:
+        raise SystemExit("--stream only applies with --volume")
     if args.volume:
+        if args.stream:
+            return _command_compress_volume_stream(args)
         volume = _load_any_field(args)
         if volume.ndim != 3:
             raise SystemExit(f"--volume expects a 3D field, got shape {volume.shape}")
@@ -702,7 +809,56 @@ def _command_store(args: argparse.Namespace) -> int:
     return handlers[args.store_command](args, ArrayStore)
 
 
+def _command_store_put_stream(args: argparse.Namespace, ArrayStore) -> int:
+    """Stream a 3D .npy field into a store slab by slab.
+
+    Slabs are chunk-edge-aligned along axis 0, so every flush except the
+    first is a pure ``append`` and peak memory stays one slab's worth
+    regardless of volume size."""
+    from repro.store.array_store import DEFAULT_CHUNK_EDGES
+    from repro.volumes.streaming import open_slab_source
+
+    if args.url:
+        raise SystemExit("--stream only applies to local stores, not --url")
+    if args.dataset is not None or args.field is None:
+        raise SystemExit("--stream requires a --field file source")
+    if args.raw_shape is not None:
+        raise SystemExit("--stream requires a .npy --field (not a raw binary)")
+    try:
+        source = open_slab_source(args.field)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot stream {args.field}: {exc}")
+    if len(source.shape) != 3:
+        raise SystemExit(
+            f"--stream requires a 3D volume, got shape {source.shape}"
+        )
+
+    edge0 = args.chunk if args.chunk is not None else DEFAULT_CHUNK_EDGES[3]
+    store = ArrayStore.create(
+        args.store,
+        chunk_shape=args.chunk,
+        error_bound=args.error_bound,
+        codec=args.codec,
+        chunk_stats=not args.no_chunk_stats,
+        overwrite=args.overwrite,
+        halo=args.halo,
+    )
+    parallel = ParallelConfig(workers=args.workers) if args.workers > 1 else None
+    n_slabs = 0
+    for row_start in range(0, source.shape[0], edge0):
+        slab = source.read(row_start, min(edge0, source.shape[0] - row_start))
+        if row_start == 0:
+            store.write(slab, parallel=parallel)
+        else:
+            store.append(slab, parallel=parallel)
+        n_slabs += 1
+    print(f"streamed {n_slabs} slab(s) of {edge0} row(s)")
+    return _print_store_info(store)
+
+
 def _command_store_put(args: argparse.Namespace, ArrayStore) -> int:
+    if args.stream:
+        return _command_store_put_stream(args, ArrayStore)
     if args.field is not None:
         array = _load_any_field(args)
     else:
@@ -769,7 +925,10 @@ def _command_store_get(args: argparse.Namespace, ArrayStore) -> int:
         if args.client_decode:
             raise SystemExit("--client-decode only applies with --url")
         store = ArrayStore.open(args.store)
-        values = store.read(region)
+        parallel = (
+            ParallelConfig(workers=args.workers) if args.workers > 1 else None
+        )
+        values = store.read(region, parallel=parallel)
         report = store.last_read
         print(
             f"read {values.shape} from {store.shape}: decoded "

@@ -982,7 +982,13 @@ class ArrayStore:
         }
 
     # -- read ------------------------------------------------------------
-    def read(self, region=None, *, chunk_cache=None) -> np.ndarray:
+    def read(
+        self,
+        region=None,
+        *,
+        chunk_cache=None,
+        parallel: Optional[ParallelConfig] = None,
+    ) -> np.ndarray:
         """Read a subarray, decoding only the chunks the region intersects.
 
         ``region`` follows NumPy basic indexing restricted to step-1
@@ -998,12 +1004,17 @@ class ArrayStore:
         partial, never cascading further.
 
         ``chunk_cache`` optionally supplies a shared decoded-chunk cache
-        (see :meth:`StoreSnapshot.read`); the actual decoding lives in
-        :class:`~repro.store.snapshot.StoreSnapshot`.
+        (see :meth:`StoreSnapshot.read`); ``parallel`` (a process-pool
+        config) opts into the two-wave parallel decode — anchors, then
+        halo chunks — over a shared scratch array, falling back to the
+        serial path when shared memory is unavailable.  The actual
+        decoding lives in :class:`~repro.store.snapshot.StoreSnapshot`.
         """
 
         with obs_span("store.read", "store") as read_span:
-            values, report = self.snapshot().read(region, chunk_cache=chunk_cache)
+            values, report = self.snapshot().read(
+                region, chunk_cache=chunk_cache, parallel=parallel
+            )
             read_span.add(
                 chunks_intersecting=report.chunks_intersecting,
                 chunks_decoded=report.chunks_decoded,

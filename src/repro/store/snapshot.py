@@ -54,6 +54,14 @@ from repro.compressors.halo import TileHalo
 from repro.obs.trace import span as obs_span
 from repro.pressio.api import PressioCompressor
 from repro.pressio.options import CompressorOptions
+from repro.utils.parallel import (
+    ParallelConfig,
+    SharedArraySession,
+    WorkerPool,
+    read_shared,
+    use_shared_arrays,
+    write_shared,
+)
 from repro.store.format import (
     IndexRecord,
     StoreCorruptionError,
@@ -199,6 +207,67 @@ def load_store_state(
         f"store at {path!r} failed consistency checks {retries} times ({reason}); "
         f"either a writer is replacing it continuously or the store is corrupt"
     )
+
+
+def _decode_chunk_shm(task):
+    """Zero-copy chunk-decode worker (top-level, picklable).
+
+    The submitting side ships the (compressed, CRC-checked) payload bytes
+    plus a :class:`~repro.utils.parallel.SharedArraySpec` of a shared
+    scratch array holding one slot per needed chunk; the worker decodes
+    into its slot in place.  Halo chunks read their anchor neighbours'
+    high faces straight out of the scratch array — wave 1 runs strictly
+    after wave 0, so every referenced slot is complete.  The documented
+    return payload is ``(slot, entropy_context_or_None)``.
+    """
+
+    (
+        payload,
+        codec_name,
+        chunk_extent,
+        error_bound,
+        dtype_str,
+        options,
+        scratch_spec,
+        slot,
+        plane_specs,
+        context,
+        want_context,
+    ) = task
+    dtype = np.dtype(dtype_str)
+    slot_region = (slot,) + tuple(slice(0, e) for e in chunk_extent)
+    if codec_name == RAW_CODEC:
+        values = np.frombuffer(payload, dtype="<f8").reshape(chunk_extent)
+        write_shared(scratch_spec, slot_region, np.asarray(values, dtype=dtype))
+        return slot, None
+    halo = None
+    if plane_specs is not None:
+        planes = [
+            read_shared(scratch_spec, spec) if spec is not None else None
+            for spec in plane_specs
+        ]
+        halo = TileHalo.build(planes, context)
+    codec = PressioCompressor(
+        codec_name,
+        CompressorOptions(error_bound=error_bound, extra=dict(options)),
+    )
+    compressed = CompressedField(
+        data=payload,
+        original_shape=chunk_extent,
+        original_dtype=dtype,
+        compressor=codec_name,
+        error_bound=error_bound,
+    )
+    if want_context:
+        values, own_context = codec.decompress_with_context(compressed, halo=halo)
+    else:
+        values, own_context = codec.decompress(compressed, halo=halo), None
+    if tuple(values.shape) != tuple(chunk_extent):
+        raise StoreCorruptionError(
+            f"chunk decoded to shape {values.shape}, expected {chunk_extent}"
+        )
+    write_shared(scratch_spec, slot_region, np.asarray(values, dtype=dtype))
+    return slot, own_context
 
 
 class StoreSnapshot:
@@ -407,7 +476,9 @@ class StoreSnapshot:
         return deps
 
     # -- read ------------------------------------------------------------
-    def read(self, region=None, *, chunk_cache=None) -> Tuple[np.ndarray, ReadReport]:
+    def read(
+        self, region=None, *, chunk_cache=None, parallel: Optional[ParallelConfig] = None
+    ) -> Tuple[np.ndarray, ReadReport]:
         """Read a subarray, decoding only the chunks the region intersects.
 
         ``region`` follows NumPy basic indexing restricted to step-1
@@ -419,7 +490,17 @@ class StoreSnapshot:
         ``chunk_cache`` optionally supplies a shared decoded-chunk cache
         (:class:`repro.serve.cache.HotChunkCache`); hits skip both the
         payload read and the decode.  Returns ``(values, report)``.
+
+        ``parallel`` opts into the two-wave parallel decode (see
+        :meth:`_read_parallel`); it requires a process pool with working
+        shared memory and is mutually exclusive with ``chunk_cache``
+        (the serve layer's hot path keeps the serial decoder) — either
+        condition failing falls back to the serial path, whose output is
+        bit-identical anyway.
         """
+
+        if use_shared_arrays(parallel) and chunk_cache is None:
+            return self._read_parallel(region, parallel)
 
         bounds, drop_axes = self.normalize_region(region)
         shape = self.shape
@@ -599,6 +680,203 @@ class StoreSnapshot:
             )
         return out, report
 
+    def _read_parallel(
+        self, region, parallel: ParallelConfig
+    ) -> Tuple[np.ndarray, ReadReport]:
+        """Two-wave parallel region decode over a shared scratch array.
+
+        The grid-parity layout makes the halo dependency graph exactly two
+        levels deep: anchors (flags == 0) depend on nothing, halo chunks
+        depend only on anchors.  So the schedule degenerates to two waves
+        — all needed anchors decode concurrently, then all halo chunks —
+        with workers writing into one shared scratch array (a slot per
+        unique chunk) and halo workers reading their neighbours' high
+        faces straight back out of it.  Standalone chunks with dedup-shared
+        payload bytes share a slot and decode once, mirroring the serial
+        payload cache.  Output is bit-identical to the serial path: halo
+        planes and entropy contexts are schedule-independent.
+        """
+
+        bounds, drop_axes = self.normalize_region(region)
+        shape = self.shape
+        chunk_shape = self.chunk_shape
+        grid_indices = self.intersecting_chunks(bounds)
+
+        # Needed set = intersecting chunks plus their anchor dependencies;
+        # unique standalone payloads share a slot.
+        slot_of: Dict[Tuple[int, ...], int] = {}
+        payload_slot: Dict[tuple, int] = {}
+        slot_grids: List[Tuple[int, ...]] = []
+        ordered: List[Tuple[int, ...]] = []
+        seen = set()
+        for grid_index in grid_indices:
+            for dep in self.halo_dependencies(grid_index) + [grid_index]:
+                if dep not in seen:
+                    seen.add(dep)
+                    ordered.append(dep)
+        for grid_index in ordered:
+            record = self._index[self.linear_index(grid_index)]
+            is_halo, _, _ = parse_halo_flags(record.flags)
+            _, extent = self.chunk_box(grid_index)
+            if not is_halo:
+                key = (record.offset, record.length, record.codec, extent)
+                if key in payload_slot:
+                    slot_of[grid_index] = payload_slot[key]
+                    continue
+                payload_slot[key] = len(slot_grids)
+            slot_of[grid_index] = len(slot_grids)
+            slot_grids.append(grid_index)
+
+        options_of = self._meta.get("compressor_options", {})
+        dtype_str = str(self.dtype)
+
+        def build_task(grid_index, payload, scratch_spec, plane_specs, context,
+                       want_context):
+            record = self._index[self.linear_index(grid_index)]
+            _, extent = self.chunk_box(grid_index)
+            return (
+                payload,
+                record.codec,
+                extent,
+                self.error_bound,
+                dtype_str,
+                dict(options_of.get(record.codec, {})),
+                scratch_spec,
+                slot_of[grid_index],
+                plane_specs,
+                context,
+                want_context,
+            )
+
+        wave0 = []
+        wave1 = []
+        for grid_index in slot_grids:
+            record = self._index[self.linear_index(grid_index)]
+            is_halo, _, _ = parse_halo_flags(record.flags)
+            (wave1 if is_halo else wave0).append(grid_index)
+
+        out = np.empty(
+            tuple(stop - start for start, stop in bounds), dtype=self.dtype
+        )
+        contexts: Dict[int, object] = {}
+        with SharedArraySession() as session, WorkerPool(parallel) as pool:
+            scratch_spec, scratch = session.allocate(
+                (len(slot_grids),) + tuple(chunk_shape), self.dtype
+            )
+            with self._open_data() as handle, obs_span(
+                "store.read.parallel",
+                "store",
+                chunks=len(slot_grids),
+                anchors=len(wave0),
+                halo=len(wave1),
+            ):
+                tasks = []
+                for grid_index in wave0:
+                    record = self._index[self.linear_index(grid_index)]
+                    payload = self._read_payload(handle, record)
+                    # Anchors double as entropy-context references in a
+                    # halo store; deriving the context in the same decode
+                    # avoids a second pass (the serial path's heuristic).
+                    tasks.append(
+                        build_task(
+                            grid_index, payload, scratch_spec, None, None,
+                            self.halo,
+                        )
+                    )
+                with obs_span("store.decode_wave", "store", wave=0, chunks=len(tasks)):
+                    for slot, context in pool.map(_decode_chunk_shm, tasks):
+                        contexts[slot] = context
+
+                tasks = []
+                for grid_index in wave1:
+                    record = self._index[self.linear_index(grid_index)]
+                    _, axes_mask, ref_axis = parse_halo_flags(record.flags)
+                    plane_specs: List[Optional[tuple]] = [None] * len(shape)
+                    for axis in range(len(shape)):
+                        if not axes_mask & (1 << axis):
+                            continue
+                        if grid_index[axis] == 0:
+                            raise StoreCorruptionError(
+                                f"halo chunk at grid {grid_index} references a "
+                                f"neighbour beyond the array edge (axis {axis})"
+                            )
+                        neighbour = tuple(
+                            g - 1 if a == axis else g
+                            for a, g in enumerate(grid_index)
+                        )
+                        if self._index[self.linear_index(neighbour)].flags:
+                            raise StoreCorruptionError(
+                                f"halo chunk at grid {grid_index} references "
+                                f"the non-anchor chunk at grid {neighbour}"
+                            )
+                        _, n_extent = self.chunk_box(neighbour)
+                        plane_specs[axis] = (slot_of[neighbour],) + tuple(
+                            n_extent[a] - 1 if a == axis else slice(0, n_extent[a])
+                            for a in range(len(shape))
+                        )
+                    context = None
+                    if ref_axis is not None:
+                        neighbour = tuple(
+                            g - 1 if a == ref_axis else g
+                            for a, g in enumerate(grid_index)
+                        )
+                        context = contexts.get(slot_of[neighbour])
+                    payload = self._read_payload(handle, record)
+                    tasks.append(
+                        build_task(
+                            grid_index, payload, scratch_spec, plane_specs,
+                            context, False,
+                        )
+                    )
+                with obs_span("store.decode_wave", "store", wave=1, chunks=len(tasks)):
+                    pool.map(_decode_chunk_shm, tasks)
+
+            for grid_index in grid_indices:
+                chunk_offset, chunk_extent = self.chunk_box(grid_index)
+                slot = slot_of[grid_index]
+                src = [slot]
+                dst = []
+                for (start, stop), o, extent in zip(bounds, chunk_offset, chunk_extent):
+                    lo = max(start, o)
+                    hi = min(stop, o + extent)
+                    src.append(slice(lo - o, hi - o))
+                    dst.append(slice(lo - start, hi - start))
+                out[tuple(dst)] = scratch[tuple(src)]
+            del scratch
+
+        report = ReadReport(
+            region=tuple(bounds),
+            chunks_total=len(self._index),
+            chunks_intersecting=len(grid_indices),
+            chunks_decoded=len(slot_grids),
+        )
+        if drop_axes:
+            out = out.reshape(
+                tuple(
+                    s
+                    for axis, s in enumerate(out.shape)
+                    if axis not in drop_axes
+                )
+            )
+        return out, report
+
+    def _read_payload(self, handle, record: IndexRecord) -> bytes:
+        """Read and CRC-check one chunk's payload bytes."""
+
+        handle.seek(record.offset)
+        payload = handle.read(record.length)
+        if len(payload) != record.length:
+            raise StoreCorruptionError(
+                f"truncated chunk payload: wanted {record.length} bytes at "
+                f"offset {record.offset}, got {len(payload)}"
+            )
+        if zlib.crc32(payload) != record.checksum:
+            raise StoreCorruptionError(
+                f"chunk checksum mismatch at offset {record.offset} "
+                f"(codec {record.codec})"
+            )
+        return payload
+
     def _decode_chunk(
         self,
         handle,
@@ -624,18 +902,7 @@ class StoreSnapshot:
         halo: Optional[TileHalo],
         want_context: bool,
     ):
-        handle.seek(record.offset)
-        payload = handle.read(record.length)
-        if len(payload) != record.length:
-            raise StoreCorruptionError(
-                f"truncated chunk payload: wanted {record.length} bytes at "
-                f"offset {record.offset}, got {len(payload)}"
-            )
-        if zlib.crc32(payload) != record.checksum:
-            raise StoreCorruptionError(
-                f"chunk checksum mismatch at offset {record.offset} "
-                f"(codec {record.codec})"
-            )
+        payload = self._read_payload(handle, record)
         if record.codec == RAW_CODEC:
             expected = int(np.prod(chunk_extent)) * 8
             if len(payload) != expected:

@@ -12,14 +12,24 @@ from repro.volumes.pipeline import (
     tile_offsets,
     volume_metrics,
 )
+from repro.volumes.streaming import (
+    compress_volume_stream,
+    decompress_volume_stream,
+    npy_volume_info,
+    open_slab_source,
+)
 
 __all__ = [
     "CompressedVolume",
     "VolumeTile",
     "compress_volume",
+    "compress_volume_stream",
     "decompress_volume",
+    "decompress_volume_stream",
     "default_volume_cache",
     "measure_volume_field",
+    "npy_volume_info",
+    "open_slab_source",
     "shard_volume",
     "slice_baseline",
     "tile_offsets",

@@ -44,7 +44,14 @@ from repro.obs.trace import (
 )
 from repro.pressio.metrics import CompressionMetrics, error_statistics
 from repro.utils.blocking import grid_offsets
-from repro.utils.parallel import ParallelConfig, parallel_map
+from repro.utils.parallel import (
+    ParallelConfig,
+    SharedArraySession,
+    WorkerPool,
+    read_shared,
+    use_shared_arrays,
+    write_shared,
+)
 from repro.utils.validation import ensure_ndim, ensure_positive
 
 __all__ = [
@@ -249,6 +256,53 @@ def _compress_tile_halo(task):
     return replace(compressed, reconstruction=None, entropy_context=None), faces, context
 
 
+def _compress_tile_shm(task) -> CompressedField:
+    """Zero-copy variant of :func:`_compress_tile`.
+
+    The task carries a :class:`~repro.utils.parallel.SharedArraySpec`
+    descriptor of the whole volume plus this tile's region; the worker
+    reads its tile straight out of the shared input segment, so the only
+    thing returned through the pickle channel is the compressed payload.
+    """
+
+    name, error_bound, options, spec, region = task
+    tile = read_shared(spec, region)
+    compressor = make_compressor(name, error_bound, **options)
+    return replace(compressor.compress(tile), reconstruction=None)
+
+
+def _compress_tile_halo_shm(task):
+    """Zero-copy variant of :func:`_compress_tile_halo`.
+
+    Returns the same documented ``(compressed, faces, context)`` triple;
+    only the halo planes and entropy context (small) travel in, only the
+    payload, faces and context travel back.
+    """
+
+    from repro.compressors.halo import reconstruction_faces
+
+    name, error_bound, options, spec, region, halo = task
+    tile = read_shared(spec, region)
+    compressor = make_compressor(name, error_bound, **options)
+    if getattr(compressor, "supports_halo", False):
+        compressed = compressor.compress(tile, halo=halo, collect_context=True)
+    else:
+        compressed = compressor.compress(tile)
+    faces = reconstruction_faces(compressed.reconstruction)
+    context = compressed.entropy_context
+    return replace(compressed, reconstruction=None, entropy_context=None), faces, context
+
+
+def _task_tile_shape(task) -> str:
+    """Display shape of a compress task, for worker span attributes."""
+
+    payload = task[3]
+    if isinstance(payload, np.ndarray):
+        return repr(payload.shape)
+    region = task[4]
+    return repr(tuple(s.stop - s.start for s in region))
+
+
 def _compress_tile_traced(task):
     """Traced variant of :func:`_compress_tile` (top-level, picklable).
 
@@ -260,7 +314,7 @@ def _compress_tile_traced(task):
     """
 
     with worker_capture() as tracer:
-        with tracer.span("volume.tile", "volume", shape=repr(task[3].shape)):
+        with tracer.span("volume.tile", "volume", shape=_task_tile_shape(task)):
             result = _compress_tile(task)
     return result, tracer.export_tuples()
 
@@ -273,12 +327,38 @@ def _compress_tile_halo_traced(task):
     """
 
     with worker_capture() as tracer:
-        with tracer.span("volume.tile", "volume", shape=repr(task[3].shape)):
+        with tracer.span("volume.tile", "volume", shape=_task_tile_shape(task)):
             result = _compress_tile_halo(task)
     return result, tracer.export_tuples()
 
 
-def _run_traced_workers(worker, tasks, parallel, wave: int):
+def _compress_tile_shm_traced(task):
+    """Traced variant of :func:`_compress_tile_shm`.
+
+    Same ``(compressed, span_tuples)`` contract as
+    :func:`_compress_tile_traced` — span adoption is independent of how
+    the tile bytes crossed the process boundary.
+    """
+
+    with worker_capture() as tracer:
+        with tracer.span("volume.tile", "volume", shape=_task_tile_shape(task)):
+            result = _compress_tile_shm(task)
+    return result, tracer.export_tuples()
+
+
+def _compress_tile_halo_shm_traced(task):
+    """Traced variant of :func:`_compress_tile_halo_shm`.
+
+    Returns ``((compressed, faces, context), span_tuples)``.
+    """
+
+    with worker_capture() as tracer:
+        with tracer.span("volume.tile", "volume", shape=_task_tile_shape(task)):
+            result = _compress_tile_halo_shm(task)
+    return result, tracer.export_tuples()
+
+
+def _run_traced_workers(worker, tasks, pool: WorkerPool, wave: int):
     """Run traced tile workers and adopt their span captures.
 
     Workers return ``(result, span_tuples)``; each capture is merged into
@@ -289,7 +369,7 @@ def _run_traced_workers(worker, tasks, parallel, wave: int):
 
     tracer = active_tracer()
     submit = time.perf_counter()
-    payloads = parallel_map(worker, tasks, parallel)
+    payloads = pool.map(worker, tasks)
     results = []
     for index, (result, tuples) in enumerate(payloads):
         if tracer is not None:
@@ -359,17 +439,76 @@ def compress_volume(
     shards = shard_volume(vol, tile)
     began = time.perf_counter()
 
-    with obs_span(
-        "volume.compress",
-        "volume",
-        compressor=compressor,
-        tiles=len(shards),
-        halo=halo,
-    ):
-        if halo:
-            tiles, cache_counters = _compress_volume_halo(
-                shards, tile, compressor, error_bound, options, config_key,
-                parallel, cache,
+    # Zero-copy path: the volume is shared once, and worker tasks carry a
+    # (spec, region) descriptor instead of the tile bytes.  The session
+    # guarantees the segment is unlinked on every exit path; the pool is
+    # reused across waves so halo runs pay process startup once, not once
+    # per wave.
+    with SharedArraySession() as session, WorkerPool(parallel) as pool:
+        vol_spec = session.share(vol) if use_shared_arrays(parallel) else None
+
+        with obs_span(
+            "volume.compress",
+            "volume",
+            compressor=compressor,
+            tiles=len(shards),
+            halo=halo,
+            zero_copy=vol_spec is not None,
+        ):
+            if halo:
+                tiles, cache_counters = _compress_volume_halo(
+                    shards, tile, compressor, error_bound, options, config_key,
+                    pool, cache, vol_spec,
+                )
+                return _record_compress(
+                    CompressedVolume(
+                        shape=tuple(vol.shape),
+                        tile_shape=tile,
+                        compressor=compressor,
+                        error_bound=float(error_bound),
+                        tiles=tiles,
+                        cache_counters=cache_counters,
+                        halo=True,
+                    ),
+                    began,
+                )
+
+            def key_fn(shard) -> str:
+                return ExperimentCache.key("volume-tile", config_key, shard[1], "")
+
+            def compute_many(pending) -> List[CompressedField]:
+                if vol_spec is not None:
+                    tasks = [
+                        (
+                            compressor,
+                            error_bound,
+                            options,
+                            vol_spec,
+                            _tile_region(offset, tile_values.shape),
+                        )
+                        for offset, tile_values in pending
+                    ]
+                    worker, traced = _compress_tile_shm, _compress_tile_shm_traced
+                else:
+                    tasks = [
+                        (compressor, error_bound, options, tile_values)
+                        for _, tile_values in pending
+                    ]
+                    worker, traced = _compress_tile, _compress_tile_traced
+                if tracing_enabled():
+                    return _run_traced_workers(traced, tasks, pool, wave=0)
+                return pool.map(worker, tasks)
+
+            # The non-halo grid is one single independent batch — traced as
+            # wave 0 so halo-off traces show the same wave/tile hierarchy.
+            with obs_span("volume.wave", "volume", wave=0, tiles=len(shards)):
+                results, cache_counters = memoized_map(
+                    shards, key_fn, compute_many, cache
+                )
+
+            tiles = tuple(
+                VolumeTile(offset=offset, compressed=results[idx])
+                for idx, (offset, _) in enumerate(shards)
             )
             return _record_compress(
                 CompressedVolume(
@@ -379,47 +518,17 @@ def compress_volume(
                     error_bound=float(error_bound),
                     tiles=tiles,
                     cache_counters=cache_counters,
-                    halo=True,
                 ),
                 began,
             )
 
-        def key_fn(shard) -> str:
-            return ExperimentCache.key("volume-tile", config_key, shard[1], "")
 
-        def compute_many(pending) -> List[CompressedField]:
-            tasks = [
-                (compressor, error_bound, options, tile_values)
-                for _, tile_values in pending
-            ]
-            if tracing_enabled():
-                return _run_traced_workers(
-                    _compress_tile_traced, tasks, parallel, wave=0
-                )
-            return parallel_map(_compress_tile, tasks, parallel)
+def _tile_region(offset: Sequence[int], extent: Sequence[int]):
+    """The output-array region a tile at ``offset`` with ``extent`` covers."""
 
-        # The non-halo grid is one single independent batch — traced as
-        # wave 0 so halo-off traces show the same wave/tile hierarchy.
-        with obs_span("volume.wave", "volume", wave=0, tiles=len(shards)):
-            results, cache_counters = memoized_map(
-                shards, key_fn, compute_many, cache
-            )
-
-        tiles = tuple(
-            VolumeTile(offset=offset, compressed=results[idx])
-            for idx, (offset, _) in enumerate(shards)
-        )
-        return _record_compress(
-            CompressedVolume(
-                shape=tuple(vol.shape),
-                tile_shape=tile,
-                compressor=compressor,
-                error_bound=float(error_bound),
-                tiles=tiles,
-                cache_counters=cache_counters,
-            ),
-            began,
-        )
+    return tuple(
+        slice(start, start + length) for start, length in zip(offset, extent)
+    )
 
 
 def _compress_volume_halo(
@@ -429,10 +538,16 @@ def _compress_volume_halo(
     error_bound: float,
     options: Dict,
     config_key: str,
-    parallel: Optional[ParallelConfig],
+    pool: WorkerPool,
     cache: Optional[ExperimentCache],
+    vol_spec=None,
 ):
-    """Wavefront-ordered halo compression over the sharded tiles."""
+    """Wavefront-ordered halo compression over the sharded tiles.
+
+    ``vol_spec`` (a :class:`~repro.utils.parallel.SharedArraySpec` of the
+    whole volume) switches the tile workers to the zero-copy descriptor
+    protocol; ``None`` keeps the pickle path.
+    """
 
     from repro.compressors.halo import TileHalo
 
@@ -480,15 +595,31 @@ def _compress_volume_halo(
             )
 
         def compute_many(pending):
-            tasks = [
-                (compressor, error_bound, options, tile_values, halo)
-                for _, tile_values, halo in pending
-            ]
-            if tracing_enabled():
-                return _run_traced_workers(
-                    _compress_tile_halo_traced, tasks, parallel, wave=wave
+            if vol_spec is not None:
+                tasks = [
+                    (
+                        compressor,
+                        error_bound,
+                        options,
+                        vol_spec,
+                        _tile_region(offset, tile_values.shape),
+                        halo,
+                    )
+                    for offset, tile_values, halo in pending
+                ]
+                worker, traced = (
+                    _compress_tile_halo_shm,
+                    _compress_tile_halo_shm_traced,
                 )
-            return parallel_map(_compress_tile_halo, tasks, parallel)
+            else:
+                tasks = [
+                    (compressor, error_bound, options, tile_values, halo)
+                    for _, tile_values, halo in pending
+                ]
+                worker, traced = _compress_tile_halo, _compress_tile_halo_traced
+            if tracing_enabled():
+                return _run_traced_workers(traced, tasks, pool, wave=wave)
+            return pool.map(worker, tasks)
 
         with obs_span("volume.wave", "volume", wave=wave, tiles=len(indices)):
             wave_results, counters = memoized_map(
@@ -511,7 +642,165 @@ def _compress_volume_halo(
     return tiles, total_counters
 
 
-def decompress_volume(compressed: CompressedVolume) -> np.ndarray:
+def _decode_tile_shm(task):
+    """Zero-copy decode worker (top-level, picklable).
+
+    The task carries the compressed tile plus a
+    :class:`~repro.utils.parallel.SharedArraySpec` of the shared *output*
+    volume: halo neighbour planes are read straight out of it (lower
+    waves are complete by the wavefront invariant) and the reconstruction
+    is written straight back into it.  The documented return payload is
+    ``(shape, entropy_context)`` — the only bytes that ride the pickle
+    channel.
+    """
+
+    from repro.compressors.halo import TileHalo
+
+    name, error_bound, tile_compressed, out_spec, offset, plane_regions, context = task
+    codec = make_compressor(name, error_bound)
+    if plane_regions is not None:
+        planes = [
+            read_shared(out_spec, region) if region is not None else None
+            for region in plane_regions
+        ]
+        halo = TileHalo.build(planes, context)
+        if getattr(codec, "supports_halo", False):
+            values, own_context = codec.decompress_with_context(
+                tile_compressed, halo=halo
+            )
+        else:
+            values, own_context = codec.decompress(tile_compressed), None
+    else:
+        values, own_context = codec.decompress(tile_compressed), None
+    write_shared(out_spec, _tile_region(offset, values.shape), values)
+    return tuple(values.shape), own_context
+
+
+def _decode_tile_shm_traced(task):
+    """Traced variant of :func:`_decode_tile_shm`.
+
+    Returns ``((shape, context), span_tuples)`` so the submitting side can
+    adopt the worker's span capture under its wave span.
+    """
+
+    with worker_capture() as tracer:
+        with tracer.span("volume.tile.decode", "volume", offset=repr(task[4])):
+            result = _decode_tile_shm(task)
+    return result, tracer.export_tuples()
+
+
+def _decode_waves(compressed: CompressedVolume) -> List[List[int]]:
+    """Tile indices grouped into anti-diagonal waves (scan order within).
+
+    For a halo volume every in-wave tile's low-face neighbours sit in
+    earlier waves (the PR 5 grid-parity invariant), so tiles of one wave
+    decode independently; a halo-off volume is a single wave of fully
+    independent tiles.
+    """
+
+    if not compressed.halo:
+        return [list(range(len(compressed.tiles)))]
+    waves: Dict[int, List[int]] = {}
+    for idx, tile in enumerate(compressed.tiles):
+        wave = sum(o // t for o, t in zip(tile.offset, compressed.tile_shape))
+        waves.setdefault(wave, []).append(idx)
+    return [waves[wave] for wave in sorted(waves)]
+
+
+def _decompress_volume_parallel(
+    compressed: CompressedVolume, parallel: ParallelConfig
+) -> np.ndarray:
+    """Parallel wavefront decode into a shared output volume.
+
+    Mirrors the compress-side wavefront: tiles of a wave are decoded
+    concurrently by workers that write reconstructions directly into one
+    shared output segment and read halo planes from it; only entropy
+    contexts (small) cross the boundary between waves.  Bit-identical to
+    the serial scan-order decode because halo planes and contexts are
+    schedule-independent.
+    """
+
+    tile_shape = compressed.tile_shape
+    contexts: Dict[Tuple[int, int, int], Optional[object]] = {}
+    with SharedArraySession() as session, WorkerPool(parallel) as pool:
+        out_spec, out_view = session.allocate(compressed.shape, np.float64)
+        waves = _decode_waves(compressed)
+        with obs_span(
+            "volume.decompress",
+            "volume",
+            compressor=compressed.compressor,
+            tiles=compressed.n_tiles,
+            halo=compressed.halo,
+            zero_copy=True,
+        ):
+            for wave, indices in enumerate(waves):
+                tasks = []
+                for idx in indices:
+                    tile = compressed.tiles[idx]
+                    offset = tile.offset
+                    plane_regions = None
+                    context = None
+                    if compressed.halo:
+                        extent = tuple(
+                            min(t, s - o)
+                            for t, s, o in zip(
+                                tile_shape, compressed.shape, offset
+                            )
+                        )
+                        plane_regions = []
+                        for axis in range(3):
+                            if offset[axis] > 0:
+                                plane_regions.append(
+                                    tuple(
+                                        offset[a] - 1
+                                        if a == axis
+                                        else slice(
+                                            offset[a], offset[a] + extent[a]
+                                        )
+                                        for a in range(3)
+                                    )
+                                )
+                            else:
+                                plane_regions.append(None)
+                        ref_axis = _reference_axis(
+                            tuple(o // t for o, t in zip(offset, tile_shape))
+                        )
+                        if ref_axis is not None:
+                            neighbour = list(offset)
+                            neighbour[ref_axis] -= tile_shape[ref_axis]
+                            context = contexts[tuple(neighbour)]
+                    tasks.append(
+                        (
+                            compressed.compressor,
+                            compressed.error_bound,
+                            tile.compressed,
+                            out_spec,
+                            offset,
+                            plane_regions,
+                            context,
+                        )
+                    )
+                with obs_span(
+                    "volume.wave", "volume", wave=wave, tiles=len(indices)
+                ):
+                    if tracing_enabled():
+                        results = _run_traced_workers(
+                            _decode_tile_shm_traced, tasks, pool, wave=wave
+                        )
+                    else:
+                        results = pool.map(_decode_tile_shm, tasks)
+                for idx, (_, own_context) in zip(indices, results):
+                    contexts[compressed.tiles[idx].offset] = own_context
+        out = out_view.copy()
+        del out_view
+    return out
+
+
+def decompress_volume(
+    compressed: CompressedVolume,
+    *,
+    parallel: Optional[ParallelConfig] = None,
+) -> np.ndarray:
     """Reassemble the volume from its compressed tiles.
 
     Halo volumes are decoded in scan order (which visits every tile after
@@ -519,7 +808,17 @@ def decompress_volume(compressed: CompressedVolume) -> np.ndarray:
     from the already-reconstructed output array, and entropy contexts are
     regenerated tile by tile — bit-identical to what the encoder saw, by
     construction.
+
+    ``parallel`` opts into the wavefront decode: tiles of each
+    anti-diagonal wave are decoded concurrently by process-pool workers
+    sharing one output segment (see :func:`_decompress_volume_parallel`).
+    It requires a process pool and working shared memory; thread configs
+    and shared-memory-less platforms fall back to the serial path, whose
+    output is bit-identical anyway.
     """
+
+    if use_shared_arrays(parallel):
+        return _decompress_volume_parallel(compressed, parallel)
 
     out = np.empty(compressed.shape, dtype=np.float64)
     codec = make_compressor(compressed.compressor, compressed.error_bound)

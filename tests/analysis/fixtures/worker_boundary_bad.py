@@ -1,8 +1,10 @@
 """Deliberately BAD fixture: unpicklable callables submitted to the
-worker pool, a rogue ProcessPoolExecutor, and a worker returning a bare
-ndarray instead of the documented payload tuple."""
+worker pool, a rogue ProcessPoolExecutor, a hand-rolled SharedMemory
+segment, and a worker returning a bare ndarray instead of the documented
+payload tuple."""
 
 from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -19,6 +21,13 @@ def run_all(tiles, scale):
     with ProcessPoolExecutor() as pool:
         results += list(pool.map(_encode_worker, tiles))
     return results
+
+
+def share_volume(volume):
+    segment = shared_memory.SharedMemory(create=True, size=volume.nbytes)
+    buffer = np.ndarray(volume.shape, dtype=volume.dtype, buffer=segment.buf)
+    buffer[...] = volume
+    return segment.name
 
 
 def _encode_worker(tile):

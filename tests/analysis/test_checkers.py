@@ -25,7 +25,7 @@ def lint_paths(paths, rule, project_root=None):
 PAIRS = [
     ("unsafe-cast", "unsafe_cast_bad.py", "unsafe_cast_good.py", 2),
     ("async-blocking", "async_blocking_bad.py", "async_blocking_good.py", 5),
-    ("worker-boundary", "worker_boundary_bad.py", "worker_boundary_good.py", 4),
+    ("worker-boundary", "worker_boundary_bad.py", "worker_boundary_good.py", 5),
     (
         "seeded-randomness",
         "seeded_randomness_bad.py",

@@ -1,0 +1,127 @@
+"""Two-wave parallel store decode: identical to the serial reader.
+
+The shared-memory read path decodes anchors in wave 0 and halo chunks
+(planes + contexts read back out of the scratch segment) in wave 1; the
+results, the halo dependency closure and the payload-dedup accounting
+must match the serial ``decode_at`` recursion exactly."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.datasets.gaussian import generate_gaussian_field
+from repro.datasets.miranda import generate_miranda_like_volume
+from repro.serve.cache import HotChunkCache
+from repro.store import ArrayStore
+from repro.utils.parallel import (
+    ParallelConfig,
+    SEGMENT_PREFIX,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no usable shared memory"
+)
+
+BOUND = 1e-3
+PARALLEL = ParallelConfig(workers=2)
+
+
+def _no_leaks() -> bool:
+    shm = pathlib.Path("/dev/shm")
+    return not shm.is_dir() or not list(shm.glob(f"{SEGMENT_PREFIX}-*"))
+
+
+@pytest.fixture(scope="module", params=[False, True], ids=["grid", "halo"])
+def store(request, tmp_path_factory):
+    volume = generate_miranda_like_volume((40, 40, 24), seed=5)
+    store = ArrayStore.create(
+        tmp_path_factory.mktemp("pstore") / "s",
+        chunk_shape=16,
+        codec="sz",
+        error_bound=BOUND,
+        halo=request.param,
+    )
+    store.write(volume, cache=False)
+    return store
+
+
+class TestParity:
+    def test_full_read(self, store):
+        serial = store.read()
+        parallel = store.read(parallel=PARALLEL)
+        np.testing.assert_array_equal(parallel, serial)
+        assert _no_leaks()
+
+    def test_region_read_with_dropped_axis(self, store):
+        region = (slice(5, 30), slice(10, 40), 7)
+        serial = store.read(region)
+        serial_report = store.last_read
+        parallel = store.read(region, parallel=PARALLEL)
+        parallel_report = store.last_read
+        np.testing.assert_array_equal(parallel, serial)
+        assert parallel_report.chunks_total == serial_report.chunks_total
+        assert (
+            parallel_report.chunks_intersecting
+            == serial_report.chunks_intersecting
+        )
+        assert parallel_report.chunks_decoded == serial_report.chunks_decoded
+        assert _no_leaks()
+
+    def test_serial_config_is_the_serial_path(self, store):
+        np.testing.assert_array_equal(
+            store.read(parallel=ParallelConfig(workers=1)), store.read()
+        )
+
+
+class TestPayloadDedup:
+    def test_identical_chunks_decode_once(self, tmp_path):
+        # A constant array dedups to one stored payload per chunk shape;
+        # the parallel reader must decode one slot, not one per chunk.
+        store = ArrayStore.create(
+            tmp_path / "flat", chunk_shape=16, codec="sz", error_bound=BOUND
+        )
+        store.write(np.ones((32, 32, 32)), cache=False)
+        serial = store.read()
+        serial_decodes = store.last_read.chunks_decoded
+        parallel = store.read(parallel=PARALLEL)
+        parallel_report = store.last_read
+        np.testing.assert_array_equal(parallel, serial)
+        assert parallel_report.chunks_decoded == serial_decodes
+        assert parallel_report.chunks_decoded < parallel_report.chunks_intersecting
+
+
+class TestCacheInteraction:
+    def test_hot_cache_keeps_serial_decoder(self, tmp_path):
+        # The serve hot path owns its cache accounting; a parallel config
+        # combined with a chunk cache falls back to the serial decoder.
+        field = generate_gaussian_field((64, 64), correlation_range=9.0, seed=3)
+        store = ArrayStore.create(
+            tmp_path / "hot", chunk_shape=16, codec="sz", error_bound=BOUND
+        )
+        store.write(field, cache=False)
+        cache = HotChunkCache(max_nbytes=1 << 20)
+        first = store.read(chunk_cache=cache, parallel=PARALLEL)
+        second = store.read(chunk_cache=cache, parallel=PARALLEL)
+        np.testing.assert_array_equal(first, second)
+        assert store.last_read.cache_hits > 0
+
+
+class TestAppendedStore:
+    def test_partial_trailing_chunks(self, tmp_path):
+        store = ArrayStore.create(
+            tmp_path / "grown", chunk_shape=16, codec="sz", error_bound=BOUND
+        )
+        store.write(
+            generate_miranda_like_volume((32, 24, 24), seed=9), cache=False
+        )
+        store.append(
+            generate_miranda_like_volume((9, 24, 24), seed=10), cache=False
+        )
+        np.testing.assert_array_equal(
+            store.read(parallel=PARALLEL), store.read()
+        )
+        assert _no_leaks()

@@ -1,0 +1,234 @@
+"""Lifecycle tests for the shared-array protocol in repro.utils.parallel.
+
+The session owns segment cleanup: /dev/shm must hold no ``repro-shm-*``
+entries after a run — successful, failed, or interrupted.  The repo-wide
+``filterwarnings = error`` setting means a resource_tracker leak warning
+in-process would fail these tests on its own; the subprocess test covers
+the tracker's at-exit path as well.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.utils.parallel import (
+    ENV_START_METHOD,
+    ParallelConfig,
+    SEGMENT_PREFIX,
+    SharedArraySession,
+    SharedArraySpec,
+    WorkerPool,
+    parallel_map,
+    read_shared,
+    shared_memory_available,
+    start_method,
+    use_shared_arrays,
+    write_shared,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no usable shared memory"
+)
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def _leaked_segments() -> list:
+    if not SHM_DIR.is_dir():
+        return []
+    return sorted(SHM_DIR.glob(f"{SEGMENT_PREFIX}-*"))
+
+
+def _scale_worker(task):
+    spec, out_spec, region, scale = task
+    values = read_shared(spec, region) * scale
+    write_shared(out_spec, region, values)
+    return region, float(values.sum())
+
+
+def _boom_worker(task):
+    raise RuntimeError("boom")
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestSpec:
+    def test_nbytes(self):
+        spec = SharedArraySpec("x", (4, 8), "float64")
+        assert spec.nbytes == 4 * 8 * 8
+
+    def test_is_picklable(self):
+        import pickle
+
+        spec = SharedArraySpec("x", (4, 8), "float32")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+@needs_shm
+class TestSessionLifecycle:
+    def test_share_read_roundtrip(self):
+        rng = np.random.default_rng(0)
+        array = rng.standard_normal((6, 5))
+        with SharedArraySession() as session:
+            spec = session.share(array)
+            np.testing.assert_array_equal(read_shared(spec), array)
+            region = (slice(1, 4), slice(0, 2))
+            np.testing.assert_array_equal(read_shared(spec, region), array[region])
+        assert _leaked_segments() == []
+
+    def test_allocate_write_roundtrip(self):
+        with SharedArraySession() as session:
+            spec, view = session.allocate((3, 4), "float64")
+            write_shared(spec, (slice(0, 2), slice(1, 3)), np.ones((2, 2)))
+            assert view[:2, 1:3].sum() == 4.0
+            del view
+        assert _leaked_segments() == []
+
+    def test_read_after_unlink_fails(self):
+        with SharedArraySession() as session:
+            spec = session.share(np.zeros(4))
+        with pytest.raises(FileNotFoundError):
+            read_shared(spec)
+
+    def test_unlink_on_worker_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedArraySession() as session, WorkerPool(
+                ParallelConfig(workers=2)
+            ) as pool:
+                spec = session.share(np.zeros((4, 4)))
+                pool.map(_boom_worker, [(spec,)])
+        assert _leaked_segments() == []
+
+    def test_unlink_on_keyboard_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            with SharedArraySession() as session:
+                session.share(np.zeros((4, 4)))
+                raise KeyboardInterrupt
+        assert _leaked_segments() == []
+
+    def test_close_survives_live_view(self):
+        # A still-referenced view must not prevent the unlink.
+        session = SharedArraySession()
+        spec, view = session.allocate((2, 2))
+        session.close()
+        assert _leaked_segments() == []
+        del view
+
+    def test_empty_array_rejected(self):
+        with SharedArraySession() as session:
+            with pytest.raises(ValueError):
+                session.allocate((0, 4))
+
+
+@needs_shm
+class TestWorkerRoundTrip:
+    def test_workers_write_in_place(self):
+        rng = np.random.default_rng(1)
+        volume = rng.standard_normal((4, 6))
+        regions = [(slice(0, 2), slice(0, 6)), (slice(2, 4), slice(0, 6))]
+        with SharedArraySession() as session, WorkerPool(
+            ParallelConfig(workers=2)
+        ) as pool:
+            spec = session.share(volume)
+            out_spec, out_view = session.allocate(volume.shape, volume.dtype)
+            tasks = [(spec, out_spec, region, 3.0) for region in regions]
+            payloads = pool.map(_scale_worker, tasks)
+            result = out_view.copy()
+            del out_view
+        np.testing.assert_array_equal(result, volume * 3.0)
+        assert [p[0] for p in payloads] == regions
+        assert _leaked_segments() == []
+
+    def test_no_tracker_leak_warnings_in_subprocess(self):
+        # Run the full protocol under ``-W error`` in a clean interpreter:
+        # a resource_tracker "leaked shared_memory objects" warning at
+        # shutdown would land in stderr and fail the check.
+        code = (
+            "import numpy as np\n"
+            "from repro.utils.parallel import (ParallelConfig,"
+            " SharedArraySession, WorkerPool)\n"
+            "from tests.utils.test_shared_parallel import _scale_worker\n"
+            "with SharedArraySession() as s, WorkerPool(ParallelConfig(2)) as p:\n"
+            "    spec = s.share(np.ones((4, 4)))\n"
+            "    out, view = s.allocate((4, 4))\n"
+            "    p.map(_scale_worker, [(spec, out, (slice(0, 4),), 2.0)])\n"
+            "    del view\n"
+        )
+        env = dict(os.environ)
+        root = pathlib.Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), str(root), env.get("PYTHONPATH", "")]
+        )
+        result = subprocess.run(
+            [sys.executable, "-W", "error", "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resource_tracker" not in result.stderr, result.stderr
+
+
+class TestUseSharedArrays:
+    def test_serial_and_threads_stay_on_direct_memory(self):
+        assert not use_shared_arrays(None)
+        assert not use_shared_arrays(ParallelConfig(workers=1))
+        assert not use_shared_arrays(
+            ParallelConfig(workers=4, use_processes=False)
+        )
+
+    @needs_shm
+    def test_process_pool_uses_shared_arrays(self):
+        assert use_shared_arrays(ParallelConfig(workers=2))
+
+
+class TestWorkerPool:
+    def test_lazy_executor_on_empty_map(self):
+        with WorkerPool(ParallelConfig(workers=2)) as pool:
+            assert pool.map(_double, []) == []
+            assert pool._executor is None
+            assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+            assert pool._executor is not None
+
+    def test_serial_pool_has_no_executor(self):
+        with WorkerPool(None) as pool:
+            assert pool.map(_double, [5]) == [10]
+            assert pool._executor is None
+
+    def test_reuse_across_batches(self):
+        with WorkerPool(ParallelConfig(workers=2, use_processes=False)) as pool:
+            first = pool.map(_double, [1, 2])
+            executor = pool._executor
+            second = pool.map(_double, [3, 4])
+            assert pool._executor is executor
+        assert (first, second) == ([2, 4], [6, 8])
+
+
+class TestStartMethod:
+    def test_unset_means_platform_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_START_METHOD, raising=False)
+        assert start_method() is None
+        monkeypatch.setenv(ENV_START_METHOD, "")
+        assert start_method() is None
+
+    def test_valid_method_is_honoured(self, monkeypatch):
+        monkeypatch.setenv(ENV_START_METHOD, "spawn")
+        assert start_method() == "spawn"
+
+    def test_typo_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_START_METHOD, "frok")
+        with pytest.raises(ValueError, match="frok"):
+            start_method()
+
+    def test_parallel_map_under_spawn(self, monkeypatch):
+        monkeypatch.setenv(ENV_START_METHOD, "spawn")
+        config = ParallelConfig(workers=2)
+        assert parallel_map(_double, [1, 2, 3], config) == [2, 4, 6]

@@ -1,0 +1,131 @@
+"""Zero-copy pipeline equivalence: the shared-memory process-pool paths
+must produce bit-identical tiles and reconstructions to the serial path
+(halo on and off), leave no /dev/shm segments behind, and keep trace
+spans flowing across the shm worker boundary."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.datasets.miranda import generate_miranda_like_volume
+from repro.obs.trace import Tracer, install_tracer
+from repro.utils.parallel import (
+    ParallelConfig,
+    SEGMENT_PREFIX,
+    shared_memory_available,
+)
+from repro.volumes.pipeline import compress_volume, decompress_volume
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no usable shared memory"
+)
+
+BOUND = 1e-3
+PARALLEL = ParallelConfig(workers=2)
+
+
+@pytest.fixture(scope="module")
+def volume() -> np.ndarray:
+    return generate_miranda_like_volume((24, 24, 24), seed=11)
+
+
+def _no_leaks() -> bool:
+    shm = pathlib.Path("/dev/shm")
+    return not shm.is_dir() or not list(shm.glob(f"{SEGMENT_PREFIX}-*"))
+
+
+def _tile_bytes(compressed):
+    return [
+        (t.offset, t.compressed.data)
+        for t in sorted(compressed.tiles, key=lambda t: t.offset)
+    ]
+
+
+@pytest.mark.parametrize("halo", [False, True], ids=["grid", "halo"])
+class TestBitIdentity:
+    def test_compress_matches_serial(self, volume, halo):
+        serial = compress_volume(
+            volume, "sz", BOUND, tile_shape=(12, 12, 12), halo=halo, cache=False
+        )
+        shm = compress_volume(
+            volume,
+            "sz",
+            BOUND,
+            tile_shape=(12, 12, 12),
+            halo=halo,
+            parallel=PARALLEL,
+            cache=False,
+        )
+        assert _tile_bytes(shm) == _tile_bytes(serial)
+        assert _no_leaks()
+
+    def test_decompress_matches_serial(self, volume, halo):
+        compressed = compress_volume(
+            volume, "sz", BOUND, tile_shape=(12, 12, 12), halo=halo, cache=False
+        )
+        serial = decompress_volume(compressed)
+        parallel = decompress_volume(compressed, parallel=PARALLEL)
+        np.testing.assert_array_equal(parallel, serial)
+        assert _no_leaks()
+
+
+class TestWavefrontDecode:
+    def test_uneven_tiles(self, volume):
+        compressed = compress_volume(
+            volume[:20, :17, :24],
+            "sz",
+            BOUND,
+            tile_shape=(8, 8, 8),
+            halo=True,
+            cache=False,
+        )
+        np.testing.assert_array_equal(
+            decompress_volume(compressed, parallel=PARALLEL),
+            decompress_volume(compressed),
+        )
+
+    def test_serial_config_skips_shared_path(self, volume):
+        compressed = compress_volume(
+            volume, "sz", BOUND, tile_shape=(12, 12, 12), cache=False
+        )
+        np.testing.assert_array_equal(
+            decompress_volume(compressed, parallel=ParallelConfig(workers=1)),
+            decompress_volume(compressed),
+        )
+
+
+class TestTracingAcrossShmBoundary:
+    def test_compress_spans_reparent(self, volume):
+        tracer = Tracer()
+        with install_tracer(tracer):
+            compress_volume(
+                volume,
+                "sz",
+                BOUND,
+                tile_shape=(12, 12, 12),
+                halo=True,
+                parallel=PARALLEL,
+                cache=False,
+            )
+        spans = tracer.spans()
+        root = [s for s in spans if s.parent_id is None]
+        assert [s.name for s in root] == ["volume.compress"]
+        assert root[0].args.get("zero_copy") is True
+        tiles = [s for s in spans if s.name == "volume.tile"]
+        assert len(tiles) == 8
+        assert all(t.lane.startswith("wave") for t in tiles)
+
+    def test_decode_spans(self, volume):
+        compressed = compress_volume(
+            volume, "sz", BOUND, tile_shape=(12, 12, 12), halo=True, cache=False
+        )
+        tracer = Tracer()
+        with install_tracer(tracer):
+            decompress_volume(compressed, parallel=PARALLEL)
+        names = [s.name for s in tracer.spans()]
+        assert "volume.decompress" in names
+        assert "volume.wave" in names
+        assert names.count("volume.tile.decode") == 8
